@@ -1,0 +1,45 @@
+// Figure 5: merge of Figures 2(a) and 4(c) — each type's drop when co-running
+// with SYN flows (curves) and with realistic flows (individual points), both
+// plotted against the competitors' measured cache refs/sec. The paper's key
+// evidence that damage tracks competing refs/sec, not competitor type.
+#include <cmath>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pp;
+  using namespace pp::core;
+  const Scale scale = scale_from_env();
+  bench::header("Figure 5", "SYN curves vs realistic-competitor points, same refs/sec axis",
+                scale);
+
+  Testbed tb(scale, 1);
+  SoloProfiler solo(tb, bench::sweep_seeds(scale));
+  SweepProfiler sweep(solo, 5);
+  const auto levels = SweepProfiler::default_levels(scale);
+
+  for (const FlowType target : kRealisticTypes) {
+    const SweepResult r = sweep.sweep(FlowSpec::of(target), ContentionMode::kBoth, levels);
+    SeriesChart chart("competing L3 refs/sec (M)",
+                      {std::string(to_string(target)) + "(S) synthetic",
+                       std::string(to_string(target)) + "(R) realistic"});
+    for (const SweepLevel& l : r.levels) {
+      chart.add_point(l.competing_refs_per_sec / 1e6, {l.drop_pct, std::nan("")});
+    }
+    for (const FlowType comp : kRealisticTypes) {
+      RunConfig cfg = tb.configure({FlowSpec::of(target)});
+      for (int i = 0; i < 5; ++i) {
+        cfg.flows.push_back(FlowSpec::of(comp, static_cast<std::uint64_t>(i + 2)));
+        cfg.placement.push_back(FlowPlacement{1 + i, -1});
+      }
+      const auto run = tb.run(cfg);
+      double refs = 0;
+      for (std::size_t i = 1; i < run.size(); ++i) refs += run[i].refs_per_sec();
+      chart.add_point(refs / 1e6,
+                      {std::nan(""), drop_pct(solo.profile(target), run[0])});
+    }
+    bench::print_chart(
+        (std::string("Figure 5, target ") + to_string(target) + ":").c_str(), chart);
+  }
+  return 0;
+}

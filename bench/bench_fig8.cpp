@@ -1,0 +1,65 @@
+// Figure 8: prediction errors for the 25 pairwise workloads.
+//  (a) our prediction (competitors assumed at their solo refs/sec);
+//  (b) prediction with perfect knowledge of the measured competing refs/sec;
+//  (c) average absolute error per target type, both variants.
+#include <cmath>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pp;
+  using namespace pp::core;
+  const Scale scale = scale_from_env();
+  bench::header("Figure 8", "prediction error per pairwise scenario", scale);
+
+  Testbed tb(scale, 1);
+  SoloProfiler solo(tb, bench::sweep_seeds(scale));
+  SweepProfiler sweep(solo, 5);
+  ContentionPredictor pred(solo, sweep);
+
+  TextTable a({"target", "5 IP", "5 MON", "5 FW", "5 RE", "5 VPN"});
+  TextTable b({"target", "5 IP", "5 MON", "5 FW", "5 RE", "5 VPN"});
+  TextTable c({"target", "avg |error| (ours)", "avg |error| (perfect knowledge)",
+               "paper ours", "paper perfect"});
+  const double paper_ours[] = {1.96, 1.92, 0.44, 1.97, 1.00};
+  const double paper_known[] = {1.39, 1.41, 0.35, 1.44, 0.69};
+
+  for (std::size_t ti = 0; ti < 5; ++ti) {
+    const FlowType target = kRealisticTypes[ti];
+    std::vector<double> row_a;
+    std::vector<double> row_b;
+    double abs_a = 0;
+    double abs_b = 0;
+    for (const FlowType comp : kRealisticTypes) {
+      std::vector<FlowMetrics> pooled;
+      double comp_refs = 0;
+      for (int s = 0; s < bench::sweep_seeds(scale); ++s) {
+        RunConfig cfg = tb.configure({FlowSpec::of(target)},
+                                     static_cast<std::uint64_t>(s + 1) * 2741);
+        for (int i = 0; i < 5; ++i) {
+          cfg.flows.push_back(FlowSpec::of(comp, static_cast<std::uint64_t>(i + 2)));
+          cfg.placement.push_back(FlowPlacement{1 + i, -1});
+        }
+        const auto run = tb.run(cfg);
+        pooled.push_back(run[0]);
+        for (std::size_t i = 1; i < run.size(); ++i) comp_refs += run[i].refs_per_sec();
+      }
+      comp_refs /= bench::sweep_seeds(scale);
+      const double actual = drop_pct(solo.profile(target), merge_metrics(pooled));
+      const double ours = pred.predict(target, {comp, comp, comp, comp, comp});
+      const double known = pred.predict_known(target, comp_refs);
+      row_a.push_back(ours - actual);
+      row_b.push_back(known - actual);
+      abs_a += std::abs(ours - actual);
+      abs_b += std::abs(known - actual);
+    }
+    a.add_numeric_row(to_string(target), row_a, 2);
+    b.add_numeric_row(to_string(target), row_b, 2);
+    c.add_numeric_row(to_string(target),
+                      {abs_a / 5.0, abs_b / 5.0, paper_ours[ti], paper_known[ti]}, 2);
+  }
+  bench::print_table("Figure 8(a): signed error, our prediction (points):", a);
+  bench::print_table("Figure 8(b): signed error, perfect knowledge of competition:", b);
+  bench::print_table("Figure 8(c): average absolute error per target type:", c);
+  return 0;
+}

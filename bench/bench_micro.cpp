@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the hot primitives: the simulator's
+// memory-access path and the real application kernels (trie lookup, flow
+// hashing, AES, Rabin fingerprints, checksums).
+#include <benchmark/benchmark.h>
+
+#include "apps/aes.hpp"
+#include "apps/flow_table.hpp"
+#include "apps/rabin.hpp"
+#include "apps/radix_trie.hpp"
+#include "base/rng.hpp"
+#include "net/checksum.hpp"
+#include "net/generators.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace pp;
+
+void BM_SimAccessL1Hit(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemorySystem ms(cfg);
+  (void)ms.access(0, 0x40, sim::AccessType::kRead, 0);
+  sim::Cycles now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms.access(0, 0x40, sim::AccessType::kRead, now++));
+  }
+}
+BENCHMARK(BM_SimAccessL1Hit);
+
+void BM_SimAccessRandom(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  sim::MemorySystem ms(cfg);
+  Pcg32 rng{1};
+  sim::Cycles now = 0;
+  for (auto _ : state) {
+    const sim::Addr a = (static_cast<sim::Addr>(rng.next()) % (64 << 20)) & ~63ULL;
+    benchmark::DoNotOptimize(ms.access(0, a, sim::AccessType::kRead, now += 40));
+  }
+}
+BENCHMARK(BM_SimAccessRandom);
+
+void BM_TrieLookup(benchmark::State& state) {
+  Pcg32 rng{2};
+  const auto table = net::generate_prefix_table(static_cast<std::size_t>(state.range(0)), rng);
+  apps::RadixTrie trie;
+  for (const auto& e : table) trie.insert(e.prefix, e.len, e.next_hop);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup(rng.next()));
+  }
+}
+BENCHMARK(BM_TrieLookup)->Arg(1000)->Arg(32000)->Arg(128000);
+
+void BM_FlowTableUpdate(benchmark::State& state) {
+  apps::FlowTable table(1 << 17);
+  Pcg32 rng{3};
+  const auto pool = net::generate_flow_pool(100000, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.update(pool[i++ % pool.size()], 64, 1));
+  }
+}
+BENCHMARK(BM_FlowTableUpdate);
+
+void BM_AesBlock(benchmark::State& state) {
+  const std::array<std::uint8_t, 16> key{};
+  apps::Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  std::array<std::uint8_t, 16> block{};
+  for (auto _ : state) {
+    aes.encrypt_block(std::span<const std::uint8_t, 16>{block},
+                      std::span<std::uint8_t, 16>{block});
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_AesCtr1500(benchmark::State& state) {
+  const std::array<std::uint8_t, 16> key{};
+  const std::array<std::uint8_t, 12> nonce{};
+  apps::Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  std::vector<std::uint8_t> buf(1500);
+  for (auto _ : state) {
+    aes.ctr_xcrypt(buf, buf, std::span<const std::uint8_t, 12>{nonce});
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_AesCtr1500);
+
+void BM_RabinSample1500(benchmark::State& state) {
+  Pcg32 rng{4};
+  std::vector<std::uint8_t> buf(1500);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::Rabin::sample(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1500);
+}
+BENCHMARK(BM_RabinSample1500);
+
+void BM_Checksum(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)));
+  Pcg32 rng{5};
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::checksum_rfc1071(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(20)->Arg(1500);
+
+void BM_TupleHash(benchmark::State& state) {
+  Pcg32 rng{6};
+  const auto pool = net::generate_flow_pool(4096, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::FlowTable::hash_tuple(pool[i++ % pool.size()]));
+  }
+}
+BENCHMARK(BM_TupleHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

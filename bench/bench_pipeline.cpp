@@ -1,0 +1,137 @@
+// Section 2.2 ablation: parallel vs pipelined parallelization.
+//
+// Part 1 — a realistic IP chain run (a) entirely on one core and (b) split
+// across two cores with a Queue handoff. The paper: pipelining adds 10-15
+// extra cache misses per packet (descriptor passing, remote skb recycling)
+// and loses on throughput.
+//
+// Part 2 — the paper's contrived counter-example: a workload with >200
+// random accesses per packet into a structure twice the L3 size. Split
+// across the two sockets so each half-structure fits its socket's L3, the
+// pipeline wins; run monolithically, the structure thrashes a single L3.
+#include "base/strings.hpp"
+#include "click/parser.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace pp;
+using namespace pp::core;
+
+struct StageResult {
+  double pps = 0;
+  double refs_pp = 0;     // L3 refs (i.e., private-cache misses) per packet
+  double xcore_pp = 0;    // cross-core transfers per packet
+};
+
+StageResult run_config(const sim::MachineConfig& mcfg, const std::string& text,
+                       const std::vector<std::pair<std::string, int>>& bindings,
+                       double ms = 6.0) {
+  sim::Machine machine(mcfg);
+  click::Router router(machine, 0, 0, 1);
+  auto err = click::parse_config(text, default_registry(), router);
+  PP_CHECK(!err.has_value());
+  for (const auto& [name, core] : bindings) {
+    err = router.bind_driver(name, core);
+    PP_CHECK(!err.has_value());
+  }
+  err = router.initialize();
+  PP_CHECK(!err.has_value());
+  err = router.install_tasks();
+  PP_CHECK(!err.has_value());
+
+  const sim::Cycles warm = mcfg.ms_to_cycles(ms / 3.0);
+  machine.run_until(warm);
+  sim::Counters before;
+  for (int c = 0; c < machine.num_cores(); ++c) before += machine.core(c).counters();
+  const sim::Cycles t0 = machine.max_time();
+  machine.run_until(warm + mcfg.ms_to_cycles(ms));
+  sim::Counters after;
+  for (int c = 0; c < machine.num_cores(); ++c) after += machine.core(c).counters();
+  const sim::Counters d = after - before;
+  const double secs = static_cast<double>(machine.max_time() - t0) / mcfg.hz();
+
+  StageResult r;
+  r.pps = static_cast<double>(d.packets) / secs;
+  r.refs_pp = static_cast<double>(d.l3_refs) / static_cast<double>(d.packets);
+  r.xcore_pp = static_cast<double>(d.xcore_hits) / static_cast<double>(d.packets);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  bench::header("Section 2.2 ablation", "parallel vs pipelined parallelization", scale);
+  const WorkloadSizes z = WorkloadSizes::for_scale(scale);
+  sim::MachineConfig mcfg;
+
+  // --- Part 1: realistic IP chain -----------------------------------------
+  const std::string parallel = strformat(R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 11);
+    chk :: CheckIPHeader;
+    lkp :: RadixIPLookup(PREFIXES %llu, SEED 3);
+    ttl :: DecIPTTL;
+    out :: ToDevice;
+    src -> chk -> lkp -> ttl -> out;
+  )", static_cast<unsigned long long>(z.prefixes));
+  const std::string pipelined = strformat(R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 11);
+    chk :: CheckIPHeader;
+    q :: Queue(512);
+    uq :: Unqueue;
+    lkp :: RadixIPLookup(PREFIXES %llu, SEED 3);
+    ttl :: DecIPTTL;
+    out :: ToDevice;
+    src -> chk -> q -> uq -> lkp -> ttl -> out;
+  )", static_cast<unsigned long long>(z.prefixes));
+
+  const StageResult par = run_config(mcfg, parallel, {});
+  const StageResult pipe = run_config(mcfg, pipelined, {{"uq", 1}});
+
+  TextTable t({"configuration", "throughput (Mpps)", "L3 refs/packet (all cores)",
+               "cross-core transfers/packet"});
+  t.add_numeric_row("parallel (1 core)", {par.pps / 1e6, par.refs_pp, par.xcore_pp}, 2);
+  t.add_numeric_row("pipelined (2 cores)", {pipe.pps / 1e6, pipe.refs_pp, pipe.xcore_pp}, 2);
+  bench::print_table("IP chain, parallel vs pipelined:", t);
+  std::printf(
+      "extra shared-cache references per packet from pipelining: %.1f\n"
+      "(paper: pipelining costs 10-15 extra cache misses per packet)\n\n",
+      pipe.refs_pp - par.refs_pp);
+
+  // --- Part 2: the contrived pipeline-friendly workload -------------------
+  // >200 random accesses per packet over a 24MB structure (2 x L3).
+  const std::string mono = R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 11);
+    syn :: SynProcessor(READS 220, INSTR 100, TABLE_MB 24);
+    out :: ToDevice;
+    src -> syn -> out;
+  )";
+  // Split: each stage performs half the accesses over a 12MB half-structure;
+  // the second stage lives on the other socket (local to domain 1 via the
+  // stage's own allocation) so each half enjoys a whole L3.
+  const std::string split = R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 11);
+    syn1 :: SynProcessor(READS 110, INSTR 50, TABLE_MB 12);
+    q :: Queue(512);
+    uq :: Unqueue;
+    syn2 :: SynProcessor(READS 110, INSTR 50, TABLE_MB 12);
+    out :: ToDevice;
+    src -> syn1 -> q -> uq -> syn2 -> out;
+  )";
+
+  const StageResult m = run_config(mcfg, mono, {});
+  // Bind the second stage to the far socket. Its table is allocated in the
+  // router's domain (0) — place the consumer on socket 1 but note the data
+  // stays domain-0; the win comes from the private L3.
+  const StageResult s = run_config(mcfg, split, {{"uq", 6}});
+
+  TextTable t2({"configuration", "throughput (Mpps)", "L3 refs/packet"});
+  t2.add_numeric_row("parallel (1 core, 24MB table)", {m.pps / 1e6, m.refs_pp}, 3);
+  t2.add_numeric_row("pipelined (2 sockets, 12MB each)", {s.pps / 1e6, s.refs_pp}, 3);
+  bench::print_table("Contrived workload (>200 accesses, 2xL3 structure):", t2);
+  std::printf(
+      "paper: only this contrived shape favors pipelining; every realistic\n"
+      "workload prefers the parallel approach.\n");
+  return 0;
+}

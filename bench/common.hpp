@@ -1,0 +1,42 @@
+// Shared scaffolding for the figure/table benchmark binaries.
+//
+// Every bench prints the paper artifact it reproduces, runs at the scale
+// selected by REPRO_SCALE (quick | standard | full), and emits both an
+// aligned text table and a CSV block for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "base/env.hpp"
+#include "base/table.hpp"
+#include "core/placement.hpp"
+#include "core/predictor.hpp"
+#include "core/profiler.hpp"
+#include "core/sweep.hpp"
+#include "core/testbed.hpp"
+
+namespace pp::bench {
+
+inline void header(const char* artifact, const char* description, Scale scale) {
+  std::printf("%s", banner(std::string(artifact) + " — " + description).c_str());
+  std::printf("scale=%s (set REPRO_SCALE=quick|standard|full)\n\n", to_string(scale));
+  std::fflush(stdout);
+}
+
+inline void print_chart(const char* title, const SeriesChart& chart) {
+  std::printf("%s\n%s\nCSV:\n%s\n", title, chart.to_text().c_str(), chart.to_csv().c_str());
+  std::fflush(stdout);
+}
+
+inline void print_table(const char* title, const TextTable& table) {
+  std::printf("%s\n%s\nCSV:\n%s\n", title, table.to_text().c_str(), table.to_csv().c_str());
+  std::fflush(stdout);
+}
+
+/// Sweeps are the most expensive piece; at standard scale one seed per point
+/// keeps the full suite to minutes (determinism makes the variance tiny —
+/// the paper notes its 5-run variance was negligible too).
+inline int sweep_seeds(Scale scale) { return scale == Scale::kFull ? 3 : 1; }
+
+}  // namespace pp::bench

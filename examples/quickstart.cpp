@@ -1,0 +1,81 @@
+// Quickstart: build a packet-processing flow from a Click-style config,
+// run it solo on the simulated 12-core platform, and read its performance
+// counters — the basic workflow everything else builds on.
+//
+//   $ ./examples/quickstart
+//
+// See examples/middlebox_consolidation.cpp for a multi-tenant mix with
+// contention prediction, and examples/capacity_planning.cpp for using the
+// predictor to provision a box.
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "click/parser.hpp"
+#include "click/router.hpp"
+#include "core/profiler.hpp"
+#include "core/testbed.hpp"
+#include "core/workloads.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+  using namespace pp;
+
+  // --- 1. The low-level way: machine + router + config text. ------------
+  sim::MachineConfig mcfg;  // 2 sockets x 6 cores, Westmere-like (paper Fig 1)
+  sim::Machine machine(mcfg);
+
+  const char* config = R"(
+    // A standalone IP-forwarding flow: receive, validate, longest-prefix
+    // match against 64k routes, decrement TTL, transmit.
+    src    :: FromDevice(RANDOM, BYTES 64, SEED 42);
+    check  :: CheckIPHeader;
+    lookup :: RadixIPLookup(PREFIXES 64000, SEED 7);
+    ttl    :: DecIPTTL;
+    out    :: ToDevice;
+    src -> check -> lookup -> ttl -> out;
+  )";
+
+  click::Router router(machine, /*core=*/0, /*numa_domain=*/0, /*seed=*/1);
+  if (auto err = click::parse_config(config, core::default_registry(), router); err) {
+    std::fprintf(stderr, "config error: %s\n", err->c_str());
+    return 1;
+  }
+  if (auto err = router.initialize(); err) {
+    std::fprintf(stderr, "init error: %s\n", err->c_str());
+    return 1;
+  }
+  if (auto err = router.install_tasks(); err) {
+    std::fprintf(stderr, "task error: %s\n", err->c_str());
+    return 1;
+  }
+
+  // Warm up 1 ms of simulated time, then measure 4 ms.
+  machine.run_until(mcfg.ms_to_cycles(1.0));
+  const sim::Counters before = machine.core(0).counters();
+  const sim::Cycles t0 = machine.core(0).now();
+  machine.run_until(mcfg.ms_to_cycles(5.0));
+  const sim::Counters delta = machine.core(0).counters() - before;
+  const double secs = static_cast<double>(machine.core(0).now() - t0) / mcfg.hz();
+
+  std::printf("IP flow, solo on core 0 (%.1f ms simulated):\n", secs * 1e3);
+  std::printf("  throughput        %8.2f Mpps\n",
+              static_cast<double>(delta.packets) / secs / 1e6);
+  std::printf("  cycles/packet     %8.1f\n",
+              static_cast<double>(delta.cycles) / static_cast<double>(delta.packets));
+  std::printf("  CPI               %8.2f\n",
+              static_cast<double>(delta.cycles) / static_cast<double>(delta.instructions));
+  std::printf("  L3 refs/sec       %8.2f M\n", static_cast<double>(delta.l3_refs) / secs / 1e6);
+  std::printf("  L3 refs/packet    %8.2f\n",
+              static_cast<double>(delta.l3_refs) / static_cast<double>(delta.packets));
+  std::printf("  L3 misses/packet  %8.2f\n",
+              static_cast<double>(delta.l3_misses) / static_cast<double>(delta.packets));
+  std::printf("  L2 hits/packet    %8.2f\n",
+              static_cast<double>(delta.l2_hits) / static_cast<double>(delta.packets));
+
+  // --- 2. The high-level way: the Testbed used by all experiments. -------
+  core::Testbed tb(Scale::kQuick, /*seed=*/1);
+  core::SoloProfiler profiler(tb, /*seeds=*/1);
+  std::printf("\nSolo profiles of all five paper workloads (Table 1 format):\n\n%s\n",
+              profiler.table1().to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "apps/aes.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace pp::apps {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16};
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox() {
+  std::array<std::uint8_t, 256> inv{};
+  for (std::size_t i = 0; i < 256; ++i) inv[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox();
+
+constexpr std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((b & 1U) != 0) p ^= a;
+    a = xtime(a);
+    b >>= 1U;
+  }
+  return p;
+}
+
+using State = std::array<std::uint8_t, 16>;  // column-major, as in FIPS-197
+
+void add_round_key(State& s, const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] ^= rk[i];
+}
+
+void sub_bytes(State& s) {
+  for (auto& b : s) b = kSbox[b];
+}
+void inv_sub_bytes(State& s) {
+  for (auto& b : s) b = kInvSbox[b];
+}
+
+// Row r of the state is bytes {r, r+4, r+8, r+12}.
+void shift_rows(State& s) {
+  State t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * c)] = t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+    }
+  }
+}
+void inv_shift_rows(State& s) {
+  State t = s;
+  for (int r = 1; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] = t[static_cast<std::size_t>(r + 4 * c)];
+    }
+  }
+}
+
+void mix_columns(State& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = &s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(State& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = &s[static_cast<std::size_t>(4 * c)];
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09);
+    col[1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d);
+    col[2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b);
+    col[3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e);
+  }
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& Aes128::sbox() { return kSbox; }
+
+Aes128::Aes128(std::span<const std::uint8_t, kKeyBytes> key) {
+  std::copy(key.begin(), key.end(), round_keys_.begin());
+  std::uint8_t rcon = 0x01;
+  for (std::size_t i = kKeyBytes; i < round_keys_.size(); i += 4) {
+    std::uint8_t w[4];
+    std::copy_n(round_keys_.begin() + static_cast<std::ptrdiff_t>(i - 4), 4, w);
+    if (i % kKeyBytes == 0) {
+      // RotWord + SubWord + Rcon
+      const std::uint8_t t = w[0];
+      w[0] = static_cast<std::uint8_t>(kSbox[w[1]] ^ rcon);
+      w[1] = kSbox[w[2]];
+      w[2] = kSbox[w[3]];
+      w[3] = kSbox[t];
+      rcon = xtime(rcon);
+    }
+    for (std::size_t j = 0; j < 4; ++j) {
+      round_keys_[i + j] = static_cast<std::uint8_t>(round_keys_[i + j - kKeyBytes] ^ w[j]);
+    }
+  }
+}
+
+void Aes128::encrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                           std::span<std::uint8_t, kBlockBytes> out) const {
+  State s;
+  std::copy(in.begin(), in.end(), s.begin());
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round < kRounds; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 16 * kRounds);
+  std::copy(s.begin(), s.end(), out.begin());
+}
+
+void Aes128::decrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                           std::span<std::uint8_t, kBlockBytes> out) const {
+  State s;
+  std::copy(in.begin(), in.end(), s.begin());
+  add_round_key(s, round_keys_.data() + 16 * kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_keys_.data());
+  std::copy(s.begin(), s.end(), out.begin());
+}
+
+void Aes128::ctr_xcrypt(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                        std::span<const std::uint8_t, 12> nonce, std::uint32_t counter0) const {
+  PP_CHECK(out.size() >= in.size());
+  std::array<std::uint8_t, kBlockBytes> ctr{};
+  std::array<std::uint8_t, kBlockBytes> keystream{};
+  std::copy(nonce.begin(), nonce.end(), ctr.begin());
+  std::uint32_t counter = counter0;
+  for (std::size_t off = 0; off < in.size(); off += kBlockBytes) {
+    ctr[12] = static_cast<std::uint8_t>(counter >> 24);
+    ctr[13] = static_cast<std::uint8_t>(counter >> 16);
+    ctr[14] = static_cast<std::uint8_t>(counter >> 8);
+    ctr[15] = static_cast<std::uint8_t>(counter);
+    ++counter;
+    encrypt_block(std::span<const std::uint8_t, kBlockBytes>{ctr},
+                  std::span<std::uint8_t, kBlockBytes>{keystream});
+    const std::size_t n = std::min(kBlockBytes, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+  }
+}
+
+}  // namespace pp::apps

@@ -1,0 +1,51 @@
+// AES-128 (FIPS-197): key expansion, block encryption/decryption, and CTR
+// mode — the paper's VPN workload applies AES-128 to every packet
+// (Section 2.1, "a representative form of CPU-intensive packet processing").
+//
+// This is a real, test-vector-verified implementation (byte-oriented S-box /
+// ShiftRows / MixColumns). The simulated cost of encryption is charged by
+// the VPN element (instructions per byte plus S-box table touches); this
+// module is pure computation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pp::apps {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockBytes = 16;
+  static constexpr std::size_t kKeyBytes = 16;
+  static constexpr int kRounds = 10;
+
+  /// Expand the 128-bit key into the round-key schedule.
+  explicit Aes128(std::span<const std::uint8_t, kKeyBytes> key);
+
+  /// Encrypt/decrypt one 16-byte block (out may alias in).
+  void encrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                     std::span<std::uint8_t, kBlockBytes> out) const;
+  void decrypt_block(std::span<const std::uint8_t, kBlockBytes> in,
+                     std::span<std::uint8_t, kBlockBytes> out) const;
+
+  /// CTR mode over an arbitrary-length buffer (encrypt == decrypt).
+  /// `nonce` forms the upper 12 bytes of the counter block; the low 4 bytes
+  /// count blocks starting from `counter0`.
+  void ctr_xcrypt(std::span<const std::uint8_t> in, std::span<std::uint8_t> out,
+                  std::span<const std::uint8_t, 12> nonce, std::uint32_t counter0 = 0) const;
+
+  /// Round keys (exposed for the key-schedule test vectors).
+  [[nodiscard]] const std::array<std::uint8_t, kKeyBytes*(kRounds + 1)>& round_keys() const {
+    return round_keys_;
+  }
+
+  /// The forward S-box (the VPN element charges simulated table touches
+  /// against a region mirroring it).
+  [[nodiscard]] static const std::array<std::uint8_t, 256>& sbox();
+
+ private:
+  std::array<std::uint8_t, kKeyBytes*(kRounds + 1)> round_keys_{};
+};
+
+}  // namespace pp::apps

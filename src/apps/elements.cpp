@@ -1,0 +1,331 @@
+#include "apps/elements.hpp"
+
+#include "click/args.hpp"
+#include "net/byteorder.hpp"
+#include "net/checksum.hpp"
+#include "net/generators.hpp"
+#include "net/headers.hpp"
+
+namespace pp::apps {
+
+namespace {
+
+/// Extract match fields from a generated packet (Ethernet+IPv4+L4).
+[[nodiscard]] PacketFields fields_of(const net::PacketBuf& p) {
+  PacketFields f;
+  const auto l3 = p.l3();
+  f.src = net::load_be32(&l3[12]);
+  f.dst = net::load_be32(&l3[16]);
+  f.proto = l3[9];
+  if ((f.proto == net::kProtoTcp || f.proto == net::kProtoUdp) && l3.size() >= 24) {
+    const auto ports = net::decode_ports(l3.subspan(20));
+    f.sport = ports.src;
+    f.dport = ports.dst;
+  }
+  return f;
+}
+
+[[nodiscard]] net::FiveTuple tuple_of(const net::PacketBuf& p) {
+  const PacketFields f = fields_of(p);
+  return net::FiveTuple{f.src, f.dst, f.sport, f.dport, f.proto};
+}
+
+/// Payload span after the UDP/TCP header (zero-length if none).
+[[nodiscard]] std::span<std::uint8_t> payload_of(net::PacketBuf& p) {
+  auto l3 = p.l3();
+  if (l3.size() < 20) return {};
+  const std::uint8_t proto = l3[9];
+  const std::size_t l4_hdr =
+      proto == net::kProtoTcp ? net::kTcpMinHeaderBytes : net::kUdpHeaderBytes;
+  if (l3.size() < 20 + l4_hdr) return {};
+  return l3.subspan(20 + l4_hdr);
+}
+
+[[nodiscard]] std::uint64_t sim_ns(const sim::Core& core) {
+  return static_cast<std::uint64_t>(static_cast<double>(core.now()) /
+                                    core.config().ghz);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RadixIPLookup
+
+std::optional<std::string> RadixIPLookup::configure(const std::vector<std::string>& args,
+                                                    click::ElementEnv& env) {
+  click::Args a(args);
+  n_prefixes_ = a.get_u64("PREFIXES", n_prefixes_);
+  seed_ = a.get_u64("SEED", env.seed);
+  if (n_prefixes_ < 1 || n_prefixes_ > 2'000'000) a.error("PREFIXES out of range");
+  return a.finish();
+}
+
+std::optional<std::string> RadixIPLookup::initialize(click::ElementEnv& env) {
+  Pcg32 rng{seed_};
+  const auto table = net::generate_prefix_table(static_cast<std::size_t>(n_prefixes_), rng,
+                                                static_cast<std::uint16_t>(6));
+  for (const auto& e : table) trie_.insert(e.prefix, e.len, e.next_hop);
+  trie_.attach(env.machine->address_space(), env.numa_domain, trie_.node_count() + 1024);
+  return std::nullopt;
+}
+
+void RadixIPLookup::prewarm(click::Context& cx) { trie_.prewarm(cx.core); }
+
+void RadixIPLookup::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  const auto l3 = p->l3();
+  const std::uint32_t dst = net::load_be32(&l3[16]);
+  cx.core.compute(12);
+  const std::int32_t out_port = trie_.lookup_sim(cx.core, dst);
+  p->output_port = out_port < 0 ? std::uint16_t{0} : static_cast<std::uint16_t>(out_port);
+  output(cx, 0, p);
+}
+
+// --------------------------------------------------------------- FlowStatistics
+
+std::optional<std::string> FlowStatistics::configure(const std::vector<std::string>& args,
+                                                     click::ElementEnv& env) {
+  (void)env;
+  click::Args a(args);
+  buckets_ = a.get_u64("BUCKETS", buckets_);
+  if (buckets_ < 16 || (buckets_ & (buckets_ - 1)) != 0) {
+    a.error("BUCKETS must be a power of two >= 16");
+  }
+  return a.finish();
+}
+
+std::optional<std::string> FlowStatistics::initialize(click::ElementEnv& env) {
+  table_ = std::make_unique<FlowTable>(static_cast<std::size_t>(buckets_));
+  table_->attach(env.machine->address_space(), env.numa_domain);
+  return std::nullopt;
+}
+
+void FlowStatistics::prewarm(click::Context& cx) { table_->prewarm(cx.core); }
+
+void FlowStatistics::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  const net::FiveTuple t = tuple_of(*p);
+  if (!table_->update_sim(cx.core, t, p->len, sim_ns(cx.core))) ++full_events_;
+  output(cx, 0, p);
+}
+
+// ------------------------------------------------------------------ SeqFirewall
+
+std::optional<std::string> SeqFirewall::configure(const std::vector<std::string>& args,
+                                                  click::ElementEnv& env) {
+  click::Args a(args);
+  n_rules_ = a.get_u64("RULES", n_rules_);
+  seed_ = a.get_u64("SEED", env.seed);
+  if (n_rules_ < 1 || n_rules_ > 1'000'000) a.error("RULES out of range");
+  return a.finish();
+}
+
+std::optional<std::string> SeqFirewall::initialize(click::ElementEnv& env) {
+  Pcg32 rng{seed_};
+  rules_ = std::make_unique<RuleSet>(net::generate_rules(static_cast<std::size_t>(n_rules_), rng));
+  rules_->attach(env.machine->address_space(), env.numa_domain);
+  return std::nullopt;
+}
+
+void SeqFirewall::prewarm(click::Context& cx) { rules_->prewarm(cx.core); }
+
+void SeqFirewall::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  const PacketFields f = fields_of(*p);
+  const std::int32_t idx = rules_->match_sim(cx.core, f);
+  if (idx >= 0) {
+    ++matched_;
+    cx.core.count_drop();
+    if (output_connected(1)) {
+      output(cx, 1, p);
+    } else {
+      net::recycle(cx.core, p);
+    }
+    return;
+  }
+  output(cx, 0, p);
+}
+
+// --------------------------------------------------------------- RedundancyElim
+
+std::optional<std::string> RedundancyElim::configure(const std::vector<std::string>& args,
+                                                     click::ElementEnv& env) {
+  (void)env;
+  click::Args a(args);
+  store_mb_ = a.get_u64("STORE_MB", store_mb_);
+  table_slots_ = a.get_u64("TABLE_SLOTS", table_slots_);
+  rewrite_ = a.get_bool("REWRITE", rewrite_);
+  if (store_mb_ < 1 || store_mb_ > 2048) a.error("STORE_MB out of range [1, 2048]");
+  if (table_slots_ < 16 || (table_slots_ & (table_slots_ - 1)) != 0) {
+    a.error("TABLE_SLOTS must be a power of two >= 16");
+  }
+  return a.finish();
+}
+
+std::optional<std::string> RedundancyElim::initialize(click::ElementEnv& env) {
+  store_ = std::make_unique<PacketStore>(static_cast<std::size_t>(store_mb_) << 20);
+  table_ = std::make_unique<FingerprintTable>(static_cast<std::size_t>(table_slots_));
+  store_->attach(env.machine->address_space(), env.numa_domain);
+  table_->attach(env.machine->address_space(), env.numa_domain);
+  encoder_ = std::make_unique<ReEncoder>(*store_, *table_);
+  return std::nullopt;
+}
+
+void RedundancyElim::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  auto payload = payload_of(*p);
+  if (payload.size() < Rabin::kWindow) {
+    output(cx, 0, p);
+    return;
+  }
+  const std::vector<std::uint8_t> encoded = encoder_->encode(payload, &cx.core);
+  if (rewrite_ && encoded.size() < payload.size()) {
+    // Shrink the packet on the wire: rewrite payload, patch lengths and the
+    // IP checksum (the far end reverses this with its mirrored store).
+    std::copy(encoded.begin(), encoded.end(), payload.begin());
+    const std::uint32_t delta = static_cast<std::uint32_t>(payload.size() - encoded.size());
+    p->len -= delta;
+    auto l3 = p->l3();
+    net::Ipv4Fields ip = net::decode_ipv4(l3);
+    ip.total_length = static_cast<std::uint16_t>(ip.total_length - delta);
+    net::encode_ipv4(ip, l3);
+    if (ip.protocol == net::kProtoUdp) {
+      net::store_be16(&l3[24], static_cast<std::uint16_t>(net::load_be16(&l3[24]) - delta));
+    }
+    cx.core.compute(60);
+    cx.core.store(p->sim_addr(p->l3_offset));
+  }
+  output(cx, 0, p);
+}
+
+// ------------------------------------------------------------------- VpnEncrypt
+
+std::optional<std::string> VpnEncrypt::configure(const std::vector<std::string>& args,
+                                                 click::ElementEnv& env) {
+  (void)env;
+  click::Args a(args);
+  instr_per_byte_ = a.get_u64("INSTR_PER_BYTE", instr_per_byte_);
+  if (instr_per_byte_ < 1 || instr_per_byte_ > 1000) a.error("INSTR_PER_BYTE out of range");
+  return a.finish();
+}
+
+std::optional<std::string> VpnEncrypt::initialize(click::ElementEnv& env) {
+  std::array<std::uint8_t, Aes128::kKeyBytes> key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(env.rng.next() & 0xffU);
+  for (auto& b : nonce_) b = static_cast<std::uint8_t>(env.rng.next() & 0xffU);
+  aes_ = std::make_unique<Aes128>(std::span<const std::uint8_t, Aes128::kKeyBytes>{key});
+  // 4 KB of lookup tables (Te-table footprint), resident in the cache sim.
+  tables_ = sim::Region::make(env.machine->address_space(), env.numa_domain, sim::kLineBytes,
+                              4096 / sim::kLineBytes);
+  return std::nullopt;
+}
+
+void VpnEncrypt::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  auto payload = payload_of(*p);
+  if (!payload.empty()) {
+    aes_->ctr_xcrypt(payload, payload, std::span<const std::uint8_t, 12>{nonce_}, counter_);
+    const std::size_t blocks = (payload.size() + Aes128::kBlockBytes - 1) / Aes128::kBlockBytes;
+    counter_ += static_cast<std::uint32_t>(blocks);
+    // Cost model: software AES ALU work plus table residency + payload I/O.
+    cx.core.compute(instr_per_byte_ * payload.size());
+    for (std::size_t b = 0; b < blocks; ++b) {
+      cx.core.load(tables_.at(table_cursor_), /*dependent=*/false);
+      table_cursor_ = (table_cursor_ + 1) % tables_.count();
+    }
+    cx.core.stream(p->sim_addr(static_cast<std::size_t>(payload.data() - p->bytes.data())),
+                   payload.size(), sim::AccessType::kWrite);
+  }
+  output(cx, 0, p);
+}
+
+// ----------------------------------------------------------------- SynProcessor
+
+std::optional<std::string> SynProcessor::configure(const std::vector<std::string>& args,
+                                                   click::ElementEnv& env) {
+  (void)env;
+  click::Args a(args);
+  reads_ = a.get_u64("READS", reads_);
+  instr_ = a.get_u64("INSTR", instr_);
+  alt_reads_ = a.get_u64("ALT_READS", alt_reads_);
+  alt_instr_ = a.get_u64("ALT_INSTR", alt_instr_);
+  trig_off_ = static_cast<std::int64_t>(a.get_u64("TRIG_OFF", 0));
+  if (!a.has("TRIG_OFF")) trig_off_ = -1;
+  trig_val_ = a.get_u64("TRIG_VAL", 0xEE);
+  trig_after_ = a.get_u64("TRIG_AFTER", 0);
+  table_mb_ = a.get_u64("TABLE_MB", table_mb_);
+  if (table_mb_ < 1 || table_mb_ > 256) a.error("TABLE_MB out of range [1, 256]");
+  return a.finish();
+}
+
+std::optional<std::string> SynProcessor::initialize(click::ElementEnv& env) {
+  table_ = sim::Region::make(env.machine->address_space(), env.numa_domain, sim::kLineBytes,
+                             (table_mb_ << 20) / sim::kLineBytes);
+  rng_ = Pcg32{env.seed};
+  return std::nullopt;
+}
+
+void SynProcessor::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  ++packets_seen_;
+  if (!triggered_ && trig_off_ >= 0 && static_cast<std::size_t>(trig_off_) < p->len &&
+      p->bytes[static_cast<std::size_t>(trig_off_)] == trig_val_) {
+    triggered_ = true;  // hidden aggressiveness unlocked by a crafted packet
+  }
+  if (!triggered_ && trig_after_ > 0 && packets_seen_ >= trig_after_) {
+    triggered_ = true;  // deterministic stand-in: the crafted packet is the Nth
+  }
+  const std::uint64_t reads = triggered_ ? alt_reads_ : reads_;
+  const std::uint64_t instr = triggered_ ? alt_instr_ : instr_;
+  if (instr > 0) cx.core.compute(instr);
+  for (std::uint64_t i = 0; i < reads; ++i) {
+    cx.core.load(table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))),
+                 /*dependent=*/false);
+  }
+  output(cx, 0, p);
+}
+
+// -------------------------------------------------------------------- SynSource
+
+std::optional<std::string> SynSource::configure(const std::vector<std::string>& args,
+                                                click::ElementEnv& env) {
+  (void)env;
+  click::Args a(args);
+  reads_ = a.get_u64("READS", reads_);
+  instr_ = a.get_u64("INSTR", instr_);
+  table_mb_ = a.get_u64("TABLE_MB", table_mb_);
+  if (reads_ < 1 || reads_ > 4096) a.error("READS out of range [1, 4096]");
+  if (table_mb_ < 1 || table_mb_ > 256) a.error("TABLE_MB out of range [1, 256]");
+  return a.finish();
+}
+
+std::optional<std::string> SynSource::initialize(click::ElementEnv& env) {
+  table_ = sim::Region::make(env.machine->address_space(), env.numa_domain, sim::kLineBytes,
+                             (table_mb_ << 20) / sim::kLineBytes);
+  rng_ = Pcg32{env.seed};
+  return std::nullopt;
+}
+
+void SynSource::prewarm(click::Context& cx) { sim::warm_region(cx.core, table_); }
+
+void SynSource::run_once(click::Context& cx) {
+  if (instr_ > 0) cx.core.compute(instr_);
+  for (std::uint64_t i = 0; i < reads_; ++i) {
+    cx.core.load(table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))),
+                 /*dependent=*/false);
+  }
+  cx.core.count_packet();  // one work unit ("batch") for throughput accounting
+}
+
+// ----------------------------------------------------------------- registration
+
+void register_app_elements(click::Registry& r) {
+  r.register_class("RadixIPLookup", [] { return std::make_unique<RadixIPLookup>(); });
+  r.register_class("FlowStatistics", [] { return std::make_unique<FlowStatistics>(); });
+  r.register_class("SeqFirewall", [] { return std::make_unique<SeqFirewall>(); });
+  r.register_class("RedundancyElim", [] { return std::make_unique<RedundancyElim>(); });
+  r.register_class("VpnEncrypt", [] { return std::make_unique<VpnEncrypt>(); });
+  r.register_class("SynProcessor", [] { return std::make_unique<SynProcessor>(); });
+  r.register_class("SynSource", [] { return std::make_unique<SynSource>(); });
+}
+
+}  // namespace pp::apps

@@ -1,0 +1,61 @@
+#include "apps/firewall.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::apps {
+
+bool rule_matches(const net::FirewallRule& r, const PacketFields& p) {
+  if (r.src_len > 0) {
+    const std::uint32_t mask =
+        r.src_len >= 32 ? ~0U : ~((1U << (32U - r.src_len)) - 1U);
+    if ((p.src & mask) != (r.src_prefix & mask)) return false;
+  }
+  if (r.dst_len > 0) {
+    const std::uint32_t mask =
+        r.dst_len >= 32 ? ~0U : ~((1U << (32U - r.dst_len)) - 1U);
+    if ((p.dst & mask) != (r.dst_prefix & mask)) return false;
+  }
+  if (p.sport < r.sport_min || p.sport > r.sport_max) return false;
+  if (p.dport < r.dport_min || p.dport > r.dport_max) return false;
+  if (r.proto != 0 && r.proto != p.proto) return false;
+  return true;
+}
+
+RuleSet::RuleSet(std::vector<net::FirewallRule> rules) : rules_(std::move(rules)) {
+  PP_CHECK(!rules_.empty());
+}
+
+void RuleSet::attach(sim::AddressSpace& as, int domain) {
+  PP_CHECK(!attached_);
+  region_ = sim::Region::make(as, domain, kRuleBytes, rules_.size());
+  attached_ = true;
+}
+
+void RuleSet::prewarm(sim::Core& core) const {
+  if (attached_) sim::warm_region(core, region_);
+}
+
+std::int32_t RuleSet::match(const PacketFields& pkt) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rule_matches(rules_[i], pkt)) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+std::int32_t RuleSet::match_sim(sim::Core& core, const PacketFields& pkt) const {
+  PP_CHECK(attached_);
+  sim::Addr last_line = ~sim::Addr{0};
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    // One touch per line (rules are packed two per line, scanned linearly).
+    const sim::Addr a = region_.at(i);
+    if (sim::line_of(a) != last_line) {
+      core.load(a, /*dependent=*/false);
+      last_line = sim::line_of(a);
+    }
+    core.compute(kInstrPerRule);
+    if (rule_matches(rules_[i], pkt)) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace pp::apps

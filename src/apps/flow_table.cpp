@@ -1,0 +1,114 @@
+#include "apps/flow_table.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::apps {
+
+FlowTable::FlowTable(std::size_t buckets) {
+  PP_CHECK(buckets >= 16 && (buckets & (buckets - 1)) == 0);
+  slots_.assign(buckets, Slot{});
+  max_used_ = buckets - buckets / 8;  // cap load factor at 87.5%
+}
+
+void FlowTable::attach(sim::AddressSpace& as, int domain) {
+  PP_CHECK(!attached_);
+  region_ = sim::Region::make(as, domain, kEntryBytes, slots_.size());
+  attached_ = true;
+}
+
+std::uint64_t FlowTable::hash_tuple(const net::FiveTuple& t) {
+  const std::uint64_t a = (static_cast<std::uint64_t>(t.src) << 32) | t.dst;
+  const std::uint64_t b = (static_cast<std::uint64_t>(t.sport) << 32) |
+                          (static_cast<std::uint64_t>(t.dport) << 16) | t.proto;
+  return hash_combine(a, b);
+}
+
+std::int64_t FlowTable::probe(const net::FiveTuple& t, sim::Core* core) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(hash_tuple(t)) & mask;
+  if (core != nullptr) core->compute(24);  // hash of the 5-tuple
+  for (std::size_t step = 0; step < slots_.size(); ++step) {
+    if (core != nullptr) core->load(region_.at(idx));  // dependent probe
+    const Slot& s = slots_[idx];
+    if (!s.used || s.rec.key == t) return static_cast<std::int64_t>(idx);
+    idx = (idx + 1) & mask;
+  }
+  return -1;
+}
+
+bool FlowTable::update_at(std::int64_t idx, const net::FiveTuple& t, std::uint32_t bytes,
+                          std::uint64_t now_ns) {
+  if (idx < 0) return false;
+  Slot& s = slots_[static_cast<std::size_t>(idx)];
+  if (!s.used) {
+    if (used_ >= max_used_) return false;
+    s.used = true;
+    s.rec = FlowRecord{t, 0, 0, now_ns, now_ns};
+    ++used_;
+  }
+  s.rec.packets += 1;
+  s.rec.bytes += bytes;
+  s.rec.last_ns = now_ns;
+  return true;
+}
+
+bool FlowTable::update(const net::FiveTuple& t, std::uint32_t bytes, std::uint64_t now_ns) {
+  return update_at(probe(t, nullptr), t, bytes, now_ns);
+}
+
+bool FlowTable::update_sim(sim::Core& core, const net::FiveTuple& t, std::uint32_t bytes,
+                           std::uint64_t now_ns) {
+  PP_CHECK(attached_);
+  const std::int64_t idx = probe(t, &core);
+  const bool ok = update_at(idx, t, bytes, now_ns);
+  if (idx >= 0) {
+    core.store(region_.at(static_cast<std::size_t>(idx)));  // count/timestamp update
+    core.compute(10);
+  }
+  return ok;
+}
+
+void FlowTable::prewarm(sim::Core& core) const {
+  if (attached_) sim::warm_region(core, region_);
+}
+
+std::optional<FlowRecord> FlowTable::find(const net::FiveTuple& t) const {
+  const std::int64_t idx = probe(t, nullptr);
+  if (idx < 0) return std::nullopt;
+  const Slot& s = slots_[static_cast<std::size_t>(idx)];
+  if (!s.used) return std::nullopt;
+  return s.rec;
+}
+
+std::size_t FlowTable::expire(std::uint64_t idle_cutoff_ns, std::uint64_t active_cutoff_ns,
+                              const std::function<void(const FlowRecord&)>& sink) {
+  // Deleting from a linear-probing table shifts clusters; the simplest
+  // correct approach (expiry runs out of band, not per packet) is to export
+  // matching records and rebuild the table from the survivors.
+  std::vector<FlowRecord> survivors;
+  survivors.reserve(used_);
+  std::size_t exported = 0;
+  for (Slot& s : slots_) {
+    if (!s.used) continue;
+    if (s.rec.last_ns <= idle_cutoff_ns || s.rec.first_ns <= active_cutoff_ns) {
+      sink(s.rec);
+      ++exported;
+    } else {
+      survivors.push_back(s.rec);
+    }
+    s.used = false;
+  }
+  used_ = 0;
+  for (const FlowRecord& r : survivors) {
+    const std::int64_t idx = probe(r.key, nullptr);
+    PP_CHECK(idx >= 0);
+    Slot& dst = slots_[static_cast<std::size_t>(idx)];
+    PP_CHECK(!dst.used);
+    dst.used = true;
+    dst.rec = r;
+    ++used_;
+  }
+  return exported;
+}
+
+}  // namespace pp::apps

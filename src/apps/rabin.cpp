@@ -1,0 +1,45 @@
+#include "apps/rabin.hpp"
+
+namespace pp::apps {
+
+namespace {
+/// kMul^n mod 2^64, by square-and-multiply.
+[[nodiscard]] constexpr std::uint64_t pow_mul(std::uint64_t base, std::uint64_t n) {
+  std::uint64_t result = 1;
+  while (n > 0) {
+    if ((n & 1U) != 0) result *= base;
+    base *= base;
+    n >>= 1U;
+  }
+  return result;
+}
+}  // namespace
+
+std::uint64_t Rabin::fingerprint(std::span<const std::uint8_t> data, std::size_t pos) {
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    fp = fp * kMul + data[pos + i] + 1;  // +1 so runs of zeros still mix
+  }
+  return fp;
+}
+
+std::vector<Rabin::Anchor> Rabin::sample(std::span<const std::uint8_t> data,
+                                         std::uint64_t mask) {
+  std::vector<Anchor> out;
+  if (data.size() < kWindow) return out;
+  constexpr std::uint64_t kMulW = pow_mul(kMul, kWindow);
+
+  std::uint64_t fp = fingerprint(data, 0);
+  if ((fp & mask) == 0) out.push_back(Anchor{0, fp});
+  for (std::size_t pos = 1; pos + kWindow <= data.size(); ++pos) {
+    // Roll: drop data[pos-1], append data[pos+kWindow-1].
+    fp = fp * kMul + data[pos + kWindow - 1] + 1 -
+         kMulW * (static_cast<std::uint64_t>(data[pos - 1]) + 1);
+    if ((fp & mask) == 0) {
+      out.push_back(Anchor{static_cast<std::uint32_t>(pos), fp});
+    }
+  }
+  return out;
+}
+
+}  // namespace pp::apps

@@ -1,0 +1,38 @@
+// Karp-Rabin rolling fingerprints over a fixed byte window, with low-bit
+// sampling — the content-addressing primitive of protocol-independent
+// redundancy elimination (Spring & Wetherall, SIGCOMM 2000), the paper's RE
+// workload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pp::apps {
+
+class Rabin {
+ public:
+  static constexpr std::size_t kWindow = 64;
+  /// Select ~1/32 of byte positions as anchors (fp low bits == 0).
+  static constexpr std::uint64_t kSampleMask = 0x1f;
+
+  struct Anchor {
+    std::uint32_t pos = 0;  // start of the window within the buffer
+    std::uint64_t fp = 0;
+  };
+
+  /// Fingerprint of data[pos, pos+kWindow) computed from scratch.
+  [[nodiscard]] static std::uint64_t fingerprint(std::span<const std::uint8_t> data,
+                                                 std::size_t pos);
+
+  /// All sampled anchors of `data`, computed with the rolling recurrence
+  /// (identical to recomputation — property-tested). Buffers shorter than
+  /// the window yield no anchors.
+  [[nodiscard]] static std::vector<Anchor> sample(std::span<const std::uint8_t> data,
+                                                  std::uint64_t mask = kSampleMask);
+
+ private:
+  static constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ULL;  // odd multiplier
+};
+
+}  // namespace pp::apps

@@ -1,0 +1,129 @@
+#include "apps/radix_trie.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::apps {
+
+RadixTrie::RadixTrie() {
+  nodes_.push_back(Node{});  // root
+}
+
+void RadixTrie::attach(sim::AddressSpace& as, int domain, std::size_t max_nodes) {
+  PP_CHECK(!attached_);
+  PP_CHECK(max_nodes >= nodes_.size());
+  region_ = sim::Region::make(as, domain, kNodeBytes, max_nodes);
+  attached_ = true;
+}
+
+std::int32_t RadixTrie::new_node() {
+  PP_CHECK(!attached_ || nodes_.size() < region_.count());
+  nodes_.push_back(Node{});
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void RadixTrie::insert(std::uint32_t prefix, std::uint8_t len, std::uint16_t port) {
+  PP_CHECK(len <= 32);
+  std::int32_t cur = 0;
+  for (std::uint8_t depth = 0; depth < len; ++depth) {
+    const int bit = static_cast<int>((prefix >> (31 - depth)) & 1U);
+    std::int32_t next = nodes_[static_cast<std::size_t>(cur)].child[bit];
+    if (next < 0) {
+      next = new_node();
+      nodes_[static_cast<std::size_t>(cur)].child[bit] = next;
+    }
+    cur = next;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(cur)];
+  if (n.port == kNoPort) ++routes_;
+  n.port = port;
+}
+
+bool RadixTrie::erase(std::uint32_t prefix, std::uint8_t len) {
+  PP_CHECK(len <= 32);
+  std::vector<std::int32_t> path;
+  path.reserve(len + 1U);
+  std::int32_t cur = 0;
+  path.push_back(cur);
+  for (std::uint8_t depth = 0; depth < len; ++depth) {
+    const int bit = static_cast<int>((prefix >> (31 - depth)) & 1U);
+    cur = nodes_[static_cast<std::size_t>(cur)].child[bit];
+    if (cur < 0) return false;
+    path.push_back(cur);
+  }
+  Node& n = nodes_[static_cast<std::size_t>(cur)];
+  if (n.port == kNoPort) return false;
+  n.port = kNoPort;
+  --routes_;
+  prune(path);
+  return true;
+}
+
+void RadixTrie::prune(const std::vector<std::int32_t>& path) {
+  // Unlink childless, route-less nodes bottom-up. Node storage is not
+  // reclaimed (arena semantics, same as the simulated region), only
+  // detached so lookups no longer walk dead branches.
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const std::int32_t idx = path[i];
+    Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.port != kNoPort || n.child[0] >= 0 || n.child[1] >= 0) break;
+    Node& parent = nodes_[static_cast<std::size_t>(path[i - 1])];
+    if (parent.child[0] == idx) parent.child[0] = -1;
+    if (parent.child[1] == idx) parent.child[1] = -1;
+  }
+}
+
+std::int32_t RadixTrie::lookup(std::uint32_t addr) const {
+  std::int32_t best = nodes_[0].port;
+  std::int32_t cur = 0;
+  for (int depth = 0; depth < 32; ++depth) {
+    const int bit = static_cast<int>((addr >> (31 - depth)) & 1U);
+    cur = nodes_[static_cast<std::size_t>(cur)].child[bit];
+    if (cur < 0) break;
+    if (nodes_[static_cast<std::size_t>(cur)].port != kNoPort) {
+      best = nodes_[static_cast<std::size_t>(cur)].port;
+    }
+  }
+  return best;
+}
+
+std::int32_t RadixTrie::lookup_sim(sim::Core& core, std::uint32_t addr) const {
+  PP_CHECK(attached_);
+  core.load(region_.at(0));
+  std::int32_t best = nodes_[0].port;
+  std::int32_t cur = 0;
+  for (int depth = 0; depth < 32; ++depth) {
+    const int bit = static_cast<int>((addr >> (31 - depth)) & 1U);
+    core.compute(3);  // extract bit, compare, branch
+    cur = nodes_[static_cast<std::size_t>(cur)].child[bit];
+    if (cur < 0) break;
+    core.load(region_.at(static_cast<std::size_t>(cur)));  // dependent walk
+    if (nodes_[static_cast<std::size_t>(cur)].port != kNoPort) {
+      best = nodes_[static_cast<std::size_t>(cur)].port;
+    }
+  }
+  return best;
+}
+
+void RadixTrie::prewarm(sim::Core& core) const {
+  if (!attached_ || nodes_.empty()) return;
+  core.stream(region_.base(), nodes_.size() * kNodeBytes, sim::AccessType::kRead);
+}
+
+void LinearLpm::insert(std::uint32_t prefix, std::uint8_t len, std::uint16_t port) {
+  entries_.push_back(Entry{prefix, len, port});
+}
+
+std::int32_t LinearLpm::lookup(std::uint32_t addr) const {
+  std::int32_t best = -1;
+  int best_len = -1;
+  for (const Entry& e : entries_) {
+    const std::uint32_t mask = e.len == 0 ? 0U : ~((1ULL << (32 - e.len)) - 1) & 0xffffffffU;
+    if ((addr & mask) == (e.prefix & mask) && e.len > best_len) {
+      best = e.port;
+      best_len = e.len;
+    }
+  }
+  return best;
+}
+
+}  // namespace pp::apps

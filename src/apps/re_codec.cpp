@@ -1,0 +1,128 @@
+#include "apps/re_codec.hpp"
+
+#include "base/check.hpp"
+#include "net/byteorder.hpp"
+
+namespace pp::apps {
+
+namespace {
+constexpr std::uint8_t kLiteral = 0x4C;
+constexpr std::uint8_t kMatch = 0x4D;
+constexpr std::uint64_t kInstrPerByte = 13;  // rolling hash + bookkeeping
+constexpr std::uint64_t kInstrPerProbe = 12;
+
+void emit_literal(std::vector<std::uint8_t>& out, std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t n = std::min<std::size_t>(bytes.size() - pos, 0xffff);
+    out.push_back(kLiteral);
+    out.push_back(static_cast<std::uint8_t>(n >> 8));
+    out.push_back(static_cast<std::uint8_t>(n & 0xff));
+    out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+               bytes.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+  }
+}
+
+void emit_match(std::vector<std::uint8_t>& out, std::uint64_t offset, std::size_t len) {
+  PP_CHECK(len <= 0xffff);
+  out.push_back(kMatch);
+  std::uint8_t buf[8];
+  net::store_be32(buf, static_cast<std::uint32_t>(offset >> 32));
+  net::store_be32(buf + 4, static_cast<std::uint32_t>(offset & 0xffffffffU));
+  out.insert(out.end(), buf, buf + 8);
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len & 0xff));
+}
+}  // namespace
+
+std::vector<std::uint8_t> ReEncoder::encode(std::span<const std::uint8_t> payload,
+                                            sim::Core* core) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 8);
+
+  // 1. Fingerprint the payload (rolling window over every byte).
+  const std::vector<Rabin::Anchor> anchors = Rabin::sample(payload);
+  if (core != nullptr) {
+    core->compute(kInstrPerByte * payload.size());
+    // The scan reads the payload once.
+    // (Payload lines were already touched by earlier elements; these are
+    // typically L1 hits.)
+  }
+  stats_.anchors += anchors.size();
+
+  // 2. Greedy left-to-right: at each anchor beyond the emitted frontier,
+  //    probe the table, verify against the store, extend, and emit.
+  std::size_t frontier = 0;  // payload bytes already emitted
+  for (const Rabin::Anchor& a : anchors) {
+    if (a.pos < frontier) continue;
+    if (core != nullptr) core->compute(kInstrPerProbe);
+    const auto hit = table_.get(a.fp, core);
+    if (!hit.has_value()) continue;
+    stats_.table_hits += 1;
+    const std::uint64_t cand = *hit;
+    const std::span<const std::uint8_t> rest = payload.subspan(a.pos);
+    if (!store_.matches(cand, rest.first(std::min(rest.size(), Rabin::kWindow)))) {
+      // Stale/colliding table entry.
+      if (core != nullptr) core->stream(store_.sim_addr(cand), Rabin::kWindow,
+                                        sim::AccessType::kRead);
+      continue;
+    }
+    const std::size_t len = store_.extend_match(cand, rest);
+    if (core != nullptr) {
+      core->stream(store_.sim_addr(cand), len, sim::AccessType::kRead);
+    }
+    if (len < kMinMatch) continue;
+    const std::size_t capped = std::min<std::size_t>(len, 0xffff);
+    emit_literal(out, payload.subspan(frontier, a.pos - frontier));
+    emit_match(out, cand, capped);
+    stats_.matches += 1;
+    stats_.matched_bytes += capped;
+    frontier = a.pos + capped;
+  }
+  emit_literal(out, payload.subspan(frontier));
+
+  // 3. Store the original payload and register its anchors.
+  const std::uint64_t base = store_.append(payload, core);
+  for (const Rabin::Anchor& a : anchors) {
+    table_.put(a.fp, base + a.pos, core);
+  }
+
+  stats_.payload_bytes += payload.size();
+  stats_.encoded_bytes += out.size();
+  return out;
+}
+
+bool ReDecoder::decode(std::span<const std::uint8_t> encoded, std::vector<std::uint8_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < encoded.size()) {
+    const std::uint8_t type = encoded[pos];
+    if (type == kLiteral) {
+      if (pos + 3 > encoded.size()) return false;
+      const std::size_t n = (static_cast<std::size_t>(encoded[pos + 1]) << 8) | encoded[pos + 2];
+      pos += 3;
+      if (pos + n > encoded.size()) return false;
+      out.insert(out.end(), encoded.begin() + static_cast<std::ptrdiff_t>(pos),
+                 encoded.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+    } else if (type == kMatch) {
+      if (pos + 11 > encoded.size()) return false;
+      const std::uint64_t offset =
+          (static_cast<std::uint64_t>(net::load_be32(&encoded[pos + 1])) << 32) |
+          net::load_be32(&encoded[pos + 5]);
+      const std::size_t n = (static_cast<std::size_t>(encoded[pos + 9]) << 8) | encoded[pos + 10];
+      pos += 11;
+      const std::size_t start = out.size();
+      out.resize(start + n);
+      if (!store_.read(offset, std::span<std::uint8_t>{out.data() + start, n})) return false;
+    } else {
+      return false;
+    }
+  }
+  // Keep the mirrored store in sync with the encoder's.
+  store_.append(out);
+  return true;
+}
+
+}  // namespace pp::apps

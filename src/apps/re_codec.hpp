@@ -1,0 +1,76 @@
+// RE encoder/decoder: replaces payload regions already present in the
+// packet store with (offset, length) references, and reconstructs the
+// original on the far end from a mirrored store — the full
+// Spring & Wetherall mechanism the paper's RE workload implements.
+//
+// Wire format of an encoded payload (all integers big-endian):
+//   [0x4C][u16 len][len literal bytes]            literal run
+//   [0x4D][u64 store_offset][u16 len]             match (content in store)
+//
+// Both sides append the ORIGINAL payload to their stores after
+// encoding/decoding, so absolute store offsets stay synchronized
+// (property-tested round-trip in tests/apps/re_codec_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/rabin.hpp"
+#include "apps/re_store.hpp"
+#include "sim/core.hpp"
+
+namespace pp::apps {
+
+struct ReStats {
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t matched_bytes = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t anchors = 0;
+  std::uint64_t table_hits = 0;
+
+  [[nodiscard]] double savings() const {
+    return payload_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(encoded_bytes) / static_cast<double>(payload_bytes);
+  }
+};
+
+class ReEncoder {
+ public:
+  /// Minimum verified match worth encoding (the 11-byte match header must be
+  /// amortized).
+  static constexpr std::size_t kMinMatch = Rabin::kWindow;
+
+  ReEncoder(PacketStore& store, FingerprintTable& table) : store_(store), table_(table) {}
+
+  /// Encode `payload`; appends the original payload to the store and
+  /// registers its anchors. Simulated costs (fingerprinting, probes, store
+  /// verification and insertion) are charged to `core` when non-null.
+  [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> payload,
+                                                 sim::Core* core = nullptr);
+
+  [[nodiscard]] const ReStats& stats() const { return stats_; }
+
+ private:
+  PacketStore& store_;
+  FingerprintTable& table_;
+  ReStats stats_;
+};
+
+class ReDecoder {
+ public:
+  explicit ReDecoder(PacketStore& store) : store_(store) {}
+
+  /// Decode an encoded payload; returns false on malformed input or a
+  /// dangling store reference. On success the reconstructed payload has been
+  /// appended to the decoder's store (keeping offsets in sync).
+  [[nodiscard]] bool decode(std::span<const std::uint8_t> encoded,
+                            std::vector<std::uint8_t>& out);
+
+ private:
+  PacketStore& store_;
+};
+
+}  // namespace pp::apps

@@ -1,0 +1,106 @@
+#include "apps/re_store.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::apps {
+
+PacketStore::PacketStore(std::size_t capacity_bytes) {
+  PP_CHECK(capacity_bytes >= 4096);
+  ring_.assign(capacity_bytes, 0);
+}
+
+void PacketStore::attach(sim::AddressSpace& as, int domain) {
+  PP_CHECK(!attached_);
+  region_ = sim::Region::make(as, domain, 1, ring_.size());
+  attached_ = true;
+}
+
+std::uint64_t PacketStore::append(std::span<const std::uint8_t> data, sim::Core* core) {
+  PP_CHECK(data.size() <= ring_.size());
+  const std::uint64_t offset = end_;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ring_[(offset + i) % ring_.size()] = data[i];
+  }
+  if (core != nullptr && attached_) {
+    // The ring write may wrap; charge each span separately.
+    const std::uint64_t start_mod = offset % ring_.size();
+    const std::size_t first = std::min(data.size(), ring_.size() - start_mod);
+    core->stream(region_.base() + start_mod, first, sim::AccessType::kWrite);
+    if (first < data.size()) {
+      core->stream(region_.base(), data.size() - first, sim::AccessType::kWrite);
+    }
+  }
+  end_ += data.size();
+  return offset;
+}
+
+bool PacketStore::contains(std::uint64_t offset, std::size_t len) const {
+  if (offset + len > end_) return false;                    // beyond newest
+  if (end_ - offset > ring_.size()) return false;           // overwritten
+  return len <= ring_.size();
+}
+
+bool PacketStore::read(std::uint64_t offset, std::span<std::uint8_t> out,
+                       sim::Core* core) const {
+  if (!contains(offset, out.size())) return false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = ring_[(offset + i) % ring_.size()];
+  }
+  if (core != nullptr && attached_) {
+    const std::uint64_t start_mod = offset % ring_.size();
+    const std::size_t first = std::min(out.size(), ring_.size() - start_mod);
+    core->stream(region_.base() + start_mod, first, sim::AccessType::kRead);
+    if (first < out.size()) {
+      core->stream(region_.base(), out.size() - first, sim::AccessType::kRead);
+    }
+  }
+  return true;
+}
+
+bool PacketStore::matches(std::uint64_t offset, std::span<const std::uint8_t> expect) const {
+  if (!contains(offset, expect.size())) return false;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (ring_[(offset + i) % ring_.size()] != expect[i]) return false;
+  }
+  return true;
+}
+
+std::size_t PacketStore::extend_match(std::uint64_t offset,
+                                      std::span<const std::uint8_t> data) const {
+  std::size_t n = 0;
+  while (n < data.size() && contains(offset, n + 1) &&
+         ring_[(offset + n) % ring_.size()] == data[n]) {
+    ++n;
+  }
+  return n;
+}
+
+FingerprintTable::FingerprintTable(std::size_t slots) {
+  PP_CHECK(slots >= 16 && (slots & (slots - 1)) == 0);
+  fps_.assign(slots, 0);
+  offsets_.assign(slots, 0);
+  used_.assign(slots, false);
+}
+
+void FingerprintTable::attach(sim::AddressSpace& as, int domain) {
+  PP_CHECK(!attached_);
+  region_ = sim::Region::make(as, domain, kSlotBytes, fps_.size());
+  attached_ = true;
+}
+
+void FingerprintTable::put(std::uint64_t fp, std::uint64_t offset, sim::Core* core) {
+  const std::size_t s = slot_of(fp);
+  fps_[s] = fp;
+  offsets_[s] = offset;
+  used_[s] = true;
+  if (core != nullptr && attached_) core->store(region_.at(s));
+}
+
+std::optional<std::uint64_t> FingerprintTable::get(std::uint64_t fp, sim::Core* core) const {
+  const std::size_t s = slot_of(fp);
+  if (core != nullptr && attached_) core->load(region_.at(s));
+  if (!used_[s] || fps_[s] != fp) return std::nullopt;
+  return offsets_[s];
+}
+
+}  // namespace pp::apps

@@ -1,0 +1,93 @@
+// The RE substrate: a circular packet store (a cache of recently observed
+// content) and a fingerprint table mapping content fingerprints to store
+// offsets — Section 2.1's RE description. The paper sizes the store to one
+// second of traffic and the table to >4M entries; we default to 16 MB and
+// 2M entries, which preserves the property that matters for contention
+// (structures far larger than the shared cache, uniformly accessed), and
+// both sizes are configurable up to and beyond the paper's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "base/hash.hpp"
+#include "sim/address_space.hpp"
+#include "sim/core.hpp"
+
+namespace pp::apps {
+
+/// Append-only ring of bytes addressed by a monotonically increasing
+/// absolute offset. Old content is overwritten; readers must check
+/// residency.
+class PacketStore {
+ public:
+  explicit PacketStore(std::size_t capacity_bytes);
+
+  void attach(sim::AddressSpace& as, int domain);
+
+  /// Append `data`, returning its absolute offset. If `core` is given, the
+  /// copy is charged as streaming writes to the store region.
+  std::uint64_t append(std::span<const std::uint8_t> data, sim::Core* core = nullptr);
+
+  /// True if [offset, offset+len) is still resident (not overwritten).
+  [[nodiscard]] bool contains(std::uint64_t offset, std::size_t len) const;
+
+  /// Copy resident bytes out; false if the range is not resident. If `core`
+  /// is given, the read is charged as streaming loads.
+  [[nodiscard]] bool read(std::uint64_t offset, std::span<std::uint8_t> out,
+                          sim::Core* core = nullptr) const;
+
+  /// Byte-compare `expect` against resident content (encoder verification).
+  [[nodiscard]] bool matches(std::uint64_t offset, std::span<const std::uint8_t> expect) const;
+
+  /// Extend a verified match forward: longest n <= max_len with
+  /// store[offset..offset+n) == data[0..n).
+  [[nodiscard]] std::size_t extend_match(std::uint64_t offset,
+                                         std::span<const std::uint8_t> data) const;
+
+  [[nodiscard]] std::uint64_t end_offset() const { return end_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] sim::Addr sim_addr(std::uint64_t offset) const {
+    return region_.base() + offset % ring_.size();
+  }
+
+ private:
+  std::vector<std::uint8_t> ring_;
+  std::uint64_t end_ = 0;  // absolute offset one past the newest byte
+  sim::Region region_;
+  bool attached_ = false;
+};
+
+/// Fixed-size direct-mapped fingerprint table (fp -> absolute store offset).
+/// Collisions overwrite, as in RE practice: the table is a cache, not an
+/// index; stale entries are filtered by store verification.
+class FingerprintTable {
+ public:
+  explicit FingerprintTable(std::size_t slots);  // power of two
+
+  void attach(sim::AddressSpace& as, int domain);
+
+  void put(std::uint64_t fp, std::uint64_t offset, sim::Core* core = nullptr);
+  [[nodiscard]] std::optional<std::uint64_t> get(std::uint64_t fp,
+                                                 sim::Core* core = nullptr) const;
+
+  [[nodiscard]] std::size_t slots() const { return fps_.size(); }
+  [[nodiscard]] std::size_t sim_bytes() const { return fps_.size() * kSlotBytes; }
+
+ private:
+  static constexpr std::size_t kSlotBytes = 16;  // fp + offset
+
+  [[nodiscard]] std::size_t slot_of(std::uint64_t fp) const {
+    return static_cast<std::size_t>(mix64(fp)) & (fps_.size() - 1);
+  }
+
+  std::vector<std::uint64_t> fps_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<bool> used_;
+  sim::Region region_;
+  bool attached_ = false;
+};
+
+}  // namespace pp::apps

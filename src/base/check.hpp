@@ -1,0 +1,27 @@
+// Internal invariant checking.
+//
+// PP_CHECK is always on (simulation correctness beats the last few percent of
+// simulator speed); PP_DCHECK compiles out in release builds and is used on
+// the per-memory-access hot path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pp::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "PP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace pp::detail
+
+#define PP_CHECK(expr)                                           \
+  do {                                                           \
+    if (!(expr)) ::pp::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PP_DCHECK(expr) ((void)0)
+#else
+#define PP_DCHECK(expr) PP_CHECK(expr)
+#endif

@@ -1,0 +1,40 @@
+#include "base/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pp {
+
+Scale scale_from_env() {
+  const char* v = std::getenv("REPRO_SCALE");
+  if (v == nullptr) return Scale::kStandard;
+  if (std::strcmp(v, "quick") == 0) return Scale::kQuick;
+  if (std::strcmp(v, "full") == 0) return Scale::kFull;
+  return Scale::kStandard;
+}
+
+const char* to_string(Scale s) {
+  switch (s) {
+    case Scale::kQuick:
+      return "quick";
+    case Scale::kStandard:
+      return "standard";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+int seeds_for(Scale s) {
+  switch (s) {
+    case Scale::kQuick:
+      return 1;
+    case Scale::kStandard:
+      return 3;
+    case Scale::kFull:
+      return 5;
+  }
+  return 1;
+}
+
+}  // namespace pp

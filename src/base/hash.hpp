@@ -1,0 +1,40 @@
+// Non-cryptographic hashing used by the flow table (NetFlow), the
+// redundancy-elimination fingerprint table, and internal containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pp {
+
+/// 64-bit finalizer (murmur3 fmix64). Good avalanche for integer keys.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33U;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33U;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33U;
+  return x;
+}
+
+/// FNV-1a over an arbitrary byte span. Used where incremental byte hashing
+/// is convenient (e.g. tests, config fingerprints).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                            std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash a 5-tuple-like pair of words; cheap and well distributed (each word
+/// is fully mixed before combining, so low-entropy inputs cannot collide
+/// through linear cancellation).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(mix64(a + 0x9e3779b97f4a7c15ULL) ^ (b + 0x94d049bb133111ebULL));
+}
+
+}  // namespace pp

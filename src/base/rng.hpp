@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the reproduction (traffic addresses, prefix
+// tables, payload content, synthetic access patterns) flows through Pcg32 so
+// that experiments are bit-reproducible across runs and platforms. The paper
+// averages 5 independent runs per data point; we mirror that by re-seeding.
+#pragma once
+
+#include <cstdint>
+
+namespace pp {
+
+/// splitmix64: used to expand a single user seed into stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// PCG-XSH-RR 32-bit generator (O'Neill). Small state, excellent statistical
+/// quality, and cheap enough for per-packet use in the traffic generators.
+class Pcg32 {
+ public:
+  constexpr Pcg32() noexcept { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+  explicit constexpr Pcg32(std::uint64_t initstate,
+                           std::uint64_t initseq = 0xda3e39cb94b95bdbULL) noexcept {
+    seed(initstate, initseq);
+  }
+
+  constexpr void seed(std::uint64_t initstate, std::uint64_t initseq) noexcept {
+    state_ = 0U;
+    inc_ = (initseq << 1U) | 1U;
+    (void)next();
+    state_ += initstate;
+    (void)next();
+  }
+
+  /// Uniform 32-bit value.
+  [[nodiscard]] constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] constexpr std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32U) | next();
+  }
+
+  /// Uniform value in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the slight modulo bias is irrelevant at our bounds (<2^31).
+  [[nodiscard]] constexpr std::uint32_t bounded(std::uint32_t bound) noexcept {
+    if (bound == 0) return 0;
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(next()) * bound) >> 32U);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Derive an independent child generator (distinct stream).
+  [[nodiscard]] constexpr Pcg32 split() noexcept {
+    const std::uint64_t a = next64();
+    const std::uint64_t b = next64();
+    return Pcg32{a, b};
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+};
+
+}  // namespace pp

@@ -1,0 +1,110 @@
+#include "base/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pp {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_args(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == delim && depth == 0)) {
+      const auto piece = trim(s.substr(start, i - start));
+      if (!piece.empty() || i != s.size() || start != 0) out.emplace_back(piece);
+      start = i + 1;
+    } else if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')') {
+      --depth;
+    }
+  }
+  // A completely empty argument list yields no args.
+  if (out.size() == 1 && out[0].empty()) out.clear();
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  // Allow k/M/G suffixes for config convenience (e.g. "128k" rules).
+  std::uint64_t mult = 1;
+  char last = s.back();
+  if (last == 'k' || last == 'K') mult = 1000;
+  if (last == 'M') mult = 1000 * 1000;
+  if (last == 'G') mult = 1000ULL * 1000 * 1000;
+  if (mult != 1) s.remove_suffix(1);
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  out = v * mult;
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_bool(std::string_view s, bool& out) {
+  s = trim(s);
+  if (s == "true" || s == "1" || s == "yes") {
+    out = true;
+    return true;
+  }
+  if (s == "false" || s == "0" || s == "no") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace pp

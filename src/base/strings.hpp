@@ -1,0 +1,32 @@
+// Small string utilities shared by the Click config parser and report code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pp {
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on a delimiter, respecting parenthesis nesting (used for Click-style
+/// argument lists such as "a, f(b, c), d").
+[[nodiscard]] std::vector<std::string> split_args(std::string_view s, char delim = ',');
+
+/// Case-sensitive prefix/suffix tests (std::string_view::starts_with exists in
+/// C++20; these add trimmed variants used by the parser).
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse helpers returning false on malformed input instead of throwing.
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out);
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+[[nodiscard]] bool parse_bool(std::string_view s, bool& out);
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace pp

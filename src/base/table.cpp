@@ -1,0 +1,118 @@
+#include "base/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+
+namespace pp {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PP_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  PP_CHECK(values.size() + 1 == header_.size());
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(strformat("%.*f", precision, v));
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_text() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Left-align first column (labels), right-align the rest (numbers).
+      if (c == 0) {
+        os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+SeriesChart::SeriesChart(std::string x_label, std::vector<std::string> series_names)
+    : x_label_(std::move(x_label)), names_(std::move(series_names)) {}
+
+void SeriesChart::add_point(double x, const std::vector<double>& ys) {
+  PP_CHECK(ys.size() == names_.size());
+  points_.emplace_back(x, ys);
+}
+
+std::string SeriesChart::to_text(int precision) const {
+  TextTable t([&] {
+    std::vector<std::string> h;
+    h.push_back(x_label_);
+    for (const auto& n : names_) h.push_back(n);
+    return h;
+  }());
+  for (const auto& [x, ys] : points_) {
+    std::vector<std::string> row;
+    row.push_back(strformat("%.*f", precision, x));
+    for (const double y : ys) {
+      row.push_back(std::isnan(y) ? std::string{} : strformat("%.*f", precision, y));
+    }
+    t.add_row(std::move(row));
+  }
+  return t.to_text();
+}
+
+std::string SeriesChart::to_csv(int precision) const {
+  std::ostringstream os;
+  os << x_label_;
+  for (const auto& n : names_) os << ',' << n;
+  os << '\n';
+  for (const auto& [x, ys] : points_) {
+    os << strformat("%.*f", precision, x);
+    for (const double y : ys) {
+      os << ',';
+      if (!std::isnan(y)) os << strformat("%.*f", precision, y);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  return "\n== " + title + " ==\n";
+}
+
+}  // namespace pp

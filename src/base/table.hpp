@@ -1,0 +1,55 @@
+// Plain-text table and CSV rendering for the benchmark harness.
+//
+// Every figure/table bench prints its data through these helpers so output is
+// uniform: an ASCII table mirroring the paper's layout plus an optional CSV
+// block that downstream plotting can consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pp {
+
+/// A rectangular table with a header row; renders column-aligned text or CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a numeric row (fixed precision).
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 2);
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// An (x, series...) line chart rendered as aligned columns; used for the
+/// sweep figures (Fig 4/5/6/7).
+class SeriesChart {
+ public:
+  SeriesChart(std::string x_label, std::vector<std::string> series_names);
+
+  /// Add one x point; NaN values render as blank (a series without a point).
+  void add_point(double x, const std::vector<double>& ys);
+
+  [[nodiscard]] std::string to_text(int precision = 2) const;
+  [[nodiscard]] std::string to_csv(int precision = 4) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+/// Render a banner like "== Figure 4(a): ... ==".
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace pp

@@ -1,0 +1,93 @@
+#include "click/args.hpp"
+
+#include <cctype>
+
+#include "base/strings.hpp"
+
+namespace pp::click {
+
+Args::Args(const std::vector<std::string>& raw) {
+  for (const auto& arg : raw) {
+    const std::string_view a = trim(arg);
+    if (a.empty()) continue;
+    // Keyword form: UPPERCASE word, whitespace, value.
+    std::size_t i = 0;
+    while (i < a.size() &&
+           (std::isupper(static_cast<unsigned char>(a[i])) != 0 || a[i] == '_')) {
+      ++i;
+    }
+    if (i > 0 && i < a.size() && std::isspace(static_cast<unsigned char>(a[i])) != 0) {
+      kvs_.push_back(KeyVal{std::string(a.substr(0, i)), std::string(trim(a.substr(i)))});
+    } else {
+      positionals_.emplace_back(a);
+    }
+  }
+}
+
+const Args::KeyVal* Args::find(const std::string& key) const {
+  for (const auto& kv : kvs_) {
+    if (kv.key == key) {
+      kv.used = true;
+      return &kv;
+    }
+  }
+  return nullptr;
+}
+
+bool Args::has(const std::string& key) const { return find(key) != nullptr; }
+
+std::uint64_t Args::get_u64(const std::string& key, std::uint64_t fallback) {
+  const KeyVal* kv = find(key);
+  if (kv == nullptr) return fallback;
+  std::uint64_t v = 0;
+  if (!parse_u64(kv->value, v)) {
+    errors_.push_back(key + ": expected integer, got '" + kv->value + "'");
+    return fallback;
+  }
+  return v;
+}
+
+double Args::get_double(const std::string& key, double fallback) {
+  const KeyVal* kv = find(key);
+  if (kv == nullptr) return fallback;
+  double v = 0;
+  if (!parse_double(kv->value, v)) {
+    errors_.push_back(key + ": expected number, got '" + kv->value + "'");
+    return fallback;
+  }
+  return v;
+}
+
+std::string Args::get_str(const std::string& key, const std::string& fallback) {
+  const KeyVal* kv = find(key);
+  return kv == nullptr ? fallback : kv->value;
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) {
+  const KeyVal* kv = find(key);
+  if (kv == nullptr) return fallback;
+  bool v = false;
+  if (!parse_bool(kv->value, v)) {
+    errors_.push_back(key + ": expected bool, got '" + kv->value + "'");
+    return fallback;
+  }
+  return v;
+}
+
+void Args::error(const std::string& msg) { errors_.push_back(msg); }
+
+std::optional<std::string> Args::finish() const {
+  std::vector<std::string> all = errors_;
+  for (const auto& kv : kvs_) {
+    if (!kv.used) all.push_back("unknown argument '" + kv.key + "'");
+  }
+  if (all.empty()) return std::nullopt;
+  std::string joined;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) joined += "; ";
+    joined += all[i];
+  }
+  return joined;
+}
+
+}  // namespace pp::click

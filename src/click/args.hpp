@@ -1,0 +1,51 @@
+// Configuration-argument parsing for elements.
+//
+// Convention (a simplified Click keyword style): each comma-separated
+// argument is either a positional value ("RANDOM") or an UPPERCASE keyword
+// followed by a value ("BYTES 64", "SEED 7"). Errors accumulate and are
+// returned once so an element reports all its problems together.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pp::click {
+
+class Args {
+ public:
+  explicit Args(const std::vector<std::string>& raw);
+
+  /// Positional (non-keyword) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positionals() const { return positionals_; }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; record an
+  /// error when present but malformed.
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback);
+  [[nodiscard]] double get_double(const std::string& key, double fallback);
+  [[nodiscard]] std::string get_str(const std::string& key, const std::string& fallback);
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback);
+
+  /// Record a custom error (elements use this for semantic checks).
+  void error(const std::string& msg);
+
+  /// Any accumulated errors, keys that were never consumed included.
+  [[nodiscard]] std::optional<std::string> finish() const;
+
+ private:
+  struct KeyVal {
+    std::string key;
+    std::string value;
+    mutable bool used = false;
+  };
+  [[nodiscard]] const KeyVal* find(const std::string& key) const;
+
+  std::vector<KeyVal> kvs_;
+  std::vector<std::string> positionals_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace pp::click

@@ -1,0 +1,32 @@
+#include "click/element.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::click {
+
+void Element::connect_output(int port, Element* dst, int dst_port) {
+  PP_CHECK(port >= 0 && port < n_outputs());
+  PP_CHECK(dst != nullptr);
+  PP_CHECK(dst_port >= 0 && dst_port < dst->n_inputs());
+  if (static_cast<std::size_t>(port) >= outputs_.size()) {
+    outputs_.resize(static_cast<std::size_t>(port) + 1);
+  }
+  outputs_[static_cast<std::size_t>(port)] = PortRef{dst, dst_port};
+}
+
+bool Element::output_connected(int port) const {
+  return port >= 0 && static_cast<std::size_t>(port) < outputs_.size() &&
+         outputs_[static_cast<std::size_t>(port)].element != nullptr;
+}
+
+void Element::output(Context& cx, int port, net::PacketBuf* p) {
+  if (!output_connected(port)) {
+    cx.core.counters().drops += 1;
+    net::recycle(cx.core, p);
+    return;
+  }
+  const PortRef& ref = outputs_[static_cast<std::size_t>(port)];
+  ref.element->push(cx, ref.port, p);
+}
+
+}  // namespace pp::click

@@ -1,0 +1,120 @@
+// The element framework: the Click programming model (Kohler et al., TOCS
+// 2000) reduced to what the paper's platform exercises — push processing,
+// named/configured elements composed into per-flow chains, driver elements
+// scheduled as tasks on cores.
+//
+// Every element owns a performance-counter domain; while a packet is inside
+// an element, all simulated work is attributed to that element (this is how
+// Figure 7's per-function conversion rates are measured).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/packet.hpp"
+#include "sim/core.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::click {
+
+class Router;
+
+/// Per-invocation execution context. Carries the core the current task runs
+/// on; everything else is reachable through it.
+struct Context {
+  sim::Core& core;
+};
+
+/// Environment handed to elements during configure/initialize: where to
+/// allocate simulated data (NUMA domain), which core the flow runs on, and a
+/// deterministic per-element RNG.
+struct ElementEnv {
+  sim::Machine* machine = nullptr;
+  Router* router = nullptr;
+  int numa_domain = 0;
+  int core = 0;
+  std::uint64_t seed = 1;
+  Pcg32 rng{1};
+};
+
+class Element {
+ public:
+  Element() = default;
+  virtual ~Element() = default;
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  [[nodiscard]] virtual std::string_view class_name() const = 0;
+  [[nodiscard]] virtual int n_inputs() const { return 1; }
+  [[nodiscard]] virtual int n_outputs() const { return 1; }
+
+  /// Parse configuration arguments. Returns an error message on failure.
+  [[nodiscard]] virtual std::optional<std::string> configure(
+      const std::vector<std::string>& args, ElementEnv& env) {
+    (void)env;
+    if (!args.empty()) return std::string{"takes no arguments"};
+    return std::nullopt;
+  }
+
+  /// Allocate state (simulated memory etc.). Runs after all elements are
+  /// configured and connected.
+  [[nodiscard]] virtual std::optional<std::string> initialize(ElementEnv& env) {
+    (void)env;
+    return std::nullopt;
+  }
+
+  /// Touch long-lived state once so measurements start from a warm cache,
+  /// matching the paper's steady-state methodology (it measures a system
+  /// that has been forwarding for a while). Default: nothing to warm.
+  virtual void prewarm(Context& cx) { (void)cx; }
+
+  /// Deliver a packet to input `port`. Attribution switches to this element
+  /// for the duration of its own processing (downstream elements switch it
+  /// back and forth as the packet moves).
+  void push(Context& cx, int port, net::PacketBuf* p) {
+    sim::AttributionScope scope(cx.core, &stats_);
+    do_push(cx, port, p);
+  }
+
+  void connect_output(int port, Element* dst, int dst_port);
+  [[nodiscard]] bool output_connected(int port) const;
+
+  [[nodiscard]] sim::Counters& stats() { return stats_; }
+  [[nodiscard]] const sim::Counters& stats() const { return stats_; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ protected:
+  virtual void do_push(Context& cx, int port, net::PacketBuf* p) = 0;
+
+  /// Forward a packet out of `port`. An unconnected push output behaves as
+  /// Discard (the buffer returns to its pool) so partial graphs stay safe.
+  void output(Context& cx, int port, net::PacketBuf* p);
+
+  sim::Counters stats_;
+
+ private:
+  struct PortRef {
+    Element* element = nullptr;
+    int port = 0;
+  };
+  std::vector<PortRef> outputs_;
+  std::string name_;
+};
+
+/// Elements that generate work (FromDevice, Unqueue, SynSource) implement
+/// Driver; the Router schedules one task per driver on its bound core.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  /// Process one unit of work (one packet, one batch). Must advance time.
+  virtual void run_once(Context& cx) = 0;
+};
+
+}  // namespace pp::click

@@ -1,0 +1,77 @@
+// NIC-facing elements: FromDevice (receive + traffic generation) and
+// ToDevice (transmit + buffer recycling).
+//
+// The NIC model follows the paper's 82599 setup: packets are DMA'd into the
+// flow's buffer pool (invalidating any cached copy — the platform pre-dates
+// DDIO, so the first touch of packet data is a compulsory miss), descriptor
+// rings live in the flow's memory domain, and the traffic content itself
+// comes from a deterministic generator standing in for the testbed's packet
+// generators.
+#pragma once
+
+#include <memory>
+
+#include "click/element.hpp"
+#include "net/traffic.hpp"
+#include "sim/address_space.hpp"
+
+namespace pp::click {
+
+class FromDevice final : public Element, public Driver {
+ public:
+  [[nodiscard]] std::string_view class_name() const override { return "FromDevice"; }
+  [[nodiscard]] int n_inputs() const override { return 0; }
+
+  /// Args: positional source type RANDOM | FLOWPOOL | CONTENT, then
+  ///   BYTES n      packet size (default 64)
+  ///   SEED n       generator seed (default: per-element deterministic seed)
+  ///   POOL n       flow-pool size for FLOWPOOL (default 100k)
+  ///   RED x        redundancy fraction for CONTENT (default 0)
+  ///   BUFS n       buffer-pool depth (default 512)
+  [[nodiscard]] std::optional<std::string> configure(const std::vector<std::string>& args,
+                                                     ElementEnv& env) override;
+  [[nodiscard]] std::optional<std::string> initialize(ElementEnv& env) override;
+
+  /// Install a custom generator (overrides configuration args).
+  void set_source(std::unique_ptr<net::TrafficSource> src) { source_ = std::move(src); }
+
+  void run_once(Context& cx) override;
+
+  [[nodiscard]] net::BufferPool* pool() { return pool_.get(); }
+
+ protected:
+  void do_push(Context&, int, net::PacketBuf*) override {}  // no inputs
+
+ private:
+  std::unique_ptr<net::TrafficSource> source_;
+  std::unique_ptr<net::BufferPool> pool_;
+  std::string source_kind_ = "RANDOM";
+  std::uint32_t packet_bytes_ = 64;
+  std::uint64_t seed_ = 0;
+  std::uint64_t flow_pool_ = 100'000;
+  double redundancy_ = 0.0;
+  std::uint64_t pool_bufs_ = 2048;
+  std::uint16_t port_no_ = 0;
+
+  sim::Region desc_ring_;
+  std::size_t desc_next_ = 0;
+};
+
+class ToDevice final : public Element {
+ public:
+  [[nodiscard]] std::string_view class_name() const override { return "ToDevice"; }
+  [[nodiscard]] int n_outputs() const override { return 0; }
+
+  [[nodiscard]] std::optional<std::string> configure(const std::vector<std::string>& args,
+                                                     ElementEnv& env) override;
+  [[nodiscard]] std::optional<std::string> initialize(ElementEnv& env) override;
+
+ protected:
+  void do_push(Context& cx, int port, net::PacketBuf* p) override;
+
+ private:
+  sim::Region desc_ring_;
+  std::size_t desc_next_ = 0;
+};
+
+}  // namespace pp::click

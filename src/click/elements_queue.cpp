@@ -1,0 +1,96 @@
+#include "click/elements_queue.hpp"
+
+#include "base/strings.hpp"
+#include "click/args.hpp"
+#include "click/router.hpp"
+
+namespace pp::click {
+
+std::optional<std::string> Queue::configure(const std::vector<std::string>& args,
+                                            ElementEnv& env) {
+  (void)env;
+  Args a(args);
+  if (a.positionals().size() == 1) {
+    std::uint64_t cap = 0;
+    if (!parse_u64(a.positionals()[0], cap) || cap < 2 || cap > 65536) {
+      a.error("capacity must be in [2, 65536]");
+    } else {
+      cap_arg_ = cap;
+    }
+  } else if (!a.positionals().empty()) {
+    a.error("expected a single capacity");
+  }
+  return a.finish();
+}
+
+std::optional<std::string> Queue::initialize(ElementEnv& env) {
+  ring_.assign(static_cast<std::size_t>(cap_arg_), nullptr);
+  auto& as = env.machine->address_space();
+  slots_ = sim::Region::make(as, env.numa_domain, 8, ring_.size());
+  head_line_ = as.alloc(sim::kLineBytes, env.numa_domain, sim::kLineBytes);
+  tail_line_ = as.alloc(sim::kLineBytes, env.numa_domain, sim::kLineBytes);
+  return std::nullopt;
+}
+
+void Queue::do_push(Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  sim::Core& core = cx.core;
+  core.load(tail_line_);   // own index
+  core.load(head_line_);   // check fullness — line owned by the consumer
+  core.compute(6);
+  if (count_ == ring_.size()) {
+    core.count_drop();
+    net::recycle(core, p);
+    return;
+  }
+  ring_[tail_] = p;
+  core.store(slots_.at(tail_));
+  tail_ = (tail_ + 1) % ring_.size();
+  ++count_;
+  core.store(tail_line_);
+}
+
+net::PacketBuf* Queue::dequeue(Context& cx) {
+  sim::Core& core = cx.core;
+  sim::AttributionScope scope(core, &stats_);
+  core.load(head_line_);  // own index
+  core.load(tail_line_);  // emptiness check — line owned by the producer
+  core.compute(6);
+  if (count_ == 0) return nullptr;
+  core.load(slots_.at(head_));
+  net::PacketBuf* p = ring_[head_];
+  ring_[head_] = nullptr;
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  core.store(head_line_);
+  return p;
+}
+
+std::optional<std::string> Unqueue::initialize(ElementEnv& env) {
+  Element* up = env.router->upstream_of(this, 0);
+  if (up == nullptr) return std::string{"input must be connected to exactly one Queue"};
+  source_ = dynamic_cast<Queue*>(up);
+  if (source_ == nullptr) {
+    return "input must come from a Queue, not " + std::string(up->class_name());
+  }
+  return std::nullopt;
+}
+
+void Unqueue::run_once(Context& cx) {
+  net::PacketBuf* p = source_->dequeue(cx);
+  if (p == nullptr) {
+    cx.core.stall(40);  // poll again shortly
+    return;
+  }
+  cx.core.compute(8);
+  output(cx, 0, p);
+}
+
+void Unqueue::do_push(Context& cx, int port, net::PacketBuf* p) {
+  // Packets pushed into an Unqueue pass straight through (it is a driver;
+  // its input is normally a Queue found via upstream discovery).
+  (void)port;
+  output(cx, 0, p);
+}
+
+}  // namespace pp::click

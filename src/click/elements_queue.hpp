@@ -1,0 +1,62 @@
+// Queue/Unqueue: the inter-core handoff used by pipelined configurations.
+//
+// The descriptor ring lives in simulated shared memory: the producer writes
+// slot entries and the tail index; the consumer reads them from another
+// core. The resulting cross-core line transfers and back-invalidations are
+// exactly the "passing socket-buffer descriptors ... between different
+// cores results in compulsory cache misses" overhead the paper charges to
+// the pipeline approach (Section 2.2).
+#pragma once
+
+#include <vector>
+
+#include "click/element.hpp"
+#include "sim/address_space.hpp"
+
+namespace pp::click {
+
+class Queue final : public Element {
+ public:
+  [[nodiscard]] std::string_view class_name() const override { return "Queue"; }
+  [[nodiscard]] std::optional<std::string> configure(const std::vector<std::string>& args,
+                                                     ElementEnv& env) override;
+  [[nodiscard]] std::optional<std::string> initialize(ElementEnv& env) override;
+
+  /// Consumer side; returns nullptr when empty. Charged to `cx.core`.
+  [[nodiscard]] net::PacketBuf* dequeue(Context& cx);
+
+  [[nodiscard]] std::size_t depth() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+ protected:
+  void do_push(Context& cx, int port, net::PacketBuf* p) override;
+
+ private:
+  std::vector<net::PacketBuf*> ring_;
+  std::size_t head_ = 0;  // consumer index
+  std::size_t tail_ = 0;  // producer index
+  std::size_t count_ = 0;
+  std::uint64_t cap_arg_ = 512;
+
+  sim::Region slots_;
+  sim::Addr head_line_ = 0;
+  sim::Addr tail_line_ = 0;
+};
+
+/// Driver that pulls from the Queue connected to its input and pushes
+/// downstream; bind it to the consumer core.
+class Unqueue final : public Element, public Driver {
+ public:
+  [[nodiscard]] std::string_view class_name() const override { return "Unqueue"; }
+  [[nodiscard]] std::optional<std::string> initialize(ElementEnv& env) override;
+
+  void run_once(Context& cx) override;
+
+ protected:
+  void do_push(Context& cx, int port, net::PacketBuf* p) override;
+
+ private:
+  Queue* source_ = nullptr;
+};
+
+}  // namespace pp::click

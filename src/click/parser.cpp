@@ -1,0 +1,233 @@
+#include "click/parser.hpp"
+
+#include <cctype>
+
+#include "base/strings.hpp"
+
+namespace pp::click {
+
+namespace {
+
+/// Remove // and /* */ comments, preserving newlines for line counting.
+std::string strip_comments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (i + 1 < text.size() && text[i] == '/' && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (i + 1 < text.size() && text[i] == '/' && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i = i + 2 <= text.size() ? i + 2 : text.size();
+    } else {
+      out.push_back(text[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(s[0])) != 0) return false;
+  for (const char c : s) {
+    if (!is_ident_char(c)) return false;
+  }
+  return true;
+}
+
+/// One endpoint of a connection: "[in] name_or_class(args) [out]".
+struct Endpoint {
+  int in_port = 0;
+  int out_port = 0;
+  std::string name;        // referenced element, or empty if inline class
+  std::string class_name;  // inline declaration
+  std::vector<std::string> args;
+};
+
+[[nodiscard]] std::optional<std::string> parse_port(std::string_view s, int& out) {
+  std::uint64_t v = 0;
+  if (!pp::parse_u64(s, v) || v > 255) return "bad port '" + std::string(s) + "'";
+  out = static_cast<int>(v);
+  return std::nullopt;
+}
+
+[[nodiscard]] std::optional<std::string> parse_endpoint(std::string_view tok, Endpoint& ep) {
+  tok = trim(tok);
+  // Leading [n] — input port.
+  if (!tok.empty() && tok.front() == '[') {
+    const auto close = tok.find(']');
+    if (close == std::string_view::npos) return std::string{"unterminated '['"};
+    if (auto err = parse_port(tok.substr(1, close - 1), ep.in_port); err) return err;
+    tok = trim(tok.substr(close + 1));
+  }
+  // Trailing [n] — output port.
+  if (!tok.empty() && tok.back() == ']') {
+    const auto open = tok.rfind('[');
+    if (open == std::string_view::npos) return std::string{"unterminated ']'"};
+    if (auto err = parse_port(tok.substr(open + 1, tok.size() - open - 2), ep.out_port);
+        err) {
+      return err;
+    }
+    tok = trim(tok.substr(0, open));
+  }
+  if (tok.empty()) return std::string{"empty endpoint"};
+  // Inline class instantiation: Class or Class(args).
+  if (const auto paren = tok.find('('); paren != std::string_view::npos) {
+    if (tok.back() != ')') return std::string{"malformed argument list"};
+    ep.class_name = std::string(trim(tok.substr(0, paren)));
+    ep.args = split_args(tok.substr(paren + 1, tok.size() - paren - 2));
+    if (!is_identifier(ep.class_name)) return "bad class name '" + ep.class_name + "'";
+    return std::nullopt;
+  }
+  if (!is_identifier(tok)) return "bad element name '" + std::string(tok) + "'";
+  ep.name = std::string(tok);
+  return std::nullopt;
+}
+
+/// Split a chain "a -> b -> c" on "->" at nesting depth 0.
+[[nodiscard]] std::vector<std::string> split_chain(std::string_view s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') --depth;
+    if (depth == 0 && s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 2;
+      ++i;
+    }
+  }
+  out.emplace_back(s.substr(start));
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> parse_config(std::string_view text, const Registry& registry,
+                                        Router& router) {
+  const std::string clean = strip_comments(text);
+
+  // Split into ';'-terminated statements, tracking line numbers.
+  struct Stmt {
+    std::string text;
+    int line;
+  };
+  std::vector<Stmt> stmts;
+  {
+    int line = 1;
+    int stmt_line = 1;
+    std::string cur;
+    int depth = 0;
+    for (const char c : clean) {
+      if (c == '\n') ++line;
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ';' && depth == 0) {
+        stmts.push_back(Stmt{cur, stmt_line});
+        cur.clear();
+        stmt_line = line;
+      } else {
+        if (cur.empty() && std::isspace(static_cast<unsigned char>(c)) != 0) {
+          stmt_line = line;
+          continue;
+        }
+        cur.push_back(c);
+      }
+    }
+    if (!trim(cur).empty()) {
+      stmts.push_back(Stmt{cur, stmt_line});
+    }
+  }
+
+  int anon_counter = 0;
+  auto fail = [](int line, const std::string& msg) -> std::optional<std::string> {
+    return "line " + std::to_string(line) + ": " + msg;
+  };
+
+  // Materialize an endpoint: returns the element name to connect, creating
+  // anonymous elements for inline classes.
+  auto materialize = [&](const Endpoint& ep, int line,
+                         std::string& out_name) -> std::optional<std::string> {
+    if (!ep.class_name.empty()) {
+      auto e = registry.create(ep.class_name);
+      if (e == nullptr) return fail(line, "unknown element class '" + ep.class_name + "'");
+      out_name = "_anon_" + ep.class_name + "_" + std::to_string(anon_counter++);
+      router.add(out_name, std::move(e), ep.args);
+      return std::nullopt;
+    }
+    if (router.find(ep.name) != nullptr) {
+      out_name = ep.name;
+      return std::nullopt;
+    }
+    // Bare identifier that is a known class: anonymous, no args.
+    if (registry.knows(ep.name)) {
+      auto e = registry.create(ep.name);
+      out_name = "_anon_" + ep.name + "_" + std::to_string(anon_counter++);
+      router.add(out_name, std::move(e), {});
+      return std::nullopt;
+    }
+    return fail(line, "unknown element '" + ep.name + "'");
+  };
+
+  for (const auto& [stext, line] : stmts) {
+    const std::string_view sv = trim(stext);
+    if (sv.empty()) continue;
+
+    if (const auto decl = sv.find("::"); decl != std::string_view::npos &&
+                                         sv.find("->") == std::string_view::npos) {
+      const std::string name{trim(sv.substr(0, decl))};
+      std::string_view rhs = trim(sv.substr(decl + 2));
+      if (!is_identifier(name)) return fail(line, "bad element name '" + name + "'");
+      if (router.find(name) != nullptr) return fail(line, "duplicate element '" + name + "'");
+      std::string cls;
+      std::vector<std::string> args;
+      if (const auto paren = rhs.find('('); paren != std::string_view::npos) {
+        if (rhs.back() != ')') return fail(line, "malformed argument list");
+        cls = std::string(trim(rhs.substr(0, paren)));
+        args = split_args(rhs.substr(paren + 1, rhs.size() - paren - 2));
+      } else {
+        cls = std::string(rhs);
+      }
+      auto e = registry.create(cls);
+      if (e == nullptr) return fail(line, "unknown element class '" + cls + "'");
+      router.add(name, std::move(e), std::move(args));
+      continue;
+    }
+
+    if (sv.find("->") != std::string_view::npos) {
+      const auto parts = split_chain(sv);
+      if (parts.size() < 2) return fail(line, "malformed connection");
+      std::string prev_name;
+      int prev_out = 0;
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        Endpoint ep;
+        if (auto err = parse_endpoint(parts[i], ep); err) return fail(line, *err);
+        std::string name;
+        if (auto err = materialize(ep, line, name); err) return err;
+        if (i > 0) {
+          if (auto err = router.connect(prev_name, prev_out, name, ep.in_port); err) {
+            return fail(line, *err);
+          }
+        }
+        prev_name = name;
+        prev_out = ep.out_port;
+      }
+      continue;
+    }
+
+    return fail(line, "unrecognized statement '" + std::string(sv) + "'");
+  }
+  return std::nullopt;
+}
+
+}  // namespace pp::click

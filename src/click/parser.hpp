@@ -1,0 +1,29 @@
+// Parser for a Click-style configuration language.
+//
+// Supported grammar (a practical subset of Click's):
+//
+//   // line comments and /* block comments */
+//   name :: ClassName(arg1, arg2);          // declaration
+//   a -> b -> c;                            // connection chain (ports 0)
+//   a [1] -> [2] b;                         // explicit output/input ports
+//   a -> Counter() -> b;                    // anonymous inline elements
+//
+// The parser materializes elements into a Router using a Registry for class
+// lookup. Errors carry line numbers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "click/registry.hpp"
+#include "click/router.hpp"
+
+namespace pp::click {
+
+/// Parse `text` into `router`. Returns an error message on failure; the
+/// router may be partially populated in that case and should be discarded.
+[[nodiscard]] std::optional<std::string> parse_config(std::string_view text,
+                                                      const Registry& registry, Router& router);
+
+}  // namespace pp::click

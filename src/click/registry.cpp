@@ -1,0 +1,36 @@
+#include "click/registry.hpp"
+
+namespace pp::click {
+
+void Registry::register_class(std::string name, Factory factory) {
+  for (auto& [n, f] : classes_) {
+    if (n == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  classes_.emplace_back(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Element> Registry::create(std::string_view name) const {
+  for (const auto& [n, f] : classes_) {
+    if (n == name) return f();
+  }
+  return nullptr;
+}
+
+bool Registry::knows(std::string_view name) const {
+  for (const auto& [n, f] : classes_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Registry::class_names() const {
+  std::vector<std::string> out;
+  out.reserve(classes_.size());
+  for (const auto& [n, f] : classes_) out.push_back(n);
+  return out;
+}
+
+}  // namespace pp::click

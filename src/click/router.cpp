@@ -1,0 +1,148 @@
+#include "click/router.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::click {
+
+namespace {
+/// Task adapter: runs a driver element with attribution to its counters.
+class DriverTask final : public sim::Task {
+ public:
+  DriverTask(Element* element, Driver* driver) : element_(element), driver_(driver) {}
+
+  void run(sim::Core& core) override {
+    Context cx{core};
+    sim::AttributionScope scope(core, &element_->stats());
+    driver_->run_once(cx);
+  }
+
+ private:
+  Element* element_;
+  Driver* driver_;
+};
+}  // namespace
+
+Router::Router(sim::Machine& machine, int core, int numa_domain, std::uint64_t seed) {
+  env_.machine = &machine;
+  env_.router = this;
+  env_.core = core;
+  env_.numa_domain = numa_domain;
+  env_.seed = seed;
+  env_.rng = Pcg32{seed, 0x9d2c5680cafef00dULL};
+}
+
+Router::~Router() { remove_tasks(); }
+
+Element& Router::add(std::string name, std::unique_ptr<Element> element,
+                     std::vector<std::string> args) {
+  PP_CHECK(element != nullptr);
+  PP_CHECK(find(name) == nullptr);
+  element->set_name(std::move(name));
+  elements_.push_back(std::move(element));
+  args_.push_back(std::move(args));
+  Element* e = elements_.back().get();
+  if (auto* d = dynamic_cast<Driver*>(e); d != nullptr) {
+    drivers_.push_back(DriverBinding{e, d, env_.core});
+  }
+  return *e;
+}
+
+std::optional<std::string> Router::connect(std::string_view from, int from_port,
+                                           std::string_view to, int to_port) {
+  Element* f = find(from);
+  Element* t = find(to);
+  if (f == nullptr) return "unknown element '" + std::string(from) + "'";
+  if (t == nullptr) return "unknown element '" + std::string(to) + "'";
+  if (from_port < 0 || from_port >= f->n_outputs()) {
+    return f->name() + ": no output port " + std::to_string(from_port);
+  }
+  if (to_port < 0 || to_port >= t->n_inputs()) {
+    return t->name() + ": no input port " + std::to_string(to_port);
+  }
+  f->connect_output(from_port, t, to_port);
+  edges_.push_back(Edge{f, from_port, t, to_port});
+  return std::nullopt;
+}
+
+std::optional<std::string> Router::bind_driver(std::string_view name, int core) {
+  Element* e = find(name);
+  if (e == nullptr) return "unknown element '" + std::string(name) + "'";
+  for (auto& b : drivers_) {
+    if (b.element == e) {
+      b.core = core;
+      return std::nullopt;
+    }
+  }
+  return e->name() + " is not a driver element";
+}
+
+std::optional<std::string> Router::initialize() {
+  PP_CHECK(!initialized_);
+  // Phase 1: configure (argument parsing, no allocation).
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    ElementEnv env = env_;
+    env.seed = splitmix64(env_.seed);
+    env.rng = Pcg32{env.seed};
+    if (auto err = elements_[i]->configure(args_[i], env); err.has_value()) {
+      return elements_[i]->name() + ": " + *err;
+    }
+  }
+  // Phase 2: initialize (simulated allocation, upstream discovery).
+  for (auto& e : elements_) {
+    ElementEnv env = env_;
+    env.seed = splitmix64(env_.seed);
+    env.rng = Pcg32{env.seed};
+    if (auto err = e->initialize(env); err.has_value()) {
+      return e->name() + ": " + *err;
+    }
+  }
+  initialized_ = true;
+  return std::nullopt;
+}
+
+std::optional<std::string> Router::install_tasks() {
+  PP_CHECK(initialized_);
+  if (drivers_.empty()) return std::string{"router has no driver elements"};
+  for (const auto& b : drivers_) {
+    if (b.core < 0 || b.core >= env_.machine->num_cores()) {
+      return b.element->name() + ": bound to invalid core " + std::to_string(b.core);
+    }
+    if (env_.machine->task(b.core) != nullptr) {
+      return b.element->name() + ": core " + std::to_string(b.core) + " already has a task";
+    }
+    tasks_.push_back(std::make_unique<DriverTask>(b.element, b.driver));
+    task_cores_.push_back(b.core);
+    env_.machine->set_task(b.core, tasks_.back().get());
+  }
+  return std::nullopt;
+}
+
+void Router::remove_tasks() {
+  for (std::size_t i = 0; i < task_cores_.size(); ++i) {
+    if (env_.machine->task(task_cores_[i]) == tasks_[i].get()) {
+      env_.machine->set_task(task_cores_[i], nullptr);
+    }
+  }
+  tasks_.clear();
+  task_cores_.clear();
+}
+
+Element* Router::find(std::string_view name) const {
+  for (const auto& e : elements_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+Element* Router::upstream_of(const Element* e, int in_port) const {
+  Element* found = nullptr;
+  for (const auto& edge : edges_) {
+    if (edge.to == e && edge.to_port == in_port) {
+      if (found != nullptr) return nullptr;  // ambiguous
+      found = edge.from;
+    }
+  }
+  return found;
+}
+
+}  // namespace pp::click

@@ -1,0 +1,90 @@
+// Router: owns a graph of configured elements, validates it, and schedules
+// its driver elements as tasks on simulated cores.
+//
+// One Router typically describes one packet-processing flow (the paper's
+// unit of scheduling: "all traffic arriving at one receive queue"), but a
+// single Router can also span multiple cores in the pipelined configuration
+// (drivers bound to different cores, connected through Queue elements).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "click/element.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::click {
+
+class Router {
+ public:
+  /// `core` is the default core for drivers; `numa_domain` is where element
+  /// state is allocated (normally the core's socket — the paper's NUMA-local
+  /// rule; the Figure 3 configurations override it).
+  Router(sim::Machine& machine, int core, int numa_domain, std::uint64_t seed);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Add an element with its configuration arguments. The name must be
+  /// unique within this router.
+  Element& add(std::string name, std::unique_ptr<Element> element,
+               std::vector<std::string> args = {});
+
+  /// Connect `from`'s output port to `to`'s input port.
+  [[nodiscard]] std::optional<std::string> connect(std::string_view from, int from_port,
+                                                   std::string_view to, int to_port);
+
+  /// Bind a driver element to a specific core (pipelined configurations).
+  [[nodiscard]] std::optional<std::string> bind_driver(std::string_view name, int core);
+
+  /// Configure and initialize all elements. Returns an error message
+  /// (prefixed with the element name) on failure.
+  [[nodiscard]] std::optional<std::string> initialize();
+
+  /// Create one task per driver element and install them on their cores.
+  /// Requires initialize() to have succeeded.
+  [[nodiscard]] std::optional<std::string> install_tasks();
+
+  /// Detach this router's tasks from the machine.
+  void remove_tasks();
+
+  [[nodiscard]] Element* find(std::string_view name) const;
+
+  /// The element feeding `e`'s input `port`, if exactly one is connected
+  /// (Unqueue uses this to locate its Queue).
+  [[nodiscard]] Element* upstream_of(const Element* e, int in_port) const;
+
+  [[nodiscard]] sim::Machine& machine() { return *env_.machine; }
+  [[nodiscard]] const ElementEnv& env() const { return env_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements() const {
+    return elements_;
+  }
+
+ private:
+  struct Edge {
+    Element* from;
+    int from_port;
+    Element* to;
+    int to_port;
+  };
+  struct DriverBinding {
+    Element* element;
+    Driver* driver;
+    int core;
+  };
+
+  ElementEnv env_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::vector<std::vector<std::string>> args_;  // parallel to elements_
+  std::vector<Edge> edges_;
+  std::vector<DriverBinding> drivers_;
+  std::vector<std::unique_ptr<sim::Task>> tasks_;
+  std::vector<int> task_cores_;
+  bool initialized_ = false;
+};
+
+}  // namespace pp::click

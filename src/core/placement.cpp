@@ -1,0 +1,93 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.hpp"
+
+namespace pp::core {
+
+PlacementEvaluator::PlacementEvaluator(SoloProfiler& solo) : solo_(solo) {}
+
+PlacementOutcome PlacementEvaluator::measure(const std::vector<FlowSpec>& flows,
+                                             const std::vector<int>& socket_of_flow) {
+  Testbed& tb = solo_.testbed();
+  const int per_socket = tb.machine_config().cores_per_socket;
+
+  std::vector<FlowMetrics> pooled;
+  for (int s = 0; s < solo_.seeds(); ++s) {
+    RunConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(s + 1) * 15485863;
+    cfg.warmup_ms = tb.default_warmup_ms();
+    cfg.measure_ms = tb.default_measure_ms();
+    cfg.flows = flows;
+    int next_core[2] = {0, per_socket};
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const int sock = socket_of_flow[i];
+      cfg.placement.push_back(FlowPlacement{next_core[sock]++, -1});
+    }
+    const std::vector<FlowMetrics> run = tb.run(cfg);
+    if (pooled.empty()) {
+      pooled = run;
+    } else {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        pooled[i].seconds += run[i].seconds;
+        pooled[i].delta += run[i].delta;
+      }
+    }
+  }
+
+  PlacementOutcome out;
+  out.socket_of_flow = socket_of_flow;
+  double sum = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double d = drop_pct(solo_.profile(flows[i].type), pooled[i]);
+    out.per_flow_drop.push_back(d);
+    sum += d;
+  }
+  out.avg_drop_pct = sum / static_cast<double>(flows.size());
+  return out;
+}
+
+PlacementStudy PlacementEvaluator::evaluate(const std::vector<FlowSpec>& flows) {
+  Testbed& tb = solo_.testbed();
+  const int cores = tb.machine_config().num_cores();
+  const int per_socket = tb.machine_config().cores_per_socket;
+  PP_CHECK(static_cast<int>(flows.size()) == cores);
+
+  // Enumerate subsets of size per_socket for socket 0; canonicalize by the
+  // (sorted) type multiset pair so symmetric placements run once.
+  std::set<std::vector<int>> seen;
+  PlacementStudy study;
+  std::vector<int> pick(flows.size(), 0);
+  std::fill(pick.begin(), pick.begin() + per_socket, 1);
+  std::sort(pick.begin(), pick.end());
+
+  do {
+    std::vector<int> key0;
+    std::vector<int> key1;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      (pick[i] != 0 ? key0 : key1).push_back(static_cast<int>(flows[i].type));
+    }
+    std::sort(key0.begin(), key0.end());
+    std::sort(key1.begin(), key1.end());
+    std::vector<int> key = std::min(key0, key1);
+    key.insert(key.end(), std::max(key0, key1).begin(), std::max(key0, key1).end());
+    if (!seen.insert(key).second) continue;
+
+    std::vector<int> socket_of_flow(flows.size());
+    for (std::size_t i = 0; i < flows.size(); ++i) socket_of_flow[i] = pick[i] != 0 ? 0 : 1;
+    const PlacementOutcome outcome = measure(flows, socket_of_flow);
+    ++study.placements_evaluated;
+    if (study.placements_evaluated == 1 || outcome.avg_drop_pct < study.best.avg_drop_pct) {
+      study.best = outcome;
+    }
+    if (study.placements_evaluated == 1 || outcome.avg_drop_pct > study.worst.avg_drop_pct) {
+      study.worst = outcome;
+    }
+  } while (std::next_permutation(pick.begin(), pick.end()));
+
+  return study;
+}
+
+}  // namespace pp::core

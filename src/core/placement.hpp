@@ -1,0 +1,42 @@
+// Contention-aware scheduling evaluation (Section 5, Figure 10): for a
+// 12-flow combination, enumerate the distinct ways of splitting the flows
+// across the two sockets, measure the average contention-induced drop under
+// each, and report the best and worst placements. The gap between them is
+// the maximum benefit contention-aware scheduling could deliver.
+#pragma once
+
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace pp::core {
+
+struct PlacementOutcome {
+  std::vector<int> socket_of_flow;    // 0 or 1 per flow
+  double avg_drop_pct = 0;            // mean per-flow drop vs solo
+  std::vector<double> per_flow_drop;  // parallel to flows
+};
+
+struct PlacementStudy {
+  PlacementOutcome best;
+  PlacementOutcome worst;
+  int placements_evaluated = 0;
+};
+
+class PlacementEvaluator {
+ public:
+  explicit PlacementEvaluator(SoloProfiler& solo);
+
+  /// `flows` must have exactly cores-many entries (12). Placements that are
+  /// equivalent up to permuting flows of the same type within a socket (and
+  /// swapping the sockets) are evaluated once.
+  [[nodiscard]] PlacementStudy evaluate(const std::vector<FlowSpec>& flows);
+
+ private:
+  [[nodiscard]] PlacementOutcome measure(const std::vector<FlowSpec>& flows,
+                                         const std::vector<int>& socket_of_flow);
+
+  SoloProfiler& solo_;
+};
+
+}  // namespace pp::core

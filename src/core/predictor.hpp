@@ -1,0 +1,43 @@
+// The paper's contention predictor (Section 4). Three steps, verbatim:
+//   1. measure each flow type's solo cache refs/sec (offline profiling);
+//   2. sweep each target type against SYN competitors to get its
+//      drop-vs-competing-refs curve;
+//   3. predict a target's drop in any mix as curve(sum of the competitors'
+//      solo refs/sec).
+// The "perfect knowledge" variant (Figure 8b) reads the curve at the
+// competitors' *measured* refs/sec in the actual mix, isolating the error
+// introduced by assuming competitors run at their solo rates.
+#pragma once
+
+#include <map>
+
+#include "core/sweep.hpp"
+
+namespace pp::core {
+
+class ContentionPredictor {
+ public:
+  ContentionPredictor(SoloProfiler& solo, SweepProfiler& sweep);
+
+  /// Run offline profiling for `t` (solo profile + SYN sweep, normal
+  /// NUMA-local placement). Idempotent.
+  void profile(FlowType t);
+
+  [[nodiscard]] double solo_refs_per_sec(FlowType t);
+  [[nodiscard]] const SweepCurve& curve(FlowType t);
+  [[nodiscard]] const FlowMetrics& solo_metrics(FlowType t);
+
+  /// Step 3: predicted drop (percent) for `target` co-running with
+  /// `competitors` (their solo refs/sec are summed).
+  [[nodiscard]] double predict(FlowType target, const std::vector<FlowType>& competitors);
+
+  /// Figure 8(b): prediction given the measured competing refs/sec.
+  [[nodiscard]] double predict_known(FlowType target, double measured_competing_refs);
+
+ private:
+  SoloProfiler& solo_;
+  SweepProfiler& sweep_;
+  std::map<FlowType, SweepResult> sweeps_;
+};
+
+}  // namespace pp::core

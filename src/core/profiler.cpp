@@ -1,0 +1,62 @@
+#include "core/profiler.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::core {
+
+FlowMetrics merge_metrics(const std::vector<FlowMetrics>& runs) {
+  PP_CHECK(!runs.empty());
+  FlowMetrics out = runs[0];
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const FlowMetrics& r = runs[i];
+    out.seconds += r.seconds;
+    out.delta += r.delta;
+    PP_CHECK(r.elements.size() == out.elements.size());
+    for (std::size_t e = 0; e < out.elements.size(); ++e) {
+      out.elements[e].delta += r.elements[e].delta;
+    }
+  }
+  return out;
+}
+
+double drop_pct(const FlowMetrics& solo, const FlowMetrics& measured) {
+  const double s = solo.pps();
+  const double c = measured.pps();
+  return s <= 0 ? 0.0 : (s - c) / s * 100.0;
+}
+
+SoloProfiler::SoloProfiler(Testbed& tb, int seeds) : tb_(tb), seeds_(seeds) {
+  PP_CHECK(seeds >= 1);
+}
+
+FlowMetrics SoloProfiler::profile_spec(const FlowSpec& spec) {
+  std::vector<FlowMetrics> runs;
+  runs.reserve(static_cast<std::size_t>(seeds_));
+  for (int s = 0; s < seeds_; ++s) {
+    RunConfig cfg = tb_.configure({spec}, static_cast<std::uint64_t>(s + 1) * 7919);
+    runs.push_back(tb_.run(cfg)[0]);
+  }
+  return merge_metrics(runs);
+}
+
+const FlowMetrics& SoloProfiler::profile(FlowType t) {
+  if (const auto it = cache_.find(t); it != cache_.end()) return it->second;
+  const FlowMetrics m = profile_spec(FlowSpec::of(t));
+  return cache_.emplace(t, m).first->second;
+}
+
+TextTable SoloProfiler::table1() {
+  TextTable t({"Flow", "cycles per instruction", "L3 refs/sec (M)", "L3 hits/sec (M)",
+               "cycles per packet", "L3 refs per packet", "L3 misses per packet",
+               "L2 hits per packet"});
+  for (const FlowType ft : kRealisticTypes) {
+    const FlowMetrics& m = profile(ft);
+    t.add_numeric_row(to_string(ft),
+                      {m.cpi(), m.refs_per_sec() / 1e6, m.hits_per_sec() / 1e6,
+                       m.cycles_per_packet(), m.refs_per_packet(), m.misses_per_packet(),
+                       m.l2_hits_per_packet()});
+  }
+  return t;
+}
+
+}  // namespace pp::core

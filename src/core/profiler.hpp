@@ -1,0 +1,46 @@
+// Solo profiling (Table 1): run each flow type alone and record the
+// characteristics the paper reports — cycles/instruction, L3 refs & hits per
+// second, cycles / L3 refs / L3 misses / L2 hits per packet.
+//
+// Profiles are cached per type and averaged over several seeds (the paper
+// averages 5 independent runs).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "base/table.hpp"
+#include "core/testbed.hpp"
+
+namespace pp::core {
+
+/// Sum metrics across repeated runs of the same flow (rates and per-packet
+/// values then derive from the pooled counters).
+[[nodiscard]] FlowMetrics merge_metrics(const std::vector<FlowMetrics>& runs);
+
+/// Relative throughput drop of `measured` against `solo`, in percent.
+[[nodiscard]] double drop_pct(const FlowMetrics& solo, const FlowMetrics& measured);
+
+class SoloProfiler {
+ public:
+  SoloProfiler(Testbed& tb, int seeds);
+
+  /// Cached solo profile of a flow type (realistic types and SYN_MAX).
+  [[nodiscard]] const FlowMetrics& profile(FlowType t);
+
+  /// Solo profile of an arbitrary spec (not cached).
+  [[nodiscard]] FlowMetrics profile_spec(const FlowSpec& spec);
+
+  /// Table 1 rows for the realistic types.
+  [[nodiscard]] TextTable table1();
+
+  [[nodiscard]] int seeds() const { return seeds_; }
+  [[nodiscard]] Testbed& testbed() { return tb_; }
+
+ private:
+  Testbed& tb_;
+  int seeds_;
+  std::map<FlowType, FlowMetrics> cache_;
+};
+
+}  // namespace pp::core

@@ -1,0 +1,118 @@
+// The experiment runner: builds a simulated machine, places flows on cores
+// and their data in NUMA domains, runs a warmup window (cache warm, pools
+// primed), then measures a fixed window and reports per-flow and per-element
+// counter deltas — the simulated equivalent of the paper's OProfile
+// methodology (Section 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/env.hpp"
+#include "click/router.hpp"
+#include "core/workloads.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::core {
+
+/// Where a flow runs and where its data lives. data_domain = -1 means
+/// NUMA-local (the paper's normal rule, Section 2.2); the Figure 3
+/// configurations override it to expose individual resources.
+struct FlowPlacement {
+  int core = 0;
+  int data_domain = -1;
+};
+
+struct RunConfig {
+  std::vector<FlowSpec> flows;
+  std::vector<FlowPlacement> placement;  // parallel to flows
+  double warmup_ms = 2.0;
+  double measure_ms = 8.0;
+  std::uint64_t seed = 1;
+
+  /// Convenience: one flow per core 0..n-1, all NUMA-local.
+  [[nodiscard]] static RunConfig simple(std::vector<FlowSpec> flows, std::uint64_t seed = 1);
+};
+
+struct ElementStat {
+  std::string name;
+  std::string cls;
+  sim::Counters delta;
+};
+
+struct FlowMetrics {
+  FlowType type = FlowType::kIp;
+  int core = 0;
+  double seconds = 0;  // measured wall time on that core (simulated)
+  sim::Counters delta;
+  std::vector<ElementStat> elements;  // includes the buffer pool ("skb_recycle")
+
+  [[nodiscard]] double pps() const { return static_cast<double>(delta.packets) / seconds; }
+  [[nodiscard]] double refs_per_sec() const {
+    return static_cast<double>(delta.l3_refs) / seconds;
+  }
+  [[nodiscard]] double hits_per_sec() const {
+    return static_cast<double>(delta.l3_hits()) / seconds;
+  }
+  [[nodiscard]] double misses_per_sec() const {
+    return static_cast<double>(delta.l3_misses) / seconds;
+  }
+  [[nodiscard]] double cpi() const {
+    return static_cast<double>(delta.cycles) / static_cast<double>(delta.instructions);
+  }
+  [[nodiscard]] double per_packet(std::uint64_t v) const {
+    return static_cast<double>(v) / static_cast<double>(delta.packets);
+  }
+  [[nodiscard]] double cycles_per_packet() const { return per_packet(delta.cycles); }
+  [[nodiscard]] double refs_per_packet() const { return per_packet(delta.l3_refs); }
+  [[nodiscard]] double misses_per_packet() const { return per_packet(delta.l3_misses); }
+  [[nodiscard]] double l2_hits_per_packet() const { return per_packet(delta.l2_hits); }
+};
+
+/// Live handles passed to window hooks (the aggressiveness governor uses
+/// these to read counters and adjust ControlShims mid-run).
+struct FlowHandle {
+  int index = 0;
+  int core = 0;
+  FlowType type = FlowType::kIp;
+  click::Router* router = nullptr;
+};
+
+using WindowHook = std::function<void(sim::Machine&, const std::vector<FlowHandle>&)>;
+
+class Testbed {
+ public:
+  explicit Testbed(Scale scale = scale_from_env(), std::uint64_t seed = 1);
+
+  [[nodiscard]] const WorkloadSizes& sizes() const { return sizes_; }
+  [[nodiscard]] WorkloadSizes& sizes() { return sizes_; }
+  [[nodiscard]] sim::MachineConfig& machine_config() { return mcfg_; }
+  [[nodiscard]] Scale scale() const { return scale_; }
+
+  /// Measurement windows appropriate for the scale.
+  [[nodiscard]] double default_warmup_ms() const;
+  [[nodiscard]] double default_measure_ms() const;
+  [[nodiscard]] RunConfig configure(std::vector<FlowSpec> flows, std::uint64_t seed = 1) const;
+
+  /// Run an experiment; metrics are returned in flow order.
+  [[nodiscard]] std::vector<FlowMetrics> run(const RunConfig& cfg);
+
+  /// Same, invoking `hook` every `window_ms` of simulated time during the
+  /// measurement window (after warmup).
+  [[nodiscard]] std::vector<FlowMetrics> run_with_windows(const RunConfig& cfg,
+                                                          double window_ms,
+                                                          const WindowHook& hook);
+
+  /// One flow alone on core 0 (the paper's "solo run").
+  [[nodiscard]] FlowMetrics run_solo(const FlowSpec& spec);
+
+ private:
+  Scale scale_;
+  std::uint64_t seed_;
+  WorkloadSizes sizes_;
+  sim::MachineConfig mcfg_;
+};
+
+}  // namespace pp::core

@@ -1,0 +1,36 @@
+#include "model/cache_model.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::model {
+
+double performance_drop(double hits_per_sec, double delta_sec, double kappa) {
+  PP_CHECK(hits_per_sec >= 0 && delta_sec >= 0);
+  PP_CHECK(kappa >= 0 && kappa <= 1);
+  const double x = delta_sec * kappa * hits_per_sec;
+  if (x <= 0) return 0.0;
+  return 1.0 / (1.0 + 1.0 / x);
+}
+
+double worst_case_drop(double hits_per_sec, double delta_sec) {
+  return performance_drop(hits_per_sec, delta_sec, 1.0);
+}
+
+double hit_probability(const CacheModelParams& p) {
+  PP_CHECK(p.cache_lines > 0 && p.target_chunks > 0);
+  PP_CHECK(p.target_hits_per_sec >= 0 && p.competing_refs_per_sec >= 0);
+  if (p.competing_refs_per_sec <= 0) return 1.0;
+  const double pev = 1.0 / p.cache_lines;
+  const double per_chunk_rate = p.target_hits_per_sec / p.target_chunks;
+  const double pt = per_chunk_rate / (per_chunk_rate + p.competing_refs_per_sec);
+  if (pt <= 0) return 0.0;
+  return pt / (1.0 - (1.0 - pev) * (1.0 - pt));
+}
+
+double conversion_rate(const CacheModelParams& p) { return 1.0 - hit_probability(p); }
+
+double model_drop(const CacheModelParams& p, double delta_sec) {
+  return performance_drop(p.target_hits_per_sec, delta_sec, conversion_rate(p));
+}
+
+}  // namespace pp::model

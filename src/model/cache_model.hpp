@@ -1,0 +1,54 @@
+// Analytical models from the paper.
+//
+// 1. Equation 1 (Section 3.3): the performance drop of a flow that achieved
+//    h cache hits/sec solo, when a fraction kappa of those hits become
+//    misses, each costing an extra delta seconds:
+//
+//        drop = 1 / (1 + 1/(delta * kappa * h))
+//
+//    With kappa = 1 this bounds the worst-case drop (Figure 6).
+//
+// 2. The appendix cache-sharing model: a target flow T sharing a
+//    direct-mapped cache of C lines with competitors issuing Rc refs/sec;
+//    T achieves Ht hits/sec solo over W cacheable chunks. Each competing
+//    reference evicts a given line with probability pev = 1/C; between two
+//    target references to the same chunk, the number of competing
+//    references Z is geometric with success probability
+//    pt = (Ht/W) / (Ht/W + Rc). Then
+//
+//        P(hit) = pt / (1 - (1 - pev)(1 - pt))
+//
+//    and the hit-to-miss conversion rate is 1 - P(hit) (Figure 7's
+//    "estimated" curve). The paper stresses this explains the *shape*
+//    (sharp rise then plateau), not exact values.
+#pragma once
+
+#include <cstdint>
+
+namespace pp::model {
+
+/// Equation 1. `hits_per_sec` is the solo h; `delta_sec` the extra
+/// miss-vs-hit latency (the paper uses 43.75 ns); `kappa` in [0, 1].
+[[nodiscard]] double performance_drop(double hits_per_sec, double delta_sec, double kappa);
+
+/// Worst-case drop (kappa = 1), as plotted in Figure 6.
+[[nodiscard]] double worst_case_drop(double hits_per_sec, double delta_sec);
+
+struct CacheModelParams {
+  double cache_lines = 0;        // C
+  double target_chunks = 0;      // W
+  double target_hits_per_sec = 0;   // Ht (solo)
+  double competing_refs_per_sec = 0;  // Rc
+};
+
+/// Appendix model: probability that a solo-run hit stays a hit.
+[[nodiscard]] double hit_probability(const CacheModelParams& p);
+
+/// Hit-to-miss conversion rate, 1 - P(hit).
+[[nodiscard]] double conversion_rate(const CacheModelParams& p);
+
+/// Model-derived drop curve point: feed the model's conversion rate into
+/// Equation 1 (used to sanity-check the shape of Figure 5 analytically).
+[[nodiscard]] double model_drop(const CacheModelParams& p, double delta_sec);
+
+}  // namespace pp::model

@@ -1,0 +1,84 @@
+#include "net/buffer_pool.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::net {
+
+BufferPool::BufferPool(sim::AddressSpace& as, int domain, int owner_core, std::size_t count,
+                       std::uint32_t capacity)
+    : owner_core_(owner_core), capacity_(capacity) {
+  PP_CHECK(count >= 1);
+  PP_CHECK(capacity >= 64);
+  // Round buffer stride to whole lines so buffers never share a line
+  // (the paper's stack eliminated false sharing by padding; we allocate
+  // padded from the start).
+  const std::size_t stride = (static_cast<std::size_t>(capacity) + sim::kLineBytes - 1) &
+                             ~(static_cast<std::size_t>(sim::kLineBytes) - 1);
+  buffers_ = sim::Region::make(as, domain, stride, count);
+  list_ = sim::Region::make(as, domain, 8, count);
+  head_addr_ = as.alloc(sim::kLineBytes, domain, sim::kLineBytes);
+  lock_addr_ = as.alloc(sim::kLineBytes, domain, sim::kLineBytes);
+
+  slots_.resize(count);
+  free_.assign(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    PacketBuf& p = slots_[i];
+    p.bytes.assign(capacity, 0);
+    p.addr = buffers_.at(i);
+    p.pool_slot = static_cast<std::int32_t>(i);
+    p.owner_pool = this;
+    free_[i] = static_cast<std::int32_t>(i);
+  }
+  free_count_ = count;
+  free_head_ = 0;
+  free_tail_ = 0;  // ring full: tail == head with count == size
+}
+
+PacketBuf* BufferPool::alloc(sim::Core& core) {
+  sim::AttributionScope scope(core, &stats_);
+  core.load(head_addr_);  // read ring head
+  if (free_count_ == 0) return nullptr;
+  // FIFO recycling, as NIC rx rings do: buffers cycle through the whole
+  // pool, so packet data continuously lands in fresh lines.
+  const std::int32_t slot = free_[free_head_];
+  core.load(list_.at(free_head_));  // read ring entry
+  free_head_ = (free_head_ + 1) % free_.size();
+  --free_count_;
+  core.store(head_addr_);  // advance head
+  core.compute(8);
+  PacketBuf& p = slots_[static_cast<std::size_t>(slot)];
+  p.len = 0;
+  p.color = 0;
+  p.input_port = 0;
+  p.output_port = 0;
+  return &p;
+}
+
+void BufferPool::free(sim::Core& core, PacketBuf* p) {
+  PP_CHECK(p != nullptr);
+  PP_CHECK(p->owner_pool == this);
+  PP_CHECK(p->pool_slot >= 0 && static_cast<std::size_t>(p->pool_slot) < slots_.size());
+  sim::AttributionScope scope(core, &stats_);
+  if (core.id() != owner_core_) {
+    // Remote free: take the pool lock and hand the buffer back — the extra
+    // synchronization the paper charges to pipelined configurations.
+    core.store(lock_addr_);
+    core.compute(12);
+  }
+  core.load(head_addr_);
+  core.store(list_.at(free_tail_));  // push entry at the ring tail
+  core.store(head_addr_);
+  core.compute(8);
+  if (core.id() != owner_core_) core.store(lock_addr_);  // release
+  PP_CHECK(free_count_ < free_.size());
+  free_[free_tail_] = p->pool_slot;
+  free_tail_ = (free_tail_ + 1) % free_.size();
+  ++free_count_;
+}
+
+void recycle(sim::Core& core, PacketBuf* p) {
+  PP_CHECK(p != nullptr && p->owner_pool != nullptr);
+  p->owner_pool->free(core, p);
+}
+
+}  // namespace pp::net

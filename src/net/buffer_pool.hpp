@@ -1,0 +1,67 @@
+// Per-core packet buffer pool with an skb-style recycle list.
+//
+// Mirrors the memory management the paper describes in Section 2.2: each
+// core that receives packets owns a pre-allocated pool; a packet transmitted
+// by a different core (pipelined configurations) must be recycled into the
+// *owner's* pool, which costs extra synchronization touches — one of the
+// overheads that make pipelining lose to the parallel approach. The free
+// list lives in simulated memory, so those touches show up in the cache
+// hierarchy exactly where the paper saw them ("skb_recycle" in Figure 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/address_space.hpp"
+#include "sim/core.hpp"
+#include "sim/counters.hpp"
+
+namespace pp::net {
+
+class BufferPool {
+ public:
+  /// Allocate `count` buffers of `capacity` bytes in `domain`, owned by
+  /// `owner_core`.
+  BufferPool(sim::AddressSpace& as, int domain, int owner_core, std::size_t count,
+             std::uint32_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pop a free buffer, charging the free-list touches to `core`.
+  /// Returns nullptr when the pool is exhausted (packets in flight).
+  [[nodiscard]] PacketBuf* alloc(sim::Core& core);
+
+  /// Return a buffer. When `core` is not the owner, the extra
+  /// synchronization touches of a remote free are charged (lock line plus
+  /// list manipulation on lines the owner keeps hot).
+  void free(sim::Core& core, PacketBuf* p);
+
+  [[nodiscard]] std::size_t available() const { return free_count_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] int owner_core() const { return owner_core_; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+  /// Counter domain for recycle work ("skb_recycle" in Figure 7).
+  [[nodiscard]] sim::Counters& stats() { return stats_; }
+
+ private:
+  int owner_core_;
+  std::uint32_t capacity_;
+  std::vector<PacketBuf> slots_;
+  std::vector<std::int32_t> free_;  // FIFO ring of free slot indices (host side)
+  std::size_t free_head_ = 0;       // pop position (alloc)
+  std::size_t free_tail_ = 0;       // push position (free)
+  std::size_t free_count_ = 0;
+  sim::Region buffers_;             // simulated packet storage
+  sim::Region list_;                // simulated free-list entries (8B each)
+  sim::Addr head_addr_ = 0;         // free-list head (its own line)
+  sim::Addr lock_addr_ = 0;         // lock word (its own line)
+  sim::Counters stats_;
+};
+
+/// Return `p` to its owning pool, charging `core` (Discard/ToDevice path).
+void recycle(sim::Core& core, PacketBuf* p);
+
+}  // namespace pp::net

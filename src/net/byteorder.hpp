@@ -1,0 +1,32 @@
+// Explicit big-endian (network order) serialization helpers.
+//
+// All wire formats in this library are read/written through these, so packet
+// bytes are genuinely in network order and parsing is portable.
+#pragma once
+
+#include <cstdint>
+
+namespace pp::net {
+
+[[nodiscard]] constexpr std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+[[nodiscard]] constexpr std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+constexpr void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xffU);
+}
+
+constexpr void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xffU);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xffU);
+  p[3] = static_cast<std::uint8_t>(v & 0xffU);
+}
+
+}  // namespace pp::net

@@ -1,0 +1,39 @@
+#include "net/checksum.hpp"
+
+namespace pp::net {
+
+namespace {
+[[nodiscard]] std::uint32_t raw_sum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
+  return sum;
+}
+
+[[nodiscard]] std::uint16_t fold(std::uint32_t sum) {
+  while ((sum >> 16U) != 0) sum = (sum & 0xffffU) + (sum >> 16U);
+  return static_cast<std::uint16_t>(sum);
+}
+}  // namespace
+
+std::uint16_t checksum_rfc1071(std::span<const std::uint8_t> bytes) {
+  return static_cast<std::uint16_t>(~fold(raw_sum(bytes)));
+}
+
+std::uint16_t checksum_update_rfc1624(std::uint16_t old_checksum, std::uint16_t old_word,
+                                      std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  return static_cast<std::uint16_t>(~fold(sum));
+}
+
+bool checksum_ok(std::span<const std::uint8_t> header_bytes) {
+  return fold(raw_sum(header_bytes)) == 0xffffU;
+}
+
+}  // namespace pp::net

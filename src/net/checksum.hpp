@@ -1,0 +1,27 @@
+// Internet checksum: full computation (RFC 1071) and incremental update
+// (RFC 1624), as used by the IP forwarding path (Section 2.1: checksum
+// computation + TTL update are part of "full IP forwarding").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pp::net {
+
+/// RFC 1071 ones-complement sum over `bytes`; returns the checksum in host
+/// order (already complemented, ready to store with store_be16).
+[[nodiscard]] std::uint16_t checksum_rfc1071(std::span<const std::uint8_t> bytes);
+
+/// RFC 1624 incremental update: given the old checksum and a 16-bit field
+/// changing old_word -> new_word, produce the new checksum. Used for the
+/// TTL/flags word when decrementing TTL without re-summing the header.
+[[nodiscard]] std::uint16_t checksum_update_rfc1624(std::uint16_t old_checksum,
+                                                    std::uint16_t old_word,
+                                                    std::uint16_t new_word);
+
+/// True if an IPv4 header's checksum verifies (sum over header == 0xffff...
+/// i.e. folded sum including the checksum field equals zero).
+[[nodiscard]] bool checksum_ok(std::span<const std::uint8_t> header_bytes);
+
+}  // namespace pp::net

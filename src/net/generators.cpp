@@ -1,0 +1,92 @@
+#include "net/generators.hpp"
+
+#include <unordered_set>
+
+#include "base/check.hpp"
+
+namespace pp::net {
+
+std::vector<PrefixEntry> generate_prefix_table(std::size_t n, Pcg32& rng,
+                                               std::uint16_t num_ports) {
+  PP_CHECK(n >= 1);
+  PP_CHECK(num_ports >= 1);
+  std::vector<PrefixEntry> table;
+  table.reserve(n);
+  // Default route first so every lookup resolves.
+  table.push_back(PrefixEntry{0, 0, 0});
+
+  // Length distribution loosely modeled on public BGP tables: mass around
+  // /24 and /16, some /8–/15 and /17–/23.
+  auto draw_len = [&rng]() -> std::uint8_t {
+    const std::uint32_t r = rng.bounded(100);
+    if (r < 55) return 24;
+    if (r < 70) return 16;
+    if (r < 80) return static_cast<std::uint8_t>(17 + rng.bounded(7));   // 17..23
+    if (r < 90) return static_cast<std::uint8_t>(8 + rng.bounded(8));    // 8..15
+    if (r < 97) return static_cast<std::uint8_t>(25 + rng.bounded(4));   // 25..28
+    return static_cast<std::uint8_t>(4 + rng.bounded(4));                // 4..7
+  };
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * 2);
+  while (table.size() < n) {
+    const std::uint8_t len = draw_len();
+    const std::uint32_t mask = len == 0 ? 0 : (len == 32 ? ~0U : ~((1U << (32 - len)) - 1));
+    const std::uint32_t prefix = rng.next() & mask;
+    const std::uint64_t key = (static_cast<std::uint64_t>(prefix) << 8) | len;
+    if (!seen.insert(key).second) continue;
+    table.push_back(PrefixEntry{prefix, len, static_cast<std::uint16_t>(rng.bounded(num_ports))});
+  }
+  return table;
+}
+
+std::vector<FirewallRule> generate_rules(std::size_t n, Pcg32& rng) {
+  std::vector<FirewallRule> rules;
+  rules.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FirewallRule r;
+    // Destination prefixes confined to 0.0.0.0/1 (high bit clear).
+    r.dst_len = static_cast<std::uint8_t>(9 + rng.bounded(16));  // /9../24 keeps bit 31 = 0
+    const std::uint32_t dmask = ~((1U << (32 - r.dst_len)) - 1);
+    r.dst_prefix = (rng.next() & 0x7fffffffU) & dmask;
+    // Source constraint present in half of the rules.
+    if (rng.bounded(2) == 0) {
+      r.src_len = static_cast<std::uint8_t>(8 + rng.bounded(17));
+      const std::uint32_t smask = ~((1U << (32 - r.src_len)) - 1);
+      r.src_prefix = rng.next() & smask;
+    }
+    // Port ranges on some rules.
+    if (rng.bounded(2) == 0) {
+      r.dport_min = static_cast<std::uint16_t>(rng.bounded(60000));
+      r.dport_max = static_cast<std::uint16_t>(r.dport_min + rng.bounded(1000));
+    }
+    r.proto = (rng.bounded(3) == 0) ? std::uint8_t{0}
+                                    : (rng.bounded(2) == 0 ? std::uint8_t{6} : std::uint8_t{17});
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+std::vector<FiveTuple> generate_flow_pool(std::size_t n, Pcg32& rng, bool dst_high_bit) {
+  std::vector<FiveTuple> pool;
+  pool.reserve(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * 2);
+  while (pool.size() < n) {
+    FiveTuple t;
+    t.src = rng.next();
+    t.dst = dst_high_bit ? (rng.next() | 0x80000000U) : rng.next();
+    t.sport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    t.dport = static_cast<std::uint16_t>(1024 + rng.bounded(60000));
+    t.proto = rng.bounded(2) == 0 ? std::uint8_t{6} : std::uint8_t{17};
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(t.src) << 32) ^ t.dst ^
+        (static_cast<std::uint64_t>(t.sport) << 16) ^ t.dport ^
+        (static_cast<std::uint64_t>(t.proto) << 48);
+    if (!seen.insert(key).second) continue;
+    pool.push_back(t);
+  }
+  return pool;
+}
+
+}  // namespace pp::net

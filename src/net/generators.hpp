@@ -1,0 +1,58 @@
+// Deterministic generators for routing tables, firewall rule sets, and flow
+// pools — the inputs the paper's workloads are built from (Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace pp::net {
+
+/// One routing-table entry: `len` leading bits of `prefix` are significant.
+struct PrefixEntry {
+  std::uint32_t prefix = 0;
+  std::uint8_t len = 0;
+  std::uint16_t next_hop = 0;  // output port index
+};
+
+/// Generate `n` distinct prefixes with a realistic length mix (bulk at
+/// /16–/24, as in Internet tables), plus a default route (0/0). The paper
+/// uses a 128000-entry table.
+[[nodiscard]] std::vector<PrefixEntry> generate_prefix_table(std::size_t n, Pcg32& rng,
+                                                             std::uint16_t num_ports = 6);
+
+/// One 5-tuple classifier rule; matches iff all fields match. The paper's FW
+/// checks 1000 rules sequentially and drops on match.
+struct FirewallRule {
+  std::uint32_t src_prefix = 0;
+  std::uint8_t src_len = 0;
+  std::uint32_t dst_prefix = 0;
+  std::uint8_t dst_len = 0;
+  std::uint16_t sport_min = 0, sport_max = 0xffff;
+  std::uint16_t dport_min = 0, dport_max = 0xffff;
+  std::uint8_t proto = 0;  // 0 = any
+};
+
+/// Generate `n` rules confined to dst addresses in 0.0.0.0/1, so traffic
+/// generated with the high dst bit set never matches — reproducing the
+/// paper's worst case where every packet scans all rules.
+[[nodiscard]] std::vector<FirewallRule> generate_rules(std::size_t n, Pcg32& rng);
+
+/// A transport 5-tuple.
+struct FiveTuple {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t proto = 17;
+
+  [[nodiscard]] friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// Generate a pool of `n` distinct 5-tuples. If `dst_high_bit` is set, all
+/// dst addresses have the top bit set (never matching generate_rules rules).
+[[nodiscard]] std::vector<FiveTuple> generate_flow_pool(std::size_t n, Pcg32& rng,
+                                                        bool dst_high_bit = true);
+
+}  // namespace pp::net

@@ -1,0 +1,94 @@
+#include "net/headers.hpp"
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "net/checksum.hpp"
+
+namespace pp::net {
+
+Ipv4Fields decode_ipv4(std::span<const std::uint8_t> b) {
+  PP_CHECK(b.size() >= kIpv4MinHeaderBytes);
+  Ipv4Fields f;
+  f.version = b[0] >> 4U;
+  f.ihl = b[0] & 0x0fU;
+  f.tos = b[1];
+  f.total_length = load_be16(&b[2]);
+  f.id = load_be16(&b[4]);
+  f.flags_frag = load_be16(&b[6]);
+  f.ttl = b[8];
+  f.protocol = b[9];
+  f.checksum = load_be16(&b[10]);
+  f.src = load_be32(&b[12]);
+  f.dst = load_be32(&b[16]);
+  return f;
+}
+
+void encode_ipv4(const Ipv4Fields& f, std::span<std::uint8_t> b) {
+  PP_CHECK(b.size() >= f.header_bytes());
+  PP_CHECK(f.ihl >= 5);
+  b[0] = static_cast<std::uint8_t>((f.version << 4U) | f.ihl);
+  b[1] = f.tos;
+  store_be16(&b[2], f.total_length);
+  store_be16(&b[4], f.id);
+  store_be16(&b[6], f.flags_frag);
+  b[8] = f.ttl;
+  b[9] = f.protocol;
+  store_be16(&b[10], 0);  // zero while summing
+  store_be32(&b[12], f.src);
+  store_be32(&b[16], f.dst);
+  for (std::size_t i = kIpv4MinHeaderBytes; i < f.header_bytes(); ++i) b[i] = 0;
+  const std::uint16_t csum = checksum_rfc1071(b.first(f.header_bytes()));
+  store_be16(&b[10], csum);
+}
+
+std::optional<std::string> validate_ipv4(std::span<const std::uint8_t> b) {
+  if (b.size() < kIpv4MinHeaderBytes) return "truncated header";
+  const std::uint8_t version = b[0] >> 4U;
+  const std::uint8_t ihl = b[0] & 0x0fU;
+  if (version != 4) return "bad version";
+  if (ihl < 5) return "bad IHL";
+  const std::size_t hdr = std::size_t{ihl} * 4;
+  if (b.size() < hdr) return "options truncated";
+  const std::uint16_t total = load_be16(&b[2]);
+  if (total < hdr) return "total length below header length";
+  if (total > b.size()) return "total length beyond buffer";
+  if (!checksum_ok(b.first(hdr))) return "bad checksum";
+  return std::nullopt;
+}
+
+bool dec_ttl_in_place(std::span<std::uint8_t> b) {
+  PP_CHECK(b.size() >= kIpv4MinHeaderBytes);
+  const std::uint8_t ttl = b[8];
+  if (ttl <= 1) return false;
+  // Bytes 8..9 form the 16-bit word (TTL << 8) | protocol.
+  const std::uint16_t old_word = static_cast<std::uint16_t>((ttl << 8) | b[9]);
+  const std::uint16_t new_word = static_cast<std::uint16_t>(((ttl - 1) << 8) | b[9]);
+  const std::uint16_t old_csum = load_be16(&b[10]);
+  b[8] = static_cast<std::uint8_t>(ttl - 1);
+  store_be16(&b[10], checksum_update_rfc1624(old_csum, old_word, new_word));
+  return true;
+}
+
+TransportPorts decode_ports(std::span<const std::uint8_t> b) {
+  PP_CHECK(b.size() >= 4);
+  return TransportPorts{load_be16(&b[0]), load_be16(&b[2])};
+}
+
+std::string ipv4_to_string(std::uint32_t a) {
+  return strformat("%u.%u.%u.%u", (a >> 24U) & 0xffU, (a >> 16U) & 0xffU, (a >> 8U) & 0xffU,
+                   a & 0xffU);
+}
+
+std::optional<std::uint32_t> ipv4_from_string(std::string_view s) {
+  const auto parts = split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t addr = 0;
+  for (const auto& p : parts) {
+    std::uint64_t v = 0;
+    if (!parse_u64(p, v) || v > 255) return std::nullopt;
+    addr = (addr << 8U) | static_cast<std::uint32_t>(v);
+  }
+  return addr;
+}
+
+}  // namespace pp::net

@@ -1,0 +1,71 @@
+// Ethernet / IPv4 / UDP / TCP header accessors over raw packet bytes.
+//
+// Headers are parsed and serialized through explicit byte-order helpers (no
+// struct punning), so the packet buffers contain genuine wire-format bytes
+// and every field manipulation is testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "net/byteorder.hpp"
+
+namespace pp::net {
+
+inline constexpr std::size_t kEthHeaderBytes = 14;
+inline constexpr std::size_t kIpv4MinHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kTcpMinHeaderBytes = 20;
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// Host-order view of an IPv4 header (decoded copy).
+struct Ipv4Fields {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t id = 0;
+  std::uint16_t flags_frag = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kProtoUdp;
+  std::uint16_t checksum = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+
+  [[nodiscard]] std::size_t header_bytes() const { return std::size_t{ihl} * 4; }
+};
+
+/// Decode an IPv4 header at `bytes` (must hold >= 20 bytes). No validation
+/// beyond size; use `validate_ipv4` for CheckIPHeader semantics.
+[[nodiscard]] Ipv4Fields decode_ipv4(std::span<const std::uint8_t> bytes);
+
+/// Encode `f` into `bytes` (>= f.header_bytes()), computing the checksum.
+void encode_ipv4(const Ipv4Fields& f, std::span<std::uint8_t> bytes);
+
+/// CheckIPHeader-equivalent validation: version, IHL, total length within
+/// buffer, verified checksum, nonzero TTL-independent sanity. Returns an
+/// error string for diagnostics, or nullopt if valid.
+[[nodiscard]] std::optional<std::string> validate_ipv4(std::span<const std::uint8_t> bytes);
+
+/// Decrement TTL in place and incrementally fix the checksum (RFC 1624).
+/// Returns false (packet must be dropped) when TTL is already <= 1.
+[[nodiscard]] bool dec_ttl_in_place(std::span<std::uint8_t> ipv4_header);
+
+/// UDP/TCP port extraction (transport header follows the IP header).
+struct TransportPorts {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+};
+[[nodiscard]] TransportPorts decode_ports(std::span<const std::uint8_t> l4_bytes);
+
+/// Render an IPv4 address as dotted quad (diagnostics).
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// Parse dotted quad; returns nullopt on malformed input.
+[[nodiscard]] std::optional<std::uint32_t> ipv4_from_string(std::string_view s);
+
+}  // namespace pp::net

@@ -1,0 +1,56 @@
+// Packet buffer: real wire-format bytes on the host side, plus the simulated
+// address of the buffer so the platform simulator can track cache residency
+// of packet data (DMA-cold on reception, recycled through per-core pools as
+// in the paper's Section 2.2 discussion of skb recycling).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace pp::net {
+
+class BufferPool;
+
+struct PacketBuf {
+  // --- storage -----------------------------------------------------------
+  sim::Addr addr = 0;            ///< simulated address of byte 0
+  std::vector<std::uint8_t> bytes;  ///< host storage (capacity-sized)
+  std::uint32_t len = 0;         ///< valid length
+
+  // --- annotations (Click-style packet metadata) -------------------------
+  std::uint16_t input_port = 0;
+  std::uint16_t output_port = 0;
+  std::uint8_t color = 0;        ///< generic paint annotation
+  std::uint16_t l3_offset = 14;  ///< start of the IP header (after Ethernet)
+
+  // --- pool bookkeeping ---------------------------------------------------
+  std::int32_t pool_slot = -1;      ///< slot in the owning BufferPool
+  BufferPool* owner_pool = nullptr; ///< pool this buffer recycles into
+
+  [[nodiscard]] std::span<std::uint8_t> data() { return {bytes.data(), len}; }
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return {bytes.data(), len}; }
+
+  [[nodiscard]] std::span<std::uint8_t> l3() {
+    return {bytes.data() + l3_offset, len - l3_offset};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> l3() const {
+    return {bytes.data() + l3_offset, len - l3_offset};
+  }
+
+  /// Transport header bytes (assumes IHL=5 for our generated traffic; apps
+  /// that must handle options read the IHL themselves).
+  [[nodiscard]] std::span<std::uint8_t> l4(std::size_t ip_header_bytes = 20) {
+    return {bytes.data() + l3_offset + ip_header_bytes, len - l3_offset - ip_header_bytes};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> l4(std::size_t ip_header_bytes = 20) const {
+    return {bytes.data() + l3_offset + ip_header_bytes, len - l3_offset - ip_header_bytes};
+  }
+
+  /// Simulated address of a byte offset within the packet.
+  [[nodiscard]] sim::Addr sim_addr(std::size_t offset) const { return addr + offset; }
+};
+
+}  // namespace pp::net

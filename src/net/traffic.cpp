@@ -1,0 +1,126 @@
+#include "net/traffic.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+#include "net/headers.hpp"
+
+namespace pp::net {
+
+namespace {
+constexpr std::uint8_t kSrcMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+constexpr std::uint8_t kDstMac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+}  // namespace
+
+std::uint32_t build_udp_packet(std::span<std::uint8_t> buf, const FiveTuple& tuple,
+                               std::uint32_t payload_len) {
+  const std::size_t l4_hdr = tuple.proto == kProtoTcp ? kTcpMinHeaderBytes : kUdpHeaderBytes;
+  const std::size_t total = kEthHeaderBytes + kIpv4MinHeaderBytes + l4_hdr + payload_len;
+  PP_CHECK(buf.size() >= total);
+
+  // Ethernet
+  std::copy(std::begin(kDstMac), std::end(kDstMac), buf.begin());
+  std::copy(std::begin(kSrcMac), std::end(kSrcMac), buf.begin() + 6);
+  store_be16(&buf[12], kEtherTypeIpv4);
+
+  // IPv4
+  Ipv4Fields ip;
+  ip.total_length = static_cast<std::uint16_t>(total - kEthHeaderBytes);
+  ip.ttl = 64;
+  ip.protocol = tuple.proto;
+  ip.src = tuple.src;
+  ip.dst = tuple.dst;
+  encode_ipv4(ip, buf.subspan(kEthHeaderBytes));
+
+  // Transport
+  std::uint8_t* l4 = &buf[kEthHeaderBytes + kIpv4MinHeaderBytes];
+  if (tuple.proto == kProtoTcp) {
+    store_be16(&l4[0], tuple.sport);
+    store_be16(&l4[2], tuple.dport);
+    for (std::size_t i = 4; i < kTcpMinHeaderBytes; ++i) l4[i] = 0;
+    l4[12] = 5 << 4U;  // data offset
+  } else {
+    store_be16(&l4[0], tuple.sport);
+    store_be16(&l4[2], tuple.dport);
+    store_be16(&l4[4], static_cast<std::uint16_t>(kUdpHeaderBytes + payload_len));
+    store_be16(&l4[6], 0);  // UDP checksum optional in IPv4
+  }
+  std::fill(buf.begin() + static_cast<std::ptrdiff_t>(kEthHeaderBytes + kIpv4MinHeaderBytes + l4_hdr),
+            buf.begin() + static_cast<std::ptrdiff_t>(total), std::uint8_t{0});
+  return static_cast<std::uint32_t>(total);
+}
+
+RandomTraffic::RandomTraffic(std::uint32_t packet_bytes, std::uint64_t seed, bool dst_high_bit)
+    : packet_bytes_(packet_bytes), dst_high_bit_(dst_high_bit), rng_(seed) {
+  PP_CHECK(packet_bytes >= kEthHeaderBytes + kIpv4MinHeaderBytes + kUdpHeaderBytes);
+}
+
+std::uint32_t RandomTraffic::fill(PacketBuf& buf) {
+  FiveTuple t;
+  t.src = rng_.next();
+  t.dst = dst_high_bit_ ? (rng_.next() | 0x80000000U) : rng_.next();
+  t.sport = static_cast<std::uint16_t>(1024 + rng_.bounded(60000));
+  t.dport = static_cast<std::uint16_t>(1024 + rng_.bounded(60000));
+  t.proto = kProtoUdp;
+  const std::uint32_t payload =
+      packet_bytes_ - kEthHeaderBytes - kIpv4MinHeaderBytes - kUdpHeaderBytes;
+  buf.len = build_udp_packet({buf.bytes.data(), buf.bytes.size()}, t, payload);
+  return buf.len;
+}
+
+FlowPoolTraffic::FlowPoolTraffic(std::uint32_t packet_bytes, std::uint64_t seed,
+                                 std::size_t pool_size)
+    : packet_bytes_(packet_bytes), rng_(seed) {
+  PP_CHECK(packet_bytes >= kEthHeaderBytes + kIpv4MinHeaderBytes + kTcpMinHeaderBytes);
+  Pcg32 pool_rng = rng_.split();
+  pool_ = generate_flow_pool(pool_size, pool_rng, /*dst_high_bit=*/true);
+}
+
+std::uint32_t FlowPoolTraffic::fill(PacketBuf& buf) {
+  const FiveTuple& t = pool_[rng_.bounded(static_cast<std::uint32_t>(pool_.size()))];
+  const std::size_t l4_hdr = t.proto == kProtoTcp ? kTcpMinHeaderBytes : kUdpHeaderBytes;
+  const std::uint32_t payload =
+      packet_bytes_ - static_cast<std::uint32_t>(kEthHeaderBytes + kIpv4MinHeaderBytes + l4_hdr);
+  buf.len = build_udp_packet({buf.bytes.data(), buf.bytes.size()}, t, payload);
+  return buf.len;
+}
+
+ContentTraffic::ContentTraffic(std::uint32_t packet_bytes, std::uint64_t seed, double redundancy,
+                               std::size_t corpus_packets, std::size_t flow_pool)
+    : packet_bytes_(packet_bytes), redundancy_(redundancy), rng_(seed), corpus_cap_(corpus_packets) {
+  PP_CHECK(packet_bytes >= kEthHeaderBytes + kIpv4MinHeaderBytes + kUdpHeaderBytes + 64);
+  PP_CHECK(redundancy >= 0.0 && redundancy <= 1.0);
+  Pcg32 pool_rng = rng_.split();
+  pool_ = generate_flow_pool(flow_pool, pool_rng, /*dst_high_bit=*/true);
+  // Content streams are UDP-only so every packet carries the same payload
+  // geometry (the RE corpus replays whole payloads).
+  for (auto& t : pool_) t.proto = kProtoUdp;
+  corpus_.reserve(corpus_cap_);
+}
+
+std::uint32_t ContentTraffic::fill(PacketBuf& buf) {
+  const FiveTuple& t = pool_[rng_.bounded(static_cast<std::uint32_t>(pool_.size()))];
+  const std::uint32_t payload_len =
+      packet_bytes_ - kEthHeaderBytes - kIpv4MinHeaderBytes - kUdpHeaderBytes;
+  buf.len = build_udp_packet({buf.bytes.data(), buf.bytes.size()}, t, payload_len);
+
+  std::uint8_t* payload = buf.bytes.data() + kEthHeaderBytes + kIpv4MinHeaderBytes + kUdpHeaderBytes;
+  const bool reuse = !corpus_.empty() && rng_.uniform() < redundancy_;
+  if (reuse) {
+    const auto& prev = corpus_[rng_.bounded(static_cast<std::uint32_t>(corpus_.size()))];
+    std::copy(prev.begin(), prev.end(), payload);
+  } else {
+    std::vector<std::uint8_t> fresh(payload_len);
+    for (auto& b : fresh) b = static_cast<std::uint8_t>(rng_.next() & 0xffU);
+    std::copy(fresh.begin(), fresh.end(), payload);
+    if (corpus_.size() < corpus_cap_) {
+      corpus_.push_back(std::move(fresh));
+    } else {
+      corpus_[corpus_next_] = std::move(fresh);
+      corpus_next_ = (corpus_next_ + 1) % corpus_cap_;
+    }
+  }
+  return buf.len;
+}
+
+}  // namespace pp::net

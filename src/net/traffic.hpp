@@ -1,0 +1,82 @@
+// Traffic sources: deterministic generators that fill packet buffers with
+// real wire-format packets, reproducing the paper's crafted inputs
+// (Section 2.1): random destination addresses for IP, a stable pool of
+// 100k flows for NetFlow, never-matching addresses for the firewall, and
+// content with tunable redundancy for RE.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "net/generators.hpp"
+#include "net/packet.hpp"
+
+namespace pp::net {
+
+/// Build a complete Ethernet+IPv4+UDP packet for `tuple` into `buf`;
+/// `payload_len` bytes of payload are left for the caller (zeroed).
+/// Returns the total packet length.
+std::uint32_t build_udp_packet(std::span<std::uint8_t> buf, const FiveTuple& tuple,
+                               std::uint32_t payload_len);
+
+/// Interface: fill a packet buffer; returns packet length in bytes.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  virtual std::uint32_t fill(PacketBuf& buf) = 0;
+};
+
+/// Uniformly random 5-tuples each packet (the paper's IP input: random dst
+/// maximizes trie sensitivity). `dst_high_bit` keeps traffic out of the
+/// firewall rule space.
+class RandomTraffic final : public TrafficSource {
+ public:
+  RandomTraffic(std::uint32_t packet_bytes, std::uint64_t seed, bool dst_high_bit = true);
+  std::uint32_t fill(PacketBuf& buf) override;
+
+ private:
+  std::uint32_t packet_bytes_;
+  bool dst_high_bit_;
+  Pcg32 rng_;
+};
+
+/// Draw each packet's 5-tuple uniformly from a fixed pool (the paper's MON
+/// input: random addresses such that the flow table holds 100k entries).
+class FlowPoolTraffic final : public TrafficSource {
+ public:
+  FlowPoolTraffic(std::uint32_t packet_bytes, std::uint64_t seed, std::size_t pool_size);
+  std::uint32_t fill(PacketBuf& buf) override;
+
+  [[nodiscard]] const std::vector<FiveTuple>& pool() const { return pool_; }
+
+ private:
+  std::uint32_t packet_bytes_;
+  Pcg32 rng_;
+  std::vector<FiveTuple> pool_;
+};
+
+/// Payload-bearing traffic with tunable content redundancy for RE: with
+/// probability `redundancy`, the payload repeats a previously emitted
+/// payload (drawn from a sliding corpus); otherwise it is fresh random
+/// bytes. redundancy=0 reproduces the paper's contention workload (every
+/// fingerprint probe misses); redundancy>0 exercises the encoder.
+class ContentTraffic final : public TrafficSource {
+ public:
+  ContentTraffic(std::uint32_t packet_bytes, std::uint64_t seed, double redundancy,
+                 std::size_t corpus_packets = 512, std::size_t flow_pool = 4096);
+  std::uint32_t fill(PacketBuf& buf) override;
+
+ private:
+  std::uint32_t packet_bytes_;
+  double redundancy_;
+  Pcg32 rng_;
+  std::vector<FiveTuple> pool_;
+  std::vector<std::vector<std::uint8_t>> corpus_;  // ring of recent payloads
+  std::size_t corpus_next_ = 0;
+  std::size_t corpus_cap_;
+};
+
+}  // namespace pp::net

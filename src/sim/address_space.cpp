@@ -1,0 +1,37 @@
+#include "sim/address_space.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::sim {
+
+AddressSpace::AddressSpace(int domains) {
+  PP_CHECK(domains >= 1 && domains <= 16);
+  // Start each arena at one line so that address 0 is never handed out.
+  cursor_.assign(static_cast<std::size_t>(domains), kLineBytes);
+}
+
+Addr AddressSpace::alloc(std::size_t bytes, int domain, std::size_t align) {
+  PP_CHECK(domain >= 0 && domain < domains());
+  PP_CHECK(align >= 1 && (align & (align - 1)) == 0);
+  PP_CHECK(bytes > 0);
+  std::size_t& cur = cursor_[static_cast<std::size_t>(domain)];
+  cur = (cur + align - 1) & ~(align - 1);
+  const std::size_t offset = cur;
+  cur += bytes;
+  PP_CHECK(cur < (1ULL << kDomainShift));  // arena must not spill into the next domain
+  return (static_cast<Addr>(domain) << kDomainShift) + offset;
+}
+
+std::size_t AddressSpace::allocated(int domain) const {
+  PP_CHECK(domain >= 0 && domain < domains());
+  return cursor_[static_cast<std::size_t>(domain)] - kLineBytes;
+}
+
+Region Region::make(AddressSpace& as, int domain, std::size_t stride, std::size_t count,
+                    std::size_t align) {
+  PP_CHECK(stride > 0);
+  const Addr base = as.alloc(stride * count, domain, align);
+  return Region{base, stride, count};
+}
+
+}  // namespace pp::sim

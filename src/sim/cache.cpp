@@ -1,0 +1,91 @@
+#include "sim/cache.hpp"
+
+namespace pp::sim {
+
+Cache::Cache(const CacheGeometry& g) : num_sets_(g.num_sets()), ways_(g.ways) {
+  PP_CHECK(g.line_bytes == kLineBytes);
+  PP_CHECK(ways_ >= 1);
+  PP_CHECK(num_sets_ >= 1 && (num_sets_ & (num_sets_ - 1)) == 0);  // power of two
+  lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
+}
+
+int Cache::find(Addr line) const {
+  const std::size_t base = set_index(line);
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Line& l = lines_[base + w];
+    if (l.valid && l.tag == line) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+void Cache::touch_lru(Addr line, int way) {
+  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+  lines_[set_index(line) + static_cast<std::uint32_t>(way)].lru = ++stamp_;
+}
+
+Cache::Line& Cache::line_at(Addr line, int way) {
+  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+  return lines_[set_index(line) + static_cast<std::uint32_t>(way)];
+}
+
+const Cache::Line& Cache::line_at(Addr line, int way) const {
+  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+  return lines_[set_index(line) + static_cast<std::uint32_t>(way)];
+}
+
+Cache::Eviction Cache::insert(Addr line, bool dirty, std::uint16_t core_mask) {
+  const std::size_t base = set_index(line);
+  // Prefer an invalid way; otherwise evict the LRU way.
+  std::size_t victim = base;
+  std::uint64_t best = ~0ULL;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& l = lines_[base + w];
+    if (!l.valid) {
+      victim = base + w;
+      best = 0;
+      break;
+    }
+    if (l.lru < best) {
+      best = l.lru;
+      victim = base + w;
+    }
+  }
+  Line& v = lines_[victim];
+  Eviction ev;
+  if (v.valid) {
+    ev.valid = true;
+    ev.tag = v.tag;
+    ev.dirty = v.dirty;
+    ev.core_mask = v.core_mask;
+  }
+  v.tag = line;
+  v.valid = true;
+  v.dirty = dirty;
+  v.core_mask = core_mask;
+  v.lru = ++stamp_;
+  return ev;
+}
+
+bool Cache::invalidate(Addr line) {
+  const int way = find(line);
+  if (way < 0) return false;
+  Line& l = line_at(line, way);
+  const bool was_dirty = l.dirty;
+  l.valid = false;
+  l.dirty = false;
+  l.core_mask = 0;
+  return was_dirty;
+}
+
+std::size_t Cache::occupancy() const {
+  std::size_t n = 0;
+  for (const Line& l : lines_) n += l.valid ? 1 : 0;
+  return n;
+}
+
+void Cache::clear() {
+  for (Line& l : lines_) l = Line{};
+  stamp_ = 0;
+}
+
+}  // namespace pp::sim

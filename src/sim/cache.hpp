@@ -1,0 +1,76 @@
+// Set-associative, write-back, LRU cache tag store.
+//
+// One instance models one cache: a core-private L1d or L2, or the per-socket
+// shared L3. The L3 additionally tracks, per line, which cores of the socket
+// hold the line in their private caches (`core_mask`); the memory system uses
+// this for inclusive back-invalidation — the mechanism by which competing
+// flows convert a target flow's solo-run hits into misses, which is the
+// paper's central phenomenon (Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.hpp"
+#include "sim/types.hpp"
+
+namespace pp::sim {
+
+class Cache {
+ public:
+  struct Line {
+    Addr tag = 0;            // full line number (address >> 6)
+    std::uint64_t lru = 0;   // last-use stamp; smaller = older
+    std::uint16_t core_mask = 0;  // L3 only: cores caching this line privately
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  /// Outcome of an insertion: the line that had to be evicted, if any.
+  struct Eviction {
+    bool valid = false;      // an occupied line was displaced
+    Addr tag = 0;
+    bool dirty = false;
+    std::uint16_t core_mask = 0;
+  };
+
+  explicit Cache(const CacheGeometry& g);
+
+  /// Probe for a line. Returns the way index or -1. Does not touch LRU.
+  [[nodiscard]] int find(Addr line) const;
+
+  /// Mark a (set, way) as most-recently used.
+  void touch_lru(Addr line, int way);
+
+  /// Access the line's mutable state (valid way required).
+  [[nodiscard]] Line& line_at(Addr line, int way);
+  [[nodiscard]] const Line& line_at(Addr line, int way) const;
+
+  /// Insert `line`, evicting the LRU victim if the set is full.
+  Eviction insert(Addr line, bool dirty, std::uint16_t core_mask);
+
+  /// Drop a line if present (DMA invalidation, back-invalidation).
+  /// Returns true if the line was present and dirty.
+  bool invalidate(Addr line);
+
+  [[nodiscard]] std::uint32_t num_sets() const { return num_sets_; }
+  [[nodiscard]] std::uint32_t ways() const { return ways_; }
+
+  /// Number of valid lines (test/diagnostic use; O(size)).
+  [[nodiscard]] std::size_t occupancy() const;
+
+  /// Drop every line (between experiment repetitions).
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t set_index(Addr line) const {
+    return static_cast<std::size_t>(line & (num_sets_ - 1)) * ways_;
+  }
+
+  std::uint32_t num_sets_;
+  std::uint32_t ways_;
+  std::uint64_t stamp_ = 0;
+  std::vector<Line> lines_;  // sets * ways, set-major
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,139 @@
+// One simulated processing core: a local clock plus the instruction/memory
+// cost model applications program against.
+//
+// Applications perform *real* computation on host data; what they route
+// through the Core is (a) instruction counts for ALU work (`compute`) and
+// (b) data-structure touches at simulated addresses (`load`/`store`/
+// `stream`). Dependent touches (pointer chasing) serialize at full latency;
+// independent touches (batched random probes, payload streaming) overlap
+// with the configured memory-level parallelism, as an out-of-order core
+// would overlap them.
+#pragma once
+
+#include "sim/address_space.hpp"
+#include "sim/counters.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/types.hpp"
+
+namespace pp::sim {
+
+class Core {
+ public:
+  Core(int id, MemorySystem* ms) : id_(id), ms_(ms), socket_(ms->socket_of(id)) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int socket() const { return socket_; }
+  [[nodiscard]] Cycles now() const { return now_; }
+  void set_now(Cycles t) { now_ = t; }
+
+  /// Retire `n` ALU instructions (superscalar: config().compute_ipc per cycle).
+  void compute(std::uint64_t n) {
+    const auto ipc = static_cast<std::uint64_t>(ms_->config().compute_ipc);
+    advance((n + ipc - 1) / ipc);
+    ctr_.instructions += n;
+    if (attr_ != nullptr) attr_->instructions += n;
+  }
+
+  /// One data access. `dependent` controls latency overlap (see file header).
+  void access(Addr a, AccessType t, bool dependent = true) {
+    const MemorySystem::Outcome out = ms_->access(id_, a, t, now_);
+    Cycles lat = out.latency;
+    if (!dependent && lat > 0) {
+      lat = lat / static_cast<Cycles>(ms_->config().mlp);
+      if (lat == 0) lat = 1;
+    }
+    advance(1 + lat);
+    ctr_.instructions += 1;
+    out.delta.apply(ctr_);
+    if (attr_ != nullptr) {
+      attr_->instructions += 1;
+      out.delta.apply(*attr_);
+    }
+  }
+
+  void load(Addr a, bool dependent = true) { access(a, AccessType::kRead, dependent); }
+  void store(Addr a, bool dependent = true) { access(a, AccessType::kWrite, dependent); }
+
+  /// Touch every line of [base, base+bytes); sequential buffer walks
+  /// (packet payload, rule arrays) are independent accesses by default
+  /// (hardware prefetchers and OoO execution overlap them).
+  void stream(Addr base, std::size_t bytes, AccessType t, bool dependent = false) {
+    if (bytes == 0) return;
+    const Addr first = line_of(base);
+    const Addr last = line_of(base + bytes - 1);
+    for (Addr line = first; line <= last; ++line) {
+      access(line << kLineShift, t, dependent);
+    }
+  }
+
+  /// Raw stall (device doorbells etc.): time passes, nothing retires.
+  void stall(Cycles n) { advance(n); }
+
+  /// Record a fully processed packet / a dropped packet in both the core's
+  /// counters and the active attribution domain.
+  void count_packet() {
+    ctr_.packets += 1;
+    if (attr_ != nullptr) attr_->packets += 1;
+  }
+  void count_drop() {
+    ctr_.drops += 1;
+    if (attr_ != nullptr) attr_->drops += 1;
+  }
+
+  [[nodiscard]] Counters& counters() { return ctr_; }
+  [[nodiscard]] const Counters& counters() const { return ctr_; }
+
+  /// Secondary attribution domain (per-element counters for Figure 7).
+  /// Returns the previous domain so callers can nest RAII-style.
+  Counters* set_attribution(Counters* c) {
+    Counters* old = attr_;
+    attr_ = c;
+    return old;
+  }
+  [[nodiscard]] Counters* attribution() const { return attr_; }
+
+  [[nodiscard]] const MachineConfig& config() const { return ms_->config(); }
+  [[nodiscard]] MemorySystem& memory() { return *ms_; }
+
+ private:
+  void advance(Cycles n) {
+    now_ += n;
+    ctr_.cycles += n;
+    if (attr_ != nullptr) attr_->cycles += n;
+  }
+
+  int id_;
+  MemorySystem* ms_;
+  int socket_;
+  Cycles now_ = 0;
+  Counters ctr_;
+  Counters* attr_ = nullptr;
+};
+
+/// Touch every line of a region once (independent loads) so it starts warm
+/// in the cache hierarchy — used by Element::prewarm implementations.
+inline void warm_region(Core& core, const Region& region) {
+  if (region.bytes() == 0) return;
+  core.stream(region.base(), region.bytes(), AccessType::kRead);
+}
+
+/// RAII helper: attribute all work in scope to `domain` (nested domains
+/// restore the previous one).
+class AttributionScope {
+ public:
+  AttributionScope(Core& core, Counters* domain) : core_(core) {
+    prev_ = core_.set_attribution(domain);
+  }
+  ~AttributionScope() { core_.set_attribution(prev_); }
+  AttributionScope(const AttributionScope&) = delete;
+  AttributionScope& operator=(const AttributionScope&) = delete;
+
+ private:
+  Core& core_;
+  Counters* prev_;
+};
+
+}  // namespace pp::sim

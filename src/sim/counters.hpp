@@ -1,0 +1,108 @@
+// Simulated hardware performance counters.
+//
+// These mirror what the paper measures with OProfile (Section 2.1, Table 1):
+// instructions, cycles, L2 hits, L3 (last-level cache) references and misses.
+// L3 hits are derived as references - misses, exactly as the paper computes
+// them. Counters can be attributed to a core and, simultaneously, to a
+// per-element domain (used for the per-function breakdown in Figure 7).
+#pragma once
+
+#include <cstdint>
+
+namespace pp::sim {
+
+struct Counters {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+
+  std::uint64_t l3_refs = 0;    // lookups reaching the shared cache
+  std::uint64_t l3_misses = 0;  // of which missed to memory
+  std::uint64_t xcore_hits = 0; // L3 hits served from another core's line
+
+  std::uint64_t remote_refs = 0;  // misses served by the remote domain (QPI)
+  std::uint64_t writebacks = 0;   // dirty evictions reaching a controller
+
+  std::uint64_t mc_queue_cycles = 0;   // cycles spent waiting on a controller
+  std::uint64_t qpi_queue_cycles = 0;  // cycles spent waiting on the QPI link
+
+  std::uint64_t packets = 0;  // packets fully processed (set by ToDevice)
+  std::uint64_t drops = 0;    // packets discarded (firewall match, bad header)
+
+  [[nodiscard]] constexpr std::uint64_t l3_hits() const noexcept {
+    return l3_refs - l3_misses;
+  }
+
+  constexpr Counters& operator+=(const Counters& o) noexcept {
+    instructions += o.instructions;
+    cycles += o.cycles;
+    l1_hits += o.l1_hits;
+    l1_misses += o.l1_misses;
+    l2_hits += o.l2_hits;
+    l2_misses += o.l2_misses;
+    l3_refs += o.l3_refs;
+    l3_misses += o.l3_misses;
+    xcore_hits += o.xcore_hits;
+    remote_refs += o.remote_refs;
+    writebacks += o.writebacks;
+    mc_queue_cycles += o.mc_queue_cycles;
+    qpi_queue_cycles += o.qpi_queue_cycles;
+    packets += o.packets;
+    drops += o.drops;
+    return *this;
+  }
+
+  constexpr Counters& operator-=(const Counters& o) noexcept {
+    instructions -= o.instructions;
+    cycles -= o.cycles;
+    l1_hits -= o.l1_hits;
+    l1_misses -= o.l1_misses;
+    l2_hits -= o.l2_hits;
+    l2_misses -= o.l2_misses;
+    l3_refs -= o.l3_refs;
+    l3_misses -= o.l3_misses;
+    xcore_hits -= o.xcore_hits;
+    remote_refs -= o.remote_refs;
+    writebacks -= o.writebacks;
+    mc_queue_cycles -= o.mc_queue_cycles;
+    qpi_queue_cycles -= o.qpi_queue_cycles;
+    packets -= o.packets;
+    drops -= o.drops;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Counters operator-(Counters a, const Counters& b) noexcept {
+    a -= b;
+    return a;
+  }
+};
+
+/// Per-access delta produced by the memory system; the core applies it to its
+/// own counters and to the active attribution domain (if any).
+struct AccessDelta {
+  std::uint8_t l1_hit = 0, l1_miss = 0;
+  std::uint8_t l2_hit = 0, l2_miss = 0;
+  std::uint8_t l3_ref = 0, l3_miss = 0, xcore_hit = 0;
+  std::uint8_t remote_ref = 0;
+  std::uint32_t mc_queue = 0;
+  std::uint32_t qpi_queue = 0;
+
+  constexpr void apply(Counters& c) const noexcept {
+    c.l1_hits += l1_hit;
+    c.l1_misses += l1_miss;
+    c.l2_hits += l2_hit;
+    c.l2_misses += l2_miss;
+    c.l3_refs += l3_ref;
+    c.l3_misses += l3_miss;
+    c.xcore_hits += xcore_hit;
+    c.remote_refs += remote_ref;
+    c.mc_queue_cycles += mc_queue;
+    c.qpi_queue_cycles += qpi_queue;
+  }
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,57 @@
+#include "sim/machine.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::sim {
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), ms_(std::make_unique<MemorySystem>(cfg)), as_(cfg.sockets) {
+  cores_.reserve(static_cast<std::size_t>(cfg_.num_cores()));
+  for (int i = 0; i < cfg_.num_cores(); ++i) {
+    cores_.push_back(std::make_unique<Core>(i, ms_.get()));
+  }
+  tasks_.assign(static_cast<std::size_t>(cfg_.num_cores()), nullptr);
+}
+
+void Machine::set_task(int core, Task* task) {
+  PP_CHECK(core >= 0 && core < num_cores());
+  tasks_[static_cast<std::size_t>(core)] = task;
+}
+
+void Machine::run_until(Cycles deadline) {
+  for (;;) {
+    // Pick the active core with the smallest local clock. A linear scan over
+    // <= 12 cores beats any heap.
+    int best = -1;
+    Cycles best_t = ~Cycles{0};
+    for (int i = 0; i < num_cores(); ++i) {
+      if (tasks_[static_cast<std::size_t>(i)] == nullptr) continue;
+      const Cycles t = cores_[static_cast<std::size_t>(i)]->now();
+      if (t < best_t) {
+        best_t = t;
+        best = i;
+      }
+    }
+    if (best < 0 || best_t >= deadline) return;
+    Core& c = *cores_[static_cast<std::size_t>(best)];
+    const Cycles before = c.now();
+    tasks_[static_cast<std::size_t>(best)]->run(c);
+    if (c.now() == before) c.stall(1);  // guarantee forward progress
+  }
+}
+
+Cycles Machine::max_time() const {
+  Cycles t = 0;
+  for (const auto& c : cores_) {
+    if (c->now() > t) t = c->now();
+  }
+  return t;
+}
+
+void Machine::align_clocks(Cycles t) {
+  for (auto& c : cores_) {
+    if (c->now() < t) c->set_now(t);
+  }
+}
+
+}  // namespace pp::sim

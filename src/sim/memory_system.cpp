@@ -1,0 +1,198 @@
+#include "sim/memory_system.hpp"
+
+namespace pp::sim {
+
+MemorySystem::MemorySystem(const MachineConfig& cfg) : cfg_(cfg) {
+  const int cores = cfg_.num_cores();
+  l1_.reserve(static_cast<std::size_t>(cores));
+  l2_.reserve(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    l1_.push_back(std::make_unique<Cache>(cfg_.l1));
+    l2_.push_back(std::make_unique<Cache>(cfg_.l2));
+  }
+  for (int s = 0; s < cfg_.sockets; ++s) {
+    l3_.push_back(std::make_unique<Cache>(cfg_.l3));
+    mc_.push_back(std::make_unique<QueuedLink>(cfg_.mc_channels, cfg_.mc_service));
+  }
+  for (int i = 0; i < cfg_.sockets * cfg_.sockets; ++i) {
+    qpi_.push_back(std::make_unique<QueuedLink>(cfg_.qpi_lanes, cfg_.qpi_service));
+  }
+}
+
+QueuedLink& MemorySystem::qpi(int from_socket, int to_socket) {
+  return *qpi_[static_cast<std::size_t>(from_socket) * static_cast<std::size_t>(cfg_.sockets) +
+               static_cast<std::size_t>(to_socket)];
+}
+
+MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type, Cycles now) {
+  Outcome out;
+  const Addr line = line_of(addr);
+  const bool is_write = type == AccessType::kWrite;
+  const int socket = socket_of(core);
+  const auto core_bit =
+      static_cast<std::uint16_t>(1U << static_cast<unsigned>(core_index_in_socket(core)));
+
+  // L1
+  Cache& l1c = l1(core);
+  if (const int w = l1c.find(line); w >= 0) {
+    l1c.touch_lru(line, w);
+    if (is_write) l1c.line_at(line, w).dirty = true;
+    out.delta.l1_hit = 1;
+    out.latency = 0;
+    return out;
+  }
+  out.delta.l1_miss = 1;
+
+  // L2
+  Cache& l2c = l2(core);
+  if (const int w = l2c.find(line); w >= 0) {
+    l2c.touch_lru(line, w);
+    if (is_write) l2c.line_at(line, w).dirty = true;
+    out.delta.l2_hit = 1;
+    out.latency = cfg_.l2_latency;
+    // Promote into L1 (inclusion within the private hierarchy).
+    Cache::Eviction ev = l1c.insert(line, is_write, 0);
+    if (ev.valid && ev.dirty) {
+      if (const int w2 = l2c.find(ev.tag); w2 >= 0) l2c.line_at(ev.tag, w2).dirty = true;
+    }
+    return out;
+  }
+  out.delta.l2_miss = 1;
+
+  // L3 (shared, inclusive)
+  Cache& l3c = l3(socket);
+  out.delta.l3_ref = 1;
+  if (const int w = l3c.find(line); w >= 0) {
+    l3c.touch_lru(line, w);
+    Cache::Line& l = l3c.line_at(line, w);
+    out.latency = cfg_.l3_latency;
+    if ((l.core_mask & static_cast<std::uint16_t>(~core_bit)) != 0 && l.dirty) {
+      // Served by a cache-to-cache transfer from a sibling core.
+      out.latency += cfg_.snoop_extra;
+      out.delta.xcore_hit = 1;
+    }
+    l.core_mask |= core_bit;
+    if (is_write) l.dirty = true;
+    install_private(core, line, is_write);
+    return out;
+  }
+  out.delta.l3_miss = 1;
+
+  // Miss to memory. Remote domains pay the QPI round plus its queueing.
+  const int domain = domain_of(addr);
+  Cycles lat = cfg_.l3_latency + cfg_.dram_extra;
+  if (domain != socket) {
+    out.delta.remote_ref = 1;
+    const Cycles qd = qpi(socket, domain).request(line, now);
+    out.delta.qpi_queue = static_cast<std::uint32_t>(qd);
+    lat += cfg_.qpi_latency + qd;
+  }
+  const Cycles md = controller(domain).request(line, now);
+  out.delta.mc_queue = static_cast<std::uint32_t>(md);
+  lat += md;
+  out.latency = lat;
+
+  // Install into L3; inclusive eviction removes private copies socket-wide.
+  Cache::Eviction ev = l3c.insert(line, is_write, core_bit);
+  if (ev.valid) {
+    bool dirty = ev.dirty;
+    if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
+    if (dirty) writeback(ev.tag, now);
+  }
+  install_private(core, line, is_write);
+  return out;
+}
+
+void MemorySystem::install_private(int core, Addr line, bool dirty) {
+  const int socket = socket_of(core);
+  Cache& l1c = l1(core);
+  Cache& l2c = l2(core);
+  Cache& l3c = l3(socket);
+
+  Cache::Eviction ev2 = l2c.insert(line, dirty, 0);
+  if (ev2.valid) {
+    // L2 is inclusive of L1: the victim leaves this core's L1 as well.
+    const bool l1_dirty = l1c.invalidate(ev2.tag);
+    const bool v_dirty = ev2.dirty || l1_dirty;
+    if (const int w = l3c.find(ev2.tag); w >= 0) {
+      Cache::Line& l = l3c.line_at(ev2.tag, w);
+      if (v_dirty) l.dirty = true;
+      l.core_mask &= static_cast<std::uint16_t>(
+          ~(1U << static_cast<unsigned>(core_index_in_socket(core))));
+    }
+    // If the L3 no longer holds the victim (already displaced), the dirty
+    // data was written back during that displacement; nothing more to do.
+  }
+
+  Cache::Eviction ev1 = l1c.insert(line, dirty, 0);
+  if (ev1.valid && ev1.dirty) {
+    if (const int w = l2c.find(ev1.tag); w >= 0) l2c.line_at(ev1.tag, w).dirty = true;
+  }
+}
+
+bool MemorySystem::back_invalidate(int socket, Addr line, std::uint16_t core_mask) {
+  bool dirty = false;
+  const int base = socket * cfg_.cores_per_socket;
+  for (int i = 0; i < cfg_.cores_per_socket; ++i) {
+    if ((core_mask & (1U << static_cast<unsigned>(i))) == 0) continue;
+    const int core = base + i;
+    dirty |= l1(core).invalidate(line);
+    dirty |= l2(core).invalidate(line);
+  }
+  return dirty;
+}
+
+void MemorySystem::clear_link_backlogs() {
+  for (auto& mc : mc_) mc->clear_backlog();
+  for (auto& q : qpi_) q->clear_backlog();
+}
+
+void MemorySystem::writeback(Addr line, Cycles now) {
+  const int domain = domain_of(line << kLineShift);
+  if (domain >= 0 && domain < cfg_.sockets) controller(domain).post(line, now);
+}
+
+void MemorySystem::dma_write(Addr addr, std::size_t bytes, Cycles now) {
+  const Addr first = line_of(addr);
+  const Addr last = line_of(addr + (bytes > 0 ? bytes - 1 : 0));
+  const int domain = domain_of(addr);
+  const bool valid_domain = domain >= 0 && domain < cfg_.sockets;
+  for (Addr line = first; line <= last; ++line) {
+    // Coherent DMA: stale copies disappear from every cache.
+    for (int s = 0; s < cfg_.sockets; ++s) {
+      Cache& l3c = l3(s);
+      if (const int w = l3c.find(line); w >= 0) {
+        const Cache::Line l = l3c.line_at(line, w);
+        if (l.core_mask != 0) back_invalidate(s, line, l.core_mask);
+        l3c.invalidate(line);
+      }
+    }
+    if (valid_domain) {
+      // DCA: place the fresh line in the home L3 (clean — memory holds the
+      // data too), evicting the LRU victim as any fill would.
+      Cache& l3c = l3(domain);
+      Cache::Eviction ev = l3c.insert(line, /*dirty=*/false, /*core_mask=*/0);
+      if (ev.valid) {
+        bool dirty = ev.dirty;
+        if (ev.core_mask != 0) dirty |= back_invalidate(domain, ev.tag, ev.core_mask);
+        if (dirty) writeback(ev.tag, now);
+      }
+      controller(domain).post(line, now);
+    }
+  }
+}
+
+void MemorySystem::dma_read(Addr addr, std::size_t bytes, Cycles now) {
+  const Addr first = line_of(addr);
+  const Addr last = line_of(addr + (bytes > 0 ? bytes - 1 : 0));
+  const int domain = domain_of(addr);
+  for (Addr line = first; line <= last; ++line) {
+    for (int s = 0; s < cfg_.sockets; ++s) {
+      Cache& l3c = l3(s);
+      if (const int w = l3c.find(line); w >= 0) l3c.line_at(line, w).dirty = false;
+    }
+    if (domain >= 0 && domain < cfg_.sockets) controller(domain).post(line, now);
+  }
+}
+
+}  // namespace pp::sim

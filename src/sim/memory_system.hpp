@@ -1,0 +1,94 @@
+// The simulated memory hierarchy: private L1d/L2 per core, shared inclusive
+// L3 per socket, per-socket memory controllers, QPI between sockets.
+//
+// This is where every contention effect the paper studies is produced
+// structurally:
+//  - shared-L3 contention: co-runners' insertions evict the target's lines
+//    (back-invalidating private copies, since the L3 is inclusive), turning
+//    solo-run hits into misses (Section 3);
+//  - memory-controller contention: FCFS channel queueing (Figure 4b);
+//  - interconnect contention: QPI link queueing for remote-domain data
+//    (ruled out in the paper's normal configuration by NUMA-local
+//    allocation, Section 2.2, but exercised by the Figure 3 placements).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/counters.hpp"
+#include "sim/queued_link.hpp"
+#include "sim/types.hpp"
+
+namespace pp::sim {
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MachineConfig& cfg);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  struct Outcome {
+    Cycles latency = 0;  // stall cycles beyond the 1-cycle issue slot
+    AccessDelta delta;
+  };
+
+  /// One data access by `core` at local time `now`. Mutates cache state and
+  /// link queues; returns the charged latency and counter deltas.
+  [[nodiscard]] Outcome access(int core, Addr addr, AccessType type, Cycles now);
+
+  /// NIC DMA write of a packet buffer. The paper's platform (82599 +
+  /// Westmere) uses Direct Cache Access: the DMA'd lines are placed in the
+  /// home socket's L3 (displacing whatever lived there — DMA traffic is
+  /// itself cache pressure), stale private copies are invalidated, and the
+  /// write consumes controller bandwidth in the buffer's home domain.
+  void dma_write(Addr addr, std::size_t bytes, Cycles now);
+
+  /// NIC DMA read at transmit: consumes controller bandwidth; any dirty
+  /// cached copy is flushed (written back) but stays cached clean.
+  void dma_read(Addr addr, std::size_t bytes, Cycles now);
+
+  [[nodiscard]] Cache& l1(int core) { return *l1_[static_cast<std::size_t>(core)]; }
+  [[nodiscard]] Cache& l2(int core) { return *l2_[static_cast<std::size_t>(core)]; }
+  [[nodiscard]] Cache& l3(int socket) { return *l3_[static_cast<std::size_t>(socket)]; }
+  [[nodiscard]] QueuedLink& controller(int domain) {
+    return *mc_[static_cast<std::size_t>(domain)];
+  }
+  /// The QPI path from `from_socket` toward `to_socket` (per-direction).
+  [[nodiscard]] QueuedLink& qpi(int from_socket, int to_socket);
+
+  [[nodiscard]] int socket_of(int core) const {
+    return core / cfg_.cores_per_socket;
+  }
+  [[nodiscard]] int core_index_in_socket(int core) const {
+    return core % cfg_.cores_per_socket;
+  }
+
+  /// Drop controller/QPI backlogs (after prewarm passes; see
+  /// QueuedLink::clear_backlog).
+  void clear_link_backlogs();
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+
+ private:
+  /// Install a line into `core`'s private L2+L1, maintaining inclusion
+  /// bookkeeping (dirty propagation on eviction, L3 core-mask updates).
+  void install_private(int core, Addr line, bool dirty);
+
+  /// Remove a victim evicted from the L3 from all private caches that hold
+  /// it (inclusive back-invalidation); returns true if any copy was dirty.
+  bool back_invalidate(int socket, Addr line, std::uint16_t core_mask);
+
+  void writeback(Addr line, Cycles now);
+
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  std::vector<std::unique_ptr<Cache>> l3_;
+  std::vector<std::unique_ptr<QueuedLink>> mc_;
+  std::vector<std::unique_ptr<QueuedLink>> qpi_;  // sockets*sockets, from-major
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,143 @@
+#include "apps/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+
+namespace pp::apps {
+namespace {
+
+using Block = std::array<std::uint8_t, 16>;
+using Key = std::array<std::uint8_t, 16>;
+
+// FIPS-197 Appendix B: single-block example.
+TEST(Aes128, Fips197AppendixB) {
+  const Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const Block plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                          0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  Block out{};
+  aes.encrypt_block(std::span<const std::uint8_t, 16>{plain},
+                    std::span<std::uint8_t, 16>{out});
+  EXPECT_EQ(out, expected);
+}
+
+// FIPS-197 Appendix C.1 (AES-128 with the 000102... key).
+TEST(Aes128, Fips197AppendixC1) {
+  Key key;
+  Block plain;
+  for (int i = 0; i < 16; ++i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    plain[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i * 0x11);
+  }
+  const Block expected = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                          0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  Block out{};
+  aes.encrypt_block(std::span<const std::uint8_t, 16>{plain},
+                    std::span<std::uint8_t, 16>{out});
+  EXPECT_EQ(out, expected);
+}
+
+// Key schedule check: the last round key of the Appendix A example.
+TEST(Aes128, KeyScheduleLastRoundKey) {
+  const Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  const auto& rk = aes.round_keys();
+  const std::uint8_t last[16] = {0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89,
+                                 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rk[160 + static_cast<std::size_t>(i)], last[i]) << "byte " << i;
+  }
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Pcg32 rng{1};
+  Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  for (int trial = 0; trial < 64; ++trial) {
+    Block plain;
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+    Block enc{};
+    Block dec{};
+    aes.encrypt_block(std::span<const std::uint8_t, 16>{plain},
+                      std::span<std::uint8_t, 16>{enc});
+    aes.decrypt_block(std::span<const std::uint8_t, 16>{enc},
+                      std::span<std::uint8_t, 16>{dec});
+    ASSERT_EQ(dec, plain);
+    ASSERT_NE(enc, plain);
+  }
+}
+
+TEST(Aes128, EncryptInPlaceAliasedBuffers) {
+  const Key key{};
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+  Block buf = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const Block orig = buf;
+  aes.encrypt_block(std::span<const std::uint8_t, 16>{buf}, std::span<std::uint8_t, 16>{buf});
+  EXPECT_NE(buf, orig);
+  aes.decrypt_block(std::span<const std::uint8_t, 16>{buf}, std::span<std::uint8_t, 16>{buf});
+  EXPECT_EQ(buf, orig);
+}
+
+class CtrModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CtrModeTest, RoundTripArbitraryLengths) {
+  Pcg32 rng{42};
+  Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  std::array<std::uint8_t, 12> nonce;
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next());
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+
+  std::vector<std::uint8_t> plain(GetParam());
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> enc(plain.size());
+  std::vector<std::uint8_t> dec(plain.size());
+  aes.ctr_xcrypt(plain, enc, std::span<const std::uint8_t, 12>{nonce});
+  aes.ctr_xcrypt(enc, dec, std::span<const std::uint8_t, 12>{nonce});
+  EXPECT_EQ(dec, plain);
+  if (!plain.empty()) EXPECT_NE(enc, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CtrModeTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 64, 100, 1000, 1500));
+
+TEST(CtrMode, CounterContinuationMatchesOneShot) {
+  Pcg32 rng{7};
+  Key key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  std::array<std::uint8_t, 12> nonce{};
+  Aes128 aes{std::span<const std::uint8_t, 16>{key}};
+
+  std::vector<std::uint8_t> plain(64);
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next());
+  std::vector<std::uint8_t> whole(64);
+  aes.ctr_xcrypt(plain, whole, std::span<const std::uint8_t, 12>{nonce}, 0);
+
+  std::vector<std::uint8_t> split(64);
+  aes.ctr_xcrypt(std::span<const std::uint8_t>{plain.data(), 32},
+                 std::span<std::uint8_t>{split.data(), 32},
+                 std::span<const std::uint8_t, 12>{nonce}, 0);
+  aes.ctr_xcrypt(std::span<const std::uint8_t>{plain.data() + 32, 32},
+                 std::span<std::uint8_t>{split.data() + 32, 32},
+                 std::span<const std::uint8_t, 12>{nonce}, 2);  // 32B = 2 blocks
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Aes128, SboxIsPermutation) {
+  const auto& sbox = Aes128::sbox();
+  std::array<bool, 256> seen{};
+  for (const std::uint8_t v : sbox) seen[v] = true;
+  for (const bool b : seen) EXPECT_TRUE(b);
+  EXPECT_EQ(sbox[0x00], 0x63);
+  EXPECT_EQ(sbox[0x53], 0xed);
+}
+
+}  // namespace
+}  // namespace pp::apps

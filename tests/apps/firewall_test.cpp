@@ -1,0 +1,129 @@
+#include "apps/firewall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::apps {
+namespace {
+
+net::FirewallRule any_rule() {
+  net::FirewallRule r;  // defaults match anything
+  return r;
+}
+
+TEST(RuleMatch, WildcardMatchesEverything) {
+  const PacketFields p{0x01020304, 0x7f000001, 1234, 80, 6};
+  EXPECT_TRUE(rule_matches(any_rule(), p));
+}
+
+TEST(RuleMatch, DstPrefix) {
+  net::FirewallRule r = any_rule();
+  r.dst_prefix = 0x0a000000;
+  r.dst_len = 8;
+  EXPECT_TRUE(rule_matches(r, {0, 0x0a123456, 0, 0, 6}));
+  EXPECT_FALSE(rule_matches(r, {0, 0x0b123456, 0, 0, 6}));
+}
+
+TEST(RuleMatch, SrcPrefix) {
+  net::FirewallRule r = any_rule();
+  r.src_prefix = 0xc0a80000;
+  r.src_len = 16;
+  EXPECT_TRUE(rule_matches(r, {0xc0a80101, 0, 0, 0, 6}));
+  EXPECT_FALSE(rule_matches(r, {0xc0a90101, 0, 0, 0, 6}));
+}
+
+TEST(RuleMatch, FullLengthPrefix) {
+  net::FirewallRule r = any_rule();
+  r.dst_prefix = 0x01020304;
+  r.dst_len = 32;
+  EXPECT_TRUE(rule_matches(r, {0, 0x01020304, 0, 0, 6}));
+  EXPECT_FALSE(rule_matches(r, {0, 0x01020305, 0, 0, 6}));
+}
+
+TEST(RuleMatch, PortRanges) {
+  net::FirewallRule r = any_rule();
+  r.dport_min = 80;
+  r.dport_max = 90;
+  EXPECT_TRUE(rule_matches(r, {0, 0, 0, 85, 6}));
+  EXPECT_FALSE(rule_matches(r, {0, 0, 0, 79, 6}));
+  EXPECT_FALSE(rule_matches(r, {0, 0, 0, 91, 6}));
+  r.sport_min = 1000;
+  r.sport_max = 1000;
+  EXPECT_TRUE(rule_matches(r, {0, 0, 1000, 85, 6}));
+  EXPECT_FALSE(rule_matches(r, {0, 0, 1001, 85, 6}));
+}
+
+TEST(RuleMatch, Protocol) {
+  net::FirewallRule r = any_rule();
+  r.proto = 17;
+  EXPECT_TRUE(rule_matches(r, {0, 0, 0, 0, 17}));
+  EXPECT_FALSE(rule_matches(r, {0, 0, 0, 0, 6}));
+  r.proto = 0;  // any
+  EXPECT_TRUE(rule_matches(r, {0, 0, 0, 0, 6}));
+}
+
+TEST(RuleSet, ReturnsFirstMatchIndex) {
+  net::FirewallRule narrow = any_rule();
+  narrow.dst_prefix = 0x0a000000;
+  narrow.dst_len = 8;
+  RuleSet rs({narrow, any_rule(), any_rule()});
+  EXPECT_EQ(rs.match({0, 0x0a000001, 0, 0, 6}), 0);
+  EXPECT_EQ(rs.match({0, 0x20000001, 0, 0, 6}), 1);  // skips the /8
+}
+
+TEST(RuleSet, NoMatchReturnsMinusOne) {
+  net::FirewallRule r = any_rule();
+  r.dst_prefix = 0x0a000000;
+  r.dst_len = 8;
+  RuleSet rs({r});
+  EXPECT_EQ(rs.match({0, 0x90000001, 0, 0, 6}), -1);
+}
+
+// Property: simulated matching agrees with host matching and charges the
+// full scan for never-matching traffic.
+class FirewallSimTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FirewallSimTest, SimAgreesWithHost) {
+  sim::Machine machine;
+  Pcg32 rng{GetParam()};
+  RuleSet rs(net::generate_rules(200, rng));
+  rs.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  for (int i = 0; i < 200; ++i) {
+    PacketFields p{rng.next(), rng.next(), static_cast<std::uint16_t>(rng.bounded(65536)),
+                   static_cast<std::uint16_t>(rng.bounded(65536)),
+                   rng.bounded(2) == 0 ? std::uint8_t{6} : std::uint8_t{17}};
+    ASSERT_EQ(rs.match_sim(core, p), rs.match(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirewallSimTest, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(RuleSetSim, FullScanChargesAllRuleLines) {
+  sim::Machine machine;
+  Pcg32 rng{3};
+  RuleSet rs(net::generate_rules(1000, rng));
+  rs.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  // Never-matching packet (dst high bit set) scans all 1000 rules = 500
+  // lines.
+  const PacketFields p{1, 0x80000001, 1, 1, 6};
+  const std::uint64_t before = core.counters().l1_hits + core.counters().l1_misses;
+  EXPECT_EQ(rs.match_sim(core, p), -1);
+  EXPECT_EQ(core.counters().l1_hits + core.counters().l1_misses - before, 500U);
+}
+
+TEST(RuleSetSim, EarlyMatchStopsScan) {
+  sim::Machine machine;
+  RuleSet rs({any_rule(), any_rule()});
+  rs.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  const std::uint64_t before = core.counters().instructions;
+  EXPECT_EQ(rs.match_sim(core, {0, 0, 0, 0, 6}), 0);
+  EXPECT_LT(core.counters().instructions - before, 60U);
+}
+
+}  // namespace
+}  // namespace pp::apps

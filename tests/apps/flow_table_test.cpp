@@ -1,0 +1,125 @@
+#include "apps/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::apps {
+namespace {
+
+net::FiveTuple tuple(std::uint32_t i) {
+  return net::FiveTuple{i, ~i, static_cast<std::uint16_t>(i & 0xffff),
+                        static_cast<std::uint16_t>((i >> 8) & 0xffff), 17};
+}
+
+TEST(FlowTable, AccountsPacketsAndBytes) {
+  FlowTable t(64);
+  EXPECT_TRUE(t.update(tuple(1), 100, 1000));
+  EXPECT_TRUE(t.update(tuple(1), 200, 2000));
+  const auto rec = t.find(tuple(1));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->packets, 2U);
+  EXPECT_EQ(rec->bytes, 300U);
+  EXPECT_EQ(rec->first_ns, 1000U);
+  EXPECT_EQ(rec->last_ns, 2000U);
+}
+
+TEST(FlowTable, DistinctFlowsGetDistinctRecords) {
+  FlowTable t(256);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(t.update(tuple(i), i, i));
+  }
+  EXPECT_EQ(t.size(), 100U);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const auto rec = t.find(tuple(i));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->bytes, i);
+  }
+}
+
+TEST(FlowTable, FindMissingReturnsNothing) {
+  FlowTable t(64);
+  EXPECT_FALSE(t.find(tuple(9)).has_value());
+}
+
+TEST(FlowTable, RespectsLoadFactorCap) {
+  FlowTable t(64);  // max 56 entries at 87.5%
+  std::size_t inserted = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    inserted += t.update(tuple(i), 1, 1) ? 1 : 0;
+  }
+  EXPECT_EQ(t.size(), 56U);
+  EXPECT_EQ(inserted, 56U);
+  // Existing flows still update fine.
+  EXPECT_TRUE(t.update(tuple(0), 1, 2));
+}
+
+TEST(FlowTable, ExpireExportsIdleFlows) {
+  FlowTable t(128);
+  for (std::uint32_t i = 0; i < 20; ++i) (void)t.update(tuple(i), 1, i < 10 ? 100 : 10000);
+  std::vector<FlowRecord> exported;
+  const std::size_t n =
+      t.expire(/*idle_cutoff_ns=*/1000, /*active_cutoff_ns=*/0,
+               [&](const FlowRecord& r) { exported.push_back(r); });
+  EXPECT_EQ(n, 10U);
+  EXPECT_EQ(t.size(), 10U);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_FALSE(t.find(tuple(i)).has_value());
+  for (std::uint32_t i = 10; i < 20; ++i) EXPECT_TRUE(t.find(tuple(i)).has_value());
+}
+
+// Property: expiry must re-place displaced probe runs correctly — every
+// surviving flow stays findable with its counts intact.
+class ExpireRehashTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExpireRehashTest, SurvivorsIntactAfterExpiry) {
+  Pcg32 rng{GetParam()};
+  FlowTable t(256);
+  std::map<std::uint32_t, std::uint64_t> reference;  // flow id -> packets
+  for (int round = 0; round < 400; ++round) {
+    const std::uint32_t id = rng.bounded(150);
+    const std::uint64_t ts = (id % 2 == 0) ? 100 : 10000;
+    if (t.update(tuple(id), 1, ts)) reference[id] += 1;
+  }
+  (void)t.expire(1000, 0, [](const FlowRecord&) {});
+  for (const auto& [id, packets] : reference) {
+    if (id % 2 == 0) {
+      EXPECT_FALSE(t.find(tuple(id)).has_value());
+    } else {
+      const auto rec = t.find(tuple(id));
+      ASSERT_TRUE(rec.has_value()) << "flow " << id << " lost by expiry rehash";
+      EXPECT_EQ(rec->packets, packets);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpireRehashTest, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(FlowTableSim, SimUpdateMatchesHostState) {
+  sim::Machine machine;
+  FlowTable t(1024);
+  t.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  Pcg32 rng{5};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(t.update_sim(core, tuple(rng.bounded(100)), 64, 1));
+  }
+  EXPECT_LE(t.size(), 100U);
+  EXPECT_GT(core.counters().l1_hits + core.counters().l1_misses, 500U);
+}
+
+TEST(FlowTable, HashSpreadsTuples) {
+  // Bucket collisions should stay near the birthday bound.
+  std::map<std::uint64_t, int> buckets;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    buckets[FlowTable::hash_tuple(tuple(i)) % 16384] += 1;
+  }
+  int max_chain = 0;
+  for (const auto& [b, n] : buckets) max_chain = std::max(max_chain, n);
+  EXPECT_LE(max_chain, 8);
+}
+
+}  // namespace
+}  // namespace pp::apps

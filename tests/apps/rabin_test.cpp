@@ -1,0 +1,78 @@
+#include "apps/rabin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+
+namespace pp::apps {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng{seed};
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next());
+  return v;
+}
+
+TEST(Rabin, ShortBufferYieldsNoAnchors) {
+  const auto data = random_bytes(Rabin::kWindow - 1, 1);
+  EXPECT_TRUE(Rabin::sample(data).empty());
+}
+
+TEST(Rabin, ExactWindowProducesAtMostOneAnchor) {
+  const auto data = random_bytes(Rabin::kWindow, 2);
+  const auto anchors = Rabin::sample(data, /*mask=*/0);  // mask 0: select all
+  ASSERT_EQ(anchors.size(), 1U);
+  EXPECT_EQ(anchors[0].pos, 0U);
+  EXPECT_EQ(anchors[0].fp, Rabin::fingerprint(data, 0));
+}
+
+// Property: the rolling recurrence agrees with from-scratch fingerprints at
+// every position.
+class RollingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RollingTest, RollingEqualsRecompute) {
+  const auto data = random_bytes(512, GetParam());
+  const auto all = Rabin::sample(data, /*mask=*/0);  // every position
+  ASSERT_EQ(all.size(), data.size() - Rabin::kWindow + 1);
+  for (std::size_t i = 0; i < all.size(); i += 17) {
+    ASSERT_EQ(all[i].fp, Rabin::fingerprint(data, all[i].pos)) << "pos " << all[i].pos;
+    ASSERT_EQ(all[i].pos, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollingTest, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(Rabin, SamplingRateNearMask) {
+  const auto data = random_bytes(64 * 1024, 3);
+  const auto anchors = Rabin::sample(data, Rabin::kSampleMask);
+  const double expected = static_cast<double>(data.size()) / (Rabin::kSampleMask + 1);
+  EXPECT_NEAR(static_cast<double>(anchors.size()), expected, expected * 0.3);
+}
+
+TEST(Rabin, IdenticalContentGivesIdenticalFingerprints) {
+  const auto data = random_bytes(256, 4);
+  std::vector<std::uint8_t> copy(data.begin() + 64, data.end());  // shifted copy
+  const std::uint64_t a = Rabin::fingerprint(data, 64);
+  const std::uint64_t b = Rabin::fingerprint(copy, 0);
+  EXPECT_EQ(a, b) << "fingerprint must be position-independent";
+}
+
+TEST(Rabin, ContentChangeChangesFingerprint) {
+  auto data = random_bytes(128, 5);
+  const std::uint64_t before = Rabin::fingerprint(data, 0);
+  data[10] ^= 1;
+  EXPECT_NE(Rabin::fingerprint(data, 0), before);
+}
+
+TEST(Rabin, ZeroRunsStillMix) {
+  // The +1 term prevents all-zero windows from fingerprinting to 0 like
+  // all-one-byte windows would in a naive hash.
+  std::vector<std::uint8_t> zeros(128, 0);
+  std::vector<std::uint8_t> ones(128, 1);
+  EXPECT_NE(Rabin::fingerprint(zeros, 0), Rabin::fingerprint(ones, 0));
+  EXPECT_NE(Rabin::fingerprint(zeros, 0), 0U);
+}
+
+}  // namespace
+}  // namespace pp::apps

@@ -1,0 +1,147 @@
+#include "apps/radix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "net/generators.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::apps {
+namespace {
+
+TEST(RadixTrie, EmptyTrieReturnsNoPort) {
+  RadixTrie t;
+  EXPECT_EQ(t.lookup(0x12345678), RadixTrie::kNoPort);
+}
+
+TEST(RadixTrie, DefaultRouteCatchesAll) {
+  RadixTrie t;
+  t.insert(0, 0, 9);
+  EXPECT_EQ(t.lookup(0), 9);
+  EXPECT_EQ(t.lookup(0xffffffff), 9);
+}
+
+TEST(RadixTrie, LongestPrefixWins) {
+  RadixTrie t;
+  t.insert(0x0a000000, 8, 1);   // 10/8
+  t.insert(0x0a010000, 16, 2);  // 10.1/16
+  t.insert(0x0a010100, 24, 3);  // 10.1.1/24
+  EXPECT_EQ(t.lookup(0x0a020202), 1);
+  EXPECT_EQ(t.lookup(0x0a010202), 2);
+  EXPECT_EQ(t.lookup(0x0a010102), 3);
+  EXPECT_EQ(t.lookup(0x0b000000), RadixTrie::kNoPort);
+}
+
+TEST(RadixTrie, HostRoute) {
+  RadixTrie t;
+  t.insert(0xc0a80101, 32, 7);
+  EXPECT_EQ(t.lookup(0xc0a80101), 7);
+  EXPECT_EQ(t.lookup(0xc0a80102), RadixTrie::kNoPort);
+}
+
+TEST(RadixTrie, InsertOverwritesPort) {
+  RadixTrie t;
+  t.insert(0x0a000000, 8, 1);
+  t.insert(0x0a000000, 8, 5);
+  EXPECT_EQ(t.lookup(0x0a000001), 5);
+  EXPECT_EQ(t.route_count(), 1U);
+}
+
+TEST(RadixTrie, EraseRemovesRoute) {
+  RadixTrie t;
+  t.insert(0x0a000000, 8, 1);
+  t.insert(0x0a010000, 16, 2);
+  EXPECT_TRUE(t.erase(0x0a010000, 16));
+  EXPECT_EQ(t.lookup(0x0a010203), 1);  // falls back to /8
+  EXPECT_FALSE(t.erase(0x0a010000, 16));  // already gone
+  EXPECT_EQ(t.route_count(), 1U);
+}
+
+TEST(RadixTrie, EraseMissingPrefixFails) {
+  RadixTrie t;
+  t.insert(0x0a000000, 8, 1);
+  EXPECT_FALSE(t.erase(0x0b000000, 8));
+  EXPECT_FALSE(t.erase(0x0a000000, 9));  // different length
+}
+
+TEST(RadixTrie, PruneDetachesDeadBranches) {
+  RadixTrie t;
+  t.insert(0xffffffff, 32, 1);
+  ASSERT_TRUE(t.erase(0xffffffff, 32));
+  // Lookup must terminate quickly at the root (pruned), returning nothing.
+  EXPECT_EQ(t.lookup(0xffffffff), RadixTrie::kNoPort);
+}
+
+// Property: trie lookups agree with a brute-force longest-prefix matcher
+// over generated tables.
+class TrieVsLinearTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsLinearTest, AgreesOnRandomLookups) {
+  Pcg32 rng{GetParam()};
+  const auto table = net::generate_prefix_table(2000, rng);
+  RadixTrie trie;
+  LinearLpm linear;
+  for (const auto& e : table) {
+    trie.insert(e.prefix, e.len, e.next_hop);
+    linear.insert(e.prefix, e.len, e.next_hop);
+  }
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint32_t addr = rng.next();
+    ASSERT_EQ(trie.lookup(addr), linear.lookup(addr)) << "addr=" << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsLinearTest, ::testing::Range<std::uint64_t>(1, 9));
+
+// Property: erase leaves the trie equivalent to a freshly built one.
+class TrieEraseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieEraseTest, EraseEquivalentToRebuild) {
+  Pcg32 rng{GetParam() * 977};
+  const auto table = net::generate_prefix_table(500, rng);
+  RadixTrie full;
+  for (const auto& e : table) full.insert(e.prefix, e.len, e.next_hop);
+  // Remove every third entry.
+  RadixTrie rebuilt;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(full.erase(table[i].prefix, table[i].len));
+    } else {
+      rebuilt.insert(table[i].prefix, table[i].len, table[i].next_hop);
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t addr = rng.next();
+    ASSERT_EQ(full.lookup(addr), rebuilt.lookup(addr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieEraseTest, ::testing::Range<std::uint64_t>(1, 5));
+
+TEST(RadixTrieSim, SimLookupMatchesHostLookup) {
+  sim::Machine machine;
+  Pcg32 rng{3};
+  const auto table = net::generate_prefix_table(1000, rng);
+  RadixTrie t;
+  for (const auto& e : table) t.insert(e.prefix, e.len, e.next_hop);
+  t.attach(machine.address_space(), 0, t.node_count() + 16);
+  auto& core = machine.core(0);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t addr = rng.next();
+    ASSERT_EQ(t.lookup_sim(core, addr), t.lookup(addr));
+  }
+  // The walk generated dependent memory traffic.
+  EXPECT_GT(core.counters().l1_hits + core.counters().l1_misses, 500U);
+}
+
+TEST(RadixTrieSim, AttachBoundsNodeGrowth) {
+  sim::Machine machine;
+  RadixTrie t;
+  t.insert(0x80000000, 1, 1);
+  t.attach(machine.address_space(), 0, t.node_count() + 2);
+  t.insert(0x40000000, 2, 2);  // +2 nodes exactly
+  EXPECT_EQ(t.lookup(0x40000001), 2);
+}
+
+}  // namespace
+}  // namespace pp::apps

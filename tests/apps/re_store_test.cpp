@@ -1,0 +1,135 @@
+#include "apps/re_store.hpp"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::apps {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s),
+          reinterpret_cast<const std::uint8_t*>(s) + std::strlen(s)};
+}
+
+TEST(PacketStore, AppendThenRead) {
+  PacketStore store(4096);
+  const auto data = bytes_of("hello world");
+  const std::uint64_t off = store.append(data);
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_TRUE(store.read(off, out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(PacketStore, OffsetsAreMonotonic) {
+  PacketStore store(4096);
+  const std::uint64_t a = store.append(bytes_of("aaa"));
+  const std::uint64_t b = store.append(bytes_of("bbbb"));
+  EXPECT_EQ(a, 0U);
+  EXPECT_EQ(b, 3U);
+  EXPECT_EQ(store.end_offset(), 7U);
+}
+
+TEST(PacketStore, OldContentOverwrittenAfterWrap) {
+  PacketStore store(4096);
+  const std::uint64_t first = store.append(std::vector<std::uint8_t>(100, 0xAA));
+  for (int i = 0; i < 50; ++i) (void)store.append(std::vector<std::uint8_t>(100, 0xBB));
+  EXPECT_FALSE(store.contains(first, 100));
+  std::vector<std::uint8_t> out(100);
+  EXPECT_FALSE(store.read(first, out));
+}
+
+TEST(PacketStore, WrapAroundPreservesContent) {
+  PacketStore store(4096);
+  (void)store.append(std::vector<std::uint8_t>(4000, 0x11));
+  // This append wraps the ring.
+  std::vector<std::uint8_t> data(200);
+  Pcg32 rng{1};
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint64_t off = store.append(data);
+  std::vector<std::uint8_t> out(200);
+  ASSERT_TRUE(store.read(off, out));
+  EXPECT_EQ(out, data);
+}
+
+TEST(PacketStore, MatchesComparesResidentBytes) {
+  PacketStore store(4096);
+  const auto data = bytes_of("abcdefgh");
+  const std::uint64_t off = store.append(data);
+  EXPECT_TRUE(store.matches(off, data));
+  EXPECT_TRUE(store.matches(off + 2, bytes_of("cdefgh")));
+  EXPECT_FALSE(store.matches(off, bytes_of("abcdefgX")));
+  EXPECT_FALSE(store.matches(off + 100, bytes_of("a")));  // beyond end
+}
+
+TEST(PacketStore, ExtendMatchFindsLongestRun) {
+  PacketStore store(4096);
+  const std::uint64_t off = store.append(bytes_of("abcdefgh12345678"));
+  EXPECT_EQ(store.extend_match(off, bytes_of("abcdefghXX")), 8U);
+  EXPECT_EQ(store.extend_match(off + 8, bytes_of("12345678")), 8U);
+  EXPECT_EQ(store.extend_match(off, bytes_of("zzz")), 0U);
+}
+
+TEST(PacketStore, SimChargesStreamTouches) {
+  sim::Machine machine;
+  PacketStore store(8192);
+  store.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  const std::uint64_t before = core.counters().l1_misses;
+  (void)store.append(std::vector<std::uint8_t>(640, 1), &core);
+  EXPECT_GE(core.counters().l1_misses - before, 10U);  // 640B = 10 lines
+}
+
+TEST(FingerprintTable, PutGetRoundtrip) {
+  FingerprintTable t(1024);
+  t.put(0xdeadbeef, 42);
+  EXPECT_EQ(t.get(0xdeadbeef), 42U);
+  EXPECT_FALSE(t.get(0xfeedface).has_value());
+}
+
+TEST(FingerprintTable, CollisionOverwrites) {
+  FingerprintTable t(16);
+  // Find two fingerprints hashing to the same slot.
+  std::uint64_t a = 1;
+  std::uint64_t b = 0;
+  for (std::uint64_t cand = 2; cand < 10000; ++cand) {
+    t.put(a, 1);
+    FingerprintTable probe(16);
+    probe.put(a, 1);
+    probe.put(cand, 2);
+    if (!probe.get(a).has_value()) {
+      b = cand;
+      break;
+    }
+  }
+  ASSERT_NE(b, 0U) << "no colliding pair found";
+  FingerprintTable t2(16);
+  t2.put(a, 1);
+  t2.put(b, 2);
+  EXPECT_FALSE(t2.get(a).has_value());  // overwritten by the collision
+  EXPECT_EQ(t2.get(b), 2U);
+}
+
+TEST(FingerprintTable, UpdateReplacesOffset) {
+  FingerprintTable t(64);
+  t.put(5, 10);
+  t.put(5, 20);
+  EXPECT_EQ(t.get(5), 20U);
+}
+
+TEST(FingerprintTable, SimTouchesSlots) {
+  sim::Machine machine;
+  FingerprintTable t(4096);
+  t.attach(machine.address_space(), 0);
+  auto& core = machine.core(0);
+  const std::uint64_t before = core.counters().l1_misses + core.counters().l1_hits;
+  t.put(1, 2, &core);
+  (void)t.get(1, &core);
+  EXPECT_EQ(core.counters().l1_misses + core.counters().l1_hits - before, 2U);
+}
+
+}  // namespace
+}  // namespace pp::apps

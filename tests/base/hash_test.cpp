@@ -1,0 +1,43 @@
+#include "base/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pp {
+namespace {
+
+TEST(Mix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = mix64(0x123456789abcdef0ULL);
+  for (int bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t flipped = mix64(0x123456789abcdef0ULL ^ (1ULL << bit));
+    const int popcount = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(popcount, 16);
+    EXPECT_LT(popcount, 48);
+  }
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a({}), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a({a, 1}), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, FewCollisionsOnGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 100; ++a) {
+    for (std::uint64_t b = 0; b < 100; ++b) {
+      seen.insert(hash_combine(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 10000U);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,98 @@
+#include "base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pp {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a{42};
+  Pcg32 b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a{1};
+  Pcg32 b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng{7};
+  for (std::uint32_t bound : {1U, 2U, 3U, 10U, 1000U, 1U << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BoundedZeroIsZero) {
+  Pcg32 rng{7};
+  EXPECT_EQ(rng.bounded(0), 0U);
+}
+
+TEST(Pcg32, BoundedCoversSmallRange) {
+  Pcg32 rng{3};
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.bounded(8));
+  EXPECT_EQ(seen.size(), 8U);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, SplitProducesIndependentStream) {
+  Pcg32 a{5};
+  Pcg32 child = a.split();
+  // Child continues differently from parent.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, Next64CombinesTwoDraws) {
+  Pcg32 a{9};
+  Pcg32 b{9};
+  const std::uint64_t hi = b.next();
+  const std::uint64_t lo = b.next();
+  EXPECT_EQ(a.next64(), (hi << 32) | lo);
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t v1 = splitmix64(s);
+  const std::uint64_t v2 = splitmix64(s);
+  EXPECT_NE(v1, v2);
+}
+
+// Rough equidistribution: bin 32-bit outputs into 16 buckets.
+TEST(Pcg32, RoughlyUniformBuckets) {
+  Pcg32 rng{123};
+  std::vector<int> buckets(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.next() >> 28];
+  for (const int c : buckets) {
+    EXPECT_NEAR(c, n / 16, n / 16 / 5);  // within 20%
+  }
+}
+
+}  // namespace
+}  // namespace pp

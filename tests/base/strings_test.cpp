@@ -1,0 +1,94 @@
+#include "base/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp {
+namespace {
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("\t\n abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Split, BasicFields) {
+  const auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3U);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto v = split("a,,c,", ',');
+  ASSERT_EQ(v.size(), 4U);
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(SplitArgs, RespectsParens) {
+  const auto v = split_args("a, f(b, c), d");
+  ASSERT_EQ(v.size(), 3U);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "f(b, c)");
+  EXPECT_EQ(v[2], "d");
+}
+
+TEST(SplitArgs, EmptyListYieldsNoArgs) {
+  EXPECT_TRUE(split_args("").empty());
+  EXPECT_TRUE(split_args("   ").empty());
+}
+
+TEST(ParseU64, PlainNumbers) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("123", v));
+  EXPECT_EQ(v, 123U);
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0U);
+}
+
+TEST(ParseU64, Suffixes) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("128k", v));
+  EXPECT_EQ(v, 128000U);
+  EXPECT_TRUE(parse_u64("2M", v));
+  EXPECT_EQ(v, 2000000U);
+  EXPECT_TRUE(parse_u64("1G", v));
+  EXPECT_EQ(v, 1000000000U);
+}
+
+TEST(ParseU64, RejectsGarbage) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("abc", v));
+  EXPECT_FALSE(parse_u64("12x4", v));
+  EXPECT_FALSE(parse_u64("-5", v));
+}
+
+TEST(ParseDouble, Basics) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("-0.25", v));
+  EXPECT_DOUBLE_EQ(v, -0.25);
+  EXPECT_FALSE(parse_double("x", v));
+}
+
+TEST(ParseBool, AcceptedForms) {
+  bool v = false;
+  EXPECT_TRUE(parse_bool("true", v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(parse_bool("0", v));
+  EXPECT_FALSE(v);
+  EXPECT_FALSE(parse_bool("maybe", v));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strformat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(strformat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,57 @@
+#include "base/table.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pp {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable t({"flow", "x", "y"});
+  t.add_numeric_row("IP", {1.23456, 2.0}, 2);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("IP,1.23,2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesNothingButJoins) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(SeriesChart, TextAndCsvContainSeries) {
+  SeriesChart c("x", {"s1", "s2"});
+  c.add_point(1.0, {10.0, 20.0});
+  c.add_point(2.0, {11.0, 21.0});
+  const std::string text = c.to_text(1);
+  EXPECT_NE(text.find("s1"), std::string::npos);
+  EXPECT_NE(text.find("21.0"), std::string::npos);
+  const std::string csv = c.to_csv(1);
+  EXPECT_NE(csv.find("x,s1,s2"), std::string::npos);
+  EXPECT_NE(csv.find("2.0,11.0,21.0"), std::string::npos);
+}
+
+TEST(SeriesChart, NanRendersBlank) {
+  SeriesChart c("x", {"s"});
+  c.add_point(1.0, {std::nan("")});
+  const std::string csv = c.to_csv(1);
+  EXPECT_NE(csv.find("1.0,\n"), std::string::npos);
+}
+
+TEST(Banner, WrapsTitle) {
+  EXPECT_EQ(banner("T"), "\n== T ==\n");
+}
+
+}  // namespace
+}  // namespace pp

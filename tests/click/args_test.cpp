@@ -1,0 +1,74 @@
+#include "click/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::click {
+namespace {
+
+TEST(Args, SplitsKeywordsAndPositionals) {
+  Args a({"RANDOM", "BYTES 64", "SEED 7"});
+  ASSERT_EQ(a.positionals().size(), 1U);
+  EXPECT_EQ(a.positionals()[0], "RANDOM");
+  EXPECT_EQ(a.get_u64("BYTES", 0), 64U);
+  EXPECT_EQ(a.get_u64("SEED", 0), 7U);
+  EXPECT_FALSE(a.finish().has_value());
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  Args a({});
+  EXPECT_EQ(a.get_u64("N", 42), 42U);
+  EXPECT_DOUBLE_EQ(a.get_double("X", 1.5), 1.5);
+  EXPECT_EQ(a.get_str("S", "dflt"), "dflt");
+  EXPECT_TRUE(a.get_bool("B", true));
+  EXPECT_FALSE(a.finish().has_value());
+}
+
+TEST(Args, MalformedValueReported) {
+  Args a({"BYTES xyz"});
+  EXPECT_EQ(a.get_u64("BYTES", 9), 9U);
+  const auto err = a.finish();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("BYTES"), std::string::npos);
+}
+
+TEST(Args, UnknownKeywordReported) {
+  Args a({"WAT 3"});
+  const auto err = a.finish();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("WAT"), std::string::npos);
+}
+
+TEST(Args, ConsumedKeywordNotReported) {
+  Args a({"GOOD 1", "BAD 2"});
+  EXPECT_EQ(a.get_u64("GOOD", 0), 1U);
+  const auto err = a.finish();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->find("GOOD"), std::string::npos);
+  EXPECT_NE(err->find("BAD"), std::string::npos);
+}
+
+TEST(Args, CustomErrorsAccumulate) {
+  Args a({});
+  a.error("first");
+  a.error("second");
+  const auto err = a.finish();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("first"), std::string::npos);
+  EXPECT_NE(err->find("second"), std::string::npos);
+}
+
+TEST(Args, BoolAndDoubleParsing) {
+  Args a({"FLAG true", "RATIO 0.25"});
+  EXPECT_TRUE(a.get_bool("FLAG", false));
+  EXPECT_DOUBLE_EQ(a.get_double("RATIO", 0), 0.25);
+  EXPECT_FALSE(a.finish().has_value());
+}
+
+TEST(Args, SuffixedIntegers) {
+  Args a({"PREFIXES 128k"});
+  EXPECT_EQ(a.get_u64("PREFIXES", 0), 128000U);
+  EXPECT_FALSE(a.finish().has_value());
+}
+
+}  // namespace
+}  // namespace pp::click

@@ -1,0 +1,112 @@
+// FromDevice/ToDevice: traffic generation, the DMA/DCA model, descriptor
+// rings, and buffer recycling at the edges of every flow.
+#include <gtest/gtest.h>
+
+#include "click/elements_io.hpp"
+#include "click/elements_queue.hpp"
+#include "click/router.hpp"
+#include "net/headers.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::click {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::optional<std::string> build(std::vector<std::string> src_args) {
+    router_ = std::make_unique<Router>(machine_, 0, 0, 1);
+    router_->add("src", std::make_unique<FromDevice>(), std::move(src_args));
+    router_->add("out", std::make_unique<ToDevice>());
+    auto err = router_->connect("src", 0, "out", 0);
+    if (!err) err = router_->initialize();
+    if (!err) err = router_->install_tasks();
+    return err;
+  }
+
+  sim::Machine machine_;
+  std::unique_ptr<Router> router_;
+};
+
+TEST_F(IoTest, ConfigValidation) {
+  EXPECT_TRUE(build({"NOPE"}).has_value());
+  EXPECT_TRUE(build({"RANDOM", "BYTES 10"}).has_value());   // below minimum
+  EXPECT_TRUE(build({"RANDOM", "BYTES 99999"}).has_value());  // above maximum
+  EXPECT_FALSE(build({"RANDOM", "BYTES 64"}).has_value());
+  EXPECT_FALSE(build({"FLOWPOOL", "BYTES 64", "POOL 1000"}).has_value());
+  EXPECT_FALSE(build({"CONTENT", "BYTES 512", "RED 0.5"}).has_value());
+}
+
+TEST_F(IoTest, PacketsFlowAndPoolStaysBalanced) {
+  ASSERT_FALSE(build({"RANDOM", "BYTES 64", "BUFS 32"}).has_value());
+  machine_.run_until(200000);
+  const auto& c = machine_.core(0).counters();
+  EXPECT_GT(c.packets, 50U);
+  // Closed loop through ToDevice: every buffer returned.
+  auto* src = dynamic_cast<FromDevice*>(router_->find("src"));
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->pool()->available(), 32U);
+}
+
+TEST_F(IoTest, DmaConsumesControllerBandwidth) {
+  ASSERT_FALSE(build({"RANDOM", "BYTES 1500", "BUFS 32"}).has_value());
+  machine_.run_until(300000);
+  const auto& c = machine_.core(0).counters();
+  // Each 1500B packet posts ~24 rx lines + ~24 tx lines.
+  const std::uint64_t posts = machine_.memory().controller(0).posts();
+  EXPECT_GT(posts, c.packets * 40);
+}
+
+TEST_F(IoTest, DcaMakesHeaderTouchAnL3Hit) {
+  ASSERT_FALSE(build({"RANDOM", "BYTES 64", "BUFS 32"}).has_value());
+  machine_.run_until(400000);
+  const auto& c = machine_.core(0).counters();
+  // With DCA, the CheckIPHeader-style first touches would be L3 hits; here
+  // the chain is src->out only, but the rx descriptor + pool lines keep the
+  // L3 reference rate well below one miss per packet.
+  EXPECT_LT(static_cast<double>(c.l3_misses) / static_cast<double>(c.packets), 1.0);
+}
+
+TEST_F(IoTest, GeneratedTrafficIsWellFormed) {
+  // Drive the source manually and inspect the packet it emits.
+  class Capture final : public Element {
+   public:
+    [[nodiscard]] std::string_view class_name() const override { return "Capture"; }
+    [[nodiscard]] int n_outputs() const override { return 0; }
+    std::vector<std::uint8_t> last;
+
+   protected:
+    void do_push(Context& cx, int, net::PacketBuf* p) override {
+      last.assign(p->bytes.begin(), p->bytes.begin() + p->len);
+      net::recycle(cx.core, p);
+    }
+  };
+  router_ = std::make_unique<Router>(machine_, 0, 0, 1);
+  auto& src = static_cast<FromDevice&>(router_->add("src", std::make_unique<FromDevice>(),
+                                                    {"RANDOM", "BYTES 64", "SEED 5"}));
+  auto& cap = static_cast<Capture&>(router_->add("cap", std::make_unique<Capture>()));
+  ASSERT_FALSE(router_->connect("src", 0, "cap", 0).has_value());
+  ASSERT_FALSE(router_->initialize().has_value());
+  Context cx{machine_.core(0)};
+  src.run_once(cx);
+  ASSERT_EQ(cap.last.size(), 64U);
+  EXPECT_FALSE(
+      net::validate_ipv4({cap.last.data() + 14, cap.last.size() - 14}).has_value());
+}
+
+TEST_F(IoTest, ExhaustedPoolStallsInsteadOfCrashing) {
+  // A Queue that is never drained absorbs all buffers; FromDevice must keep
+  // polling without deadlock and without fabricating packets.
+  router_ = std::make_unique<Router>(machine_, 0, 0, 1);
+  router_->add("src", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64", "BUFS 8"});
+  router_->add("q", std::make_unique<Queue>(), {"64"});
+  ASSERT_FALSE(router_->connect("src", 0, "q", 0).has_value());
+  ASSERT_FALSE(router_->initialize().has_value());
+  ASSERT_FALSE(router_->install_tasks().has_value());
+  machine_.run_until(100000);
+  auto* q = dynamic_cast<Queue*>(router_->find("q"));
+  EXPECT_EQ(q->depth(), 8U);  // all buffers parked in the queue
+  EXPECT_GT(machine_.core(0).now(), 90000U);  // time kept advancing
+}
+
+}  // namespace
+}  // namespace pp::click

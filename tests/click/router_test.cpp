@@ -1,0 +1,119 @@
+#include "click/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "click/elements_basic.hpp"
+#include "click/elements_io.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::click {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  sim::Machine machine_;
+  Router router_{machine_, 0, 0, 1};
+};
+
+TEST_F(RouterTest, FindByName) {
+  router_.add("c", std::make_unique<Counter>());
+  EXPECT_NE(router_.find("c"), nullptr);
+  EXPECT_EQ(router_.find("zzz"), nullptr);
+}
+
+TEST_F(RouterTest, ConnectValidatesEndpoints) {
+  router_.add("c", std::make_unique<Counter>());
+  router_.add("d", std::make_unique<Discard>());
+  EXPECT_FALSE(router_.connect("c", 0, "d", 0).has_value());
+  EXPECT_TRUE(router_.connect("c", 0, "nope", 0).has_value());
+  EXPECT_TRUE(router_.connect("c", 5, "d", 0).has_value());   // no such output
+  EXPECT_TRUE(router_.connect("c", 0, "d", 2).has_value());   // no such input
+}
+
+TEST_F(RouterTest, InitializeReportsElementErrors) {
+  router_.add("src", std::make_unique<FromDevice>(),
+              {"NOT_A_SOURCE", "BYTES 64"});
+  const auto err = router_.initialize();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("src"), std::string::npos);
+}
+
+TEST_F(RouterTest, UpstreamOfFindsSingleFeeder) {
+  Element& c = router_.add("c", std::make_unique<Counter>());
+  Element& d = router_.add("d", std::make_unique<Counter>());
+  ASSERT_FALSE(router_.connect("c", 0, "d", 0).has_value());
+  EXPECT_EQ(router_.upstream_of(&d, 0), &c);
+  EXPECT_EQ(router_.upstream_of(&c, 0), nullptr);
+}
+
+TEST_F(RouterTest, UpstreamOfAmbiguousReturnsNull) {
+  router_.add("a", std::make_unique<Counter>());
+  router_.add("b", std::make_unique<Counter>());
+  Element& d = router_.add("d", std::make_unique<Counter>());
+  ASSERT_FALSE(router_.connect("a", 0, "d", 0).has_value());
+  ASSERT_FALSE(router_.connect("b", 0, "d", 0).has_value());
+  EXPECT_EQ(router_.upstream_of(&d, 0), nullptr);
+}
+
+TEST_F(RouterTest, InstallRequiresDriver) {
+  router_.add("c", std::make_unique<Counter>());
+  ASSERT_FALSE(router_.initialize().has_value());
+  EXPECT_TRUE(router_.install_tasks().has_value());
+}
+
+TEST_F(RouterTest, InstallBindsDriverToCore) {
+  router_.add("src", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64"});
+  router_.add("out", std::make_unique<ToDevice>());
+  ASSERT_FALSE(router_.connect("src", 0, "out", 0).has_value());
+  ASSERT_FALSE(router_.initialize().has_value());
+  ASSERT_FALSE(router_.install_tasks().has_value());
+  EXPECT_NE(machine_.task(0), nullptr);
+  router_.remove_tasks();
+  EXPECT_EQ(machine_.task(0), nullptr);
+}
+
+TEST_F(RouterTest, BindDriverMovesCore) {
+  router_.add("src", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64"});
+  router_.add("out", std::make_unique<ToDevice>());
+  ASSERT_FALSE(router_.connect("src", 0, "out", 0).has_value());
+  ASSERT_FALSE(router_.bind_driver("src", 4).has_value());
+  ASSERT_FALSE(router_.initialize().has_value());
+  ASSERT_FALSE(router_.install_tasks().has_value());
+  EXPECT_EQ(machine_.task(0), nullptr);
+  EXPECT_NE(machine_.task(4), nullptr);
+}
+
+TEST_F(RouterTest, BindDriverRejectsNonDriver) {
+  router_.add("c", std::make_unique<Counter>());
+  EXPECT_TRUE(router_.bind_driver("c", 1).has_value());
+  EXPECT_TRUE(router_.bind_driver("nope", 1).has_value());
+}
+
+TEST_F(RouterTest, DoubleBookedCoreFailsInstall) {
+  router_.add("s1", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64"});
+  router_.add("o1", std::make_unique<ToDevice>());
+  router_.add("s2", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64"});
+  router_.add("o2", std::make_unique<ToDevice>());
+  ASSERT_FALSE(router_.connect("s1", 0, "o1", 0).has_value());
+  ASSERT_FALSE(router_.connect("s2", 0, "o2", 0).has_value());
+  ASSERT_FALSE(router_.initialize().has_value());
+  EXPECT_TRUE(router_.install_tasks().has_value());  // both default to core 0
+}
+
+TEST_F(RouterTest, RunsEndToEnd) {
+  router_.add("src", std::make_unique<FromDevice>(), {"RANDOM", "BYTES 64"});
+  router_.add("cnt", std::make_unique<Counter>());
+  router_.add("out", std::make_unique<ToDevice>());
+  ASSERT_FALSE(router_.connect("src", 0, "cnt", 0).has_value());
+  ASSERT_FALSE(router_.connect("cnt", 0, "out", 0).has_value());
+  ASSERT_FALSE(router_.initialize().has_value());
+  ASSERT_FALSE(router_.install_tasks().has_value());
+  machine_.run_until(100000);
+  auto* cnt = dynamic_cast<Counter*>(router_.find("cnt"));
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_GT(cnt->count(), 0U);
+  EXPECT_EQ(machine_.core(0).counters().packets, cnt->count());
+}
+
+}  // namespace
+}  // namespace pp::click

@@ -1,0 +1,74 @@
+#include "core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::core {
+namespace {
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest() : tb_(Scale::kQuick, 1), solo_(tb_, 1), sweep_(solo_, 5), pred_(solo_, sweep_) {}
+
+  Testbed tb_;
+  SoloProfiler solo_;
+  SweepProfiler sweep_;
+  ContentionPredictor pred_;
+};
+
+TEST_F(PredictorTest, SoloRefsMatchProfiler) {
+  EXPECT_DOUBLE_EQ(pred_.solo_refs_per_sec(FlowType::kFw),
+                   solo_.profile(FlowType::kFw).refs_per_sec());
+}
+
+TEST_F(PredictorTest, PredictSumsCompetitorRefs) {
+  // predict() must equal predict_known() at the sum of solo refs.
+  const std::vector<FlowType> comps = {FlowType::kFw, FlowType::kFw, FlowType::kFw,
+                                       FlowType::kFw, FlowType::kFw};
+  double sum = 0;
+  for (const FlowType c : comps) sum += pred_.solo_refs_per_sec(c);
+  EXPECT_DOUBLE_EQ(pred_.predict(FlowType::kMon, comps),
+                   pred_.predict_known(FlowType::kMon, sum));
+}
+
+TEST_F(PredictorTest, MorePressureNeverPredictsLess) {
+  pred_.profile(FlowType::kMon);
+  const double low = pred_.predict_known(FlowType::kMon, 20e6);
+  const double high = pred_.predict_known(FlowType::kMon, 250e6);
+  EXPECT_LE(low, high);
+  EXPECT_GT(high, 5.0);
+}
+
+TEST_F(PredictorTest, InsensitiveTargetPredictsSmallDrop) {
+  // FW has almost no L3 hits to lose: even heavy competition predicts a
+  // small drop relative to MON's.
+  const double fw = pred_.predict_known(FlowType::kFw, 200e6);
+  const double mon = pred_.predict_known(FlowType::kMon, 200e6);
+  EXPECT_LT(fw, mon);
+}
+
+TEST_F(PredictorTest, ProfileIsIdempotent) {
+  pred_.profile(FlowType::kVpn);
+  const auto& curve1 = pred_.curve(FlowType::kVpn);
+  pred_.profile(FlowType::kVpn);
+  const auto& curve2 = pred_.curve(FlowType::kVpn);
+  EXPECT_EQ(&curve1, &curve2);  // cached, not re-measured
+}
+
+// End-to-end prediction accuracy on one mix (quick-scale smoke version of
+// Figure 8; the bench reproduces the full matrix).
+TEST_F(PredictorTest, PairwisePredictionWithinTolerance) {
+  const FlowType target = FlowType::kMon;
+  const FlowType comp = FlowType::kFw;
+  RunConfig cfg = tb_.configure({FlowSpec::of(target)});
+  for (int i = 0; i < 5; ++i) {
+    cfg.flows.push_back(FlowSpec::of(comp, i + 2));
+    cfg.placement.push_back(FlowPlacement{1 + i, -1});
+  }
+  const auto run = tb_.run(cfg);
+  const double actual = drop_pct(solo_.profile(target), run[0]);
+  const double predicted = pred_.predict(target, {comp, comp, comp, comp, comp});
+  EXPECT_NEAR(predicted, actual, 6.0);
+}
+
+}  // namespace
+}  // namespace pp::core

@@ -1,0 +1,99 @@
+#include "model/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::model {
+namespace {
+
+constexpr double kDelta = 43.75e-9;  // the paper's miss-vs-hit penalty
+
+// Figure 6's annotated example: a flow with ~20M hits/sec caps at ~47%.
+TEST(Equation1, PaperWorstCaseExample) {
+  EXPECT_NEAR(worst_case_drop(20e6, kDelta) * 100.0, 46.7, 1.0);
+}
+
+TEST(Equation1, ZeroHitsMeansZeroDrop) {
+  EXPECT_DOUBLE_EQ(worst_case_drop(0, kDelta), 0.0);
+  EXPECT_DOUBLE_EQ(performance_drop(10e6, kDelta, 0.0), 0.0);
+}
+
+TEST(Equation1, MonotoneInEveryArgument) {
+  EXPECT_LT(performance_drop(5e6, kDelta, 0.5), performance_drop(10e6, kDelta, 0.5));
+  EXPECT_LT(performance_drop(10e6, kDelta, 0.3), performance_drop(10e6, kDelta, 0.6));
+  EXPECT_LT(performance_drop(10e6, 30e-9, 1.0), performance_drop(10e6, 60e-9, 1.0));
+}
+
+TEST(Equation1, ApproachesOneForHugeHitRates) {
+  EXPECT_GT(worst_case_drop(1e9, kDelta), 0.95);
+  EXPECT_LT(worst_case_drop(1e9, kDelta), 1.0);
+}
+
+TEST(Equation1, MatchesClosedForm) {
+  // drop = 1 / (1 + 1/(delta*kappa*h))
+  const double h = 15e6;
+  const double kappa = 0.7;
+  const double x = kDelta * kappa * h;
+  EXPECT_NEAR(performance_drop(h, kDelta, kappa), 1.0 / (1.0 + 1.0 / x), 1e-12);
+}
+
+CacheModelParams mon_like(double competing) {
+  CacheModelParams p;
+  p.cache_lines = 196608;        // 12MB / 64B
+  p.target_chunks = 120000;      // ~MON's cacheable chunks
+  p.target_hits_per_sec = 21e6;  // Table 1 MON
+  p.competing_refs_per_sec = competing;
+  return p;
+}
+
+TEST(AppendixModel, NoCompetitionMeansNoConversion) {
+  EXPECT_DOUBLE_EQ(conversion_rate(mon_like(0)), 0.0);
+  EXPECT_DOUBLE_EQ(hit_probability(mon_like(0)), 1.0);
+}
+
+TEST(AppendixModel, ConversionMonotoneInCompetition) {
+  double prev = -1;
+  for (double refs = 0; refs <= 300e6; refs += 25e6) {
+    const double c = conversion_rate(mon_like(refs));
+    EXPECT_GE(c, prev);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+// The paper's Figure 7 narrative: a sharp rise followed by a plateau —
+// most convertible hits are converted by ~50M competing refs/sec.
+TEST(AppendixModel, SharpRiseThenPlateau) {
+  const double at25 = conversion_rate(mon_like(25e6));
+  const double at50 = conversion_rate(mon_like(50e6));
+  const double at250 = conversion_rate(mon_like(250e6));
+  EXPECT_GT(at50, 0.5);                  // most conversion happens early
+  EXPECT_LT(at250 - at50, at50 - 0.0);   // later growth is slower than the rise
+  EXPECT_GT(at50 - at25, (at250 - at50) / 4);
+}
+
+TEST(AppendixModel, BiggerCacheConvertsLess) {
+  CacheModelParams small = mon_like(100e6);
+  CacheModelParams big = mon_like(100e6);
+  big.cache_lines *= 4;
+  EXPECT_LT(conversion_rate(big), conversion_rate(small));
+}
+
+TEST(AppendixModel, HotterTargetResistsConversion) {
+  // Fewer chunks at the same hit rate = shorter reuse distance = survives.
+  CacheModelParams spread = mon_like(100e6);
+  CacheModelParams hot = mon_like(100e6);
+  hot.target_chunks /= 100;
+  EXPECT_LT(conversion_rate(hot), conversion_rate(spread));
+}
+
+TEST(ModelDrop, CombinesConversionWithEquation1) {
+  const CacheModelParams p = mon_like(100e6);
+  const double d = model_drop(p, kDelta);
+  EXPECT_NEAR(d, performance_drop(p.target_hits_per_sec, kDelta, conversion_rate(p)), 1e-12);
+  EXPECT_GT(d, 0.1);
+  EXPECT_LT(d, 0.6);
+}
+
+}  // namespace
+}  // namespace pp::model

@@ -1,0 +1,102 @@
+#include "net/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/firewall.hpp"
+
+namespace pp::net {
+namespace {
+
+TEST(PrefixTable, HasRequestedSizeAndDefaultRoute) {
+  Pcg32 rng{1};
+  const auto table = generate_prefix_table(1000, rng);
+  EXPECT_EQ(table.size(), 1000U);
+  EXPECT_EQ(table[0].len, 0);  // default route first
+}
+
+TEST(PrefixTable, PrefixesAreDistinctAndCanonical) {
+  Pcg32 rng{2};
+  const auto table = generate_prefix_table(5000, rng);
+  std::set<std::pair<std::uint32_t, int>> seen;
+  for (const auto& e : table) {
+    EXPECT_LE(e.len, 32);
+    if (e.len > 0) {
+      const std::uint32_t mask = ~((1ULL << (32 - e.len)) - 1) & 0xffffffffU;
+      EXPECT_EQ(e.prefix & mask, e.prefix) << "prefix has bits below its length";
+    }
+    EXPECT_TRUE(seen.emplace(e.prefix, e.len).second);
+  }
+}
+
+TEST(PrefixTable, LengthDistributionSkewsTo24) {
+  Pcg32 rng{3};
+  const auto table = generate_prefix_table(20000, rng);
+  int len24 = 0;
+  for (const auto& e : table) len24 += e.len == 24 ? 1 : 0;
+  EXPECT_GT(len24, 20000 / 3);
+}
+
+TEST(PrefixTable, NextHopsWithinPortCount) {
+  Pcg32 rng{4};
+  const auto table = generate_prefix_table(1000, rng, 6);
+  for (const auto& e : table) EXPECT_LT(e.next_hop, 6);
+}
+
+TEST(Rules, GeneratedCountAndShape) {
+  Pcg32 rng{5};
+  const auto rules = generate_rules(1000, rng);
+  EXPECT_EQ(rules.size(), 1000U);
+  for (const auto& r : rules) {
+    EXPECT_GE(r.dst_len, 9);
+    EXPECT_EQ(r.dst_prefix & 0x80000000U, 0U) << "rules must live in 0.0.0.0/1";
+    EXPECT_LE(r.dport_min, r.dport_max);
+  }
+}
+
+// The paper's crafted FW traffic never matches any rule: every packet with
+// the dst high bit set must scan all 1000 rules.
+TEST(Rules, HighBitTrafficNeverMatches) {
+  Pcg32 rng{6};
+  const auto rules = generate_rules(1000, rng);
+  Pcg32 traffic_rng{7};
+  const auto pool = generate_flow_pool(2000, traffic_rng, /*dst_high_bit=*/true);
+  for (const auto& t : pool) {
+    apps::PacketFields f{t.src, t.dst, t.sport, t.dport, t.proto};
+    for (const auto& r : rules) {
+      ASSERT_FALSE(apps::rule_matches(r, f));
+    }
+  }
+}
+
+TEST(FlowPool, TuplesDistinct) {
+  Pcg32 rng{8};
+  const auto pool = generate_flow_pool(10000, rng);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint16_t, std::uint16_t, std::uint8_t>>
+      seen;
+  for (const auto& t : pool) {
+    EXPECT_TRUE(seen.emplace(t.src, t.dst, t.sport, t.dport, t.proto).second);
+  }
+}
+
+TEST(FlowPool, HighBitControlsDstSpace) {
+  Pcg32 rng{9};
+  for (const auto& t : generate_flow_pool(500, rng, true)) {
+    EXPECT_NE(t.dst & 0x80000000U, 0U);
+  }
+  for (const auto& t : generate_flow_pool(500, rng, false)) {
+    EXPECT_LE(t.sport, 65535);  // no constraint on dst; sanity only
+  }
+}
+
+TEST(FlowPool, Deterministic) {
+  Pcg32 a{10};
+  Pcg32 b{10};
+  const auto pa = generate_flow_pool(100, a);
+  const auto pb = generate_flow_pool(100, b);
+  EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin()));
+}
+
+}  // namespace
+}  // namespace pp::net

@@ -1,0 +1,144 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "net/checksum.hpp"
+
+namespace pp::net {
+namespace {
+
+TEST(Ipv4, EncodeDecodeRoundtrip) {
+  Ipv4Fields f;
+  f.total_length = 1500;
+  f.id = 0x1234;
+  f.ttl = 63;
+  f.protocol = kProtoTcp;
+  f.src = 0x0a000001;
+  f.dst = 0xc0a80102;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  const Ipv4Fields g = decode_ipv4(buf);
+  EXPECT_EQ(g.total_length, f.total_length);
+  EXPECT_EQ(g.id, f.id);
+  EXPECT_EQ(g.ttl, f.ttl);
+  EXPECT_EQ(g.protocol, f.protocol);
+  EXPECT_EQ(g.src, f.src);
+  EXPECT_EQ(g.dst, f.dst);
+  EXPECT_TRUE(checksum_ok({buf, 20}));
+}
+
+TEST(Ipv4, ValidateAcceptsGoodHeader) {
+  Ipv4Fields f;
+  f.total_length = 40;
+  std::uint8_t buf[40] = {};
+  encode_ipv4(f, buf);
+  EXPECT_FALSE(validate_ipv4({buf, 40}).has_value());
+}
+
+TEST(Ipv4, ValidateRejectsBadVersion) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  buf[0] = (6 << 4) | 5;  // IPv6 version nibble
+  EXPECT_TRUE(validate_ipv4({buf, 20}).has_value());
+}
+
+TEST(Ipv4, ValidateRejectsBadChecksum) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  buf[10] ^= 0xff;
+  EXPECT_TRUE(validate_ipv4({buf, 20}).has_value());
+}
+
+TEST(Ipv4, ValidateRejectsTruncation) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  EXPECT_TRUE(validate_ipv4({buf, 10}).has_value());
+}
+
+TEST(Ipv4, ValidateRejectsLengthBeyondBuffer) {
+  Ipv4Fields f;
+  f.total_length = 100;  // claims more than the buffer holds
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  EXPECT_TRUE(validate_ipv4({buf, 20}).has_value());
+}
+
+TEST(Ipv4, ValidateRejectsBadIhl) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  buf[0] = (4 << 4) | 3;  // IHL below minimum
+  EXPECT_TRUE(validate_ipv4({buf, 20}).has_value());
+}
+
+TEST(DecTtl, DecrementsAndKeepsChecksumValid) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  f.ttl = 64;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  EXPECT_TRUE(dec_ttl_in_place(buf));
+  EXPECT_EQ(buf[8], 63);
+  EXPECT_TRUE(checksum_ok({buf, 20}));
+}
+
+TEST(DecTtl, RepeatedDecrementsStayValid) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  f.ttl = 10;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dec_ttl_in_place(buf));
+    ASSERT_TRUE(checksum_ok({buf, 20}));
+  }
+  EXPECT_EQ(buf[8], 2);
+}
+
+TEST(DecTtl, RejectsExpiring) {
+  Ipv4Fields f;
+  f.total_length = 20;
+  f.ttl = 1;
+  std::uint8_t buf[20];
+  encode_ipv4(f, buf);
+  EXPECT_FALSE(dec_ttl_in_place(buf));
+  EXPECT_EQ(buf[8], 1);  // unchanged
+}
+
+TEST(Ports, DecodeFromL4) {
+  std::uint8_t l4[4];
+  store_be16(&l4[0], 1234);
+  store_be16(&l4[2], 80);
+  const TransportPorts p = decode_ports(l4);
+  EXPECT_EQ(p.src, 1234);
+  EXPECT_EQ(p.dst, 80);
+}
+
+TEST(Ipv4String, FormatAndParse) {
+  EXPECT_EQ(ipv4_to_string(0xc0a80101), "192.168.1.1");
+  EXPECT_EQ(ipv4_from_string("192.168.1.1"), 0xc0a80101U);
+  EXPECT_EQ(ipv4_from_string("0.0.0.0"), 0U);
+  EXPECT_EQ(ipv4_from_string("255.255.255.255"), 0xffffffffU);
+  EXPECT_FALSE(ipv4_from_string("1.2.3").has_value());
+  EXPECT_FALSE(ipv4_from_string("1.2.3.256").has_value());
+  EXPECT_FALSE(ipv4_from_string("a.b.c.d").has_value());
+}
+
+TEST(Ipv4String, RoundtripRandom) {
+  Pcg32 rng{42};
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t a = rng.next();
+    EXPECT_EQ(ipv4_from_string(ipv4_to_string(a)), a);
+  }
+}
+
+}  // namespace
+}  // namespace pp::net

@@ -1,0 +1,126 @@
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/headers.hpp"
+
+namespace pp::net {
+namespace {
+
+PacketBuf make_buf(std::uint32_t capacity) {
+  PacketBuf p;
+  p.bytes.assign(capacity, 0);
+  return p;
+}
+
+TEST(BuildPacket, ProducesValidIpv4) {
+  PacketBuf p = make_buf(128);
+  FiveTuple t{0x01020304, 0x85060708, 1000, 2000, kProtoUdp};
+  p.len = build_udp_packet({p.bytes.data(), p.bytes.size()}, t, 32);
+  EXPECT_EQ(p.len, kEthHeaderBytes + kIpv4MinHeaderBytes + kUdpHeaderBytes + 32);
+  EXPECT_FALSE(validate_ipv4(p.l3()).has_value());
+  const Ipv4Fields ip = decode_ipv4(p.l3());
+  EXPECT_EQ(ip.src, t.src);
+  EXPECT_EQ(ip.dst, t.dst);
+  EXPECT_EQ(ip.protocol, kProtoUdp);
+  const TransportPorts ports = decode_ports(p.l4());
+  EXPECT_EQ(ports.src, 1000);
+  EXPECT_EQ(ports.dst, 2000);
+}
+
+TEST(BuildPacket, TcpVariant) {
+  PacketBuf p = make_buf(128);
+  FiveTuple t{1, 0x80000002, 10, 20, kProtoTcp};
+  p.len = build_udp_packet({p.bytes.data(), p.bytes.size()}, t, 16);
+  const Ipv4Fields ip = decode_ipv4(p.l3());
+  EXPECT_EQ(ip.protocol, kProtoTcp);
+  EXPECT_EQ(ip.total_length, kIpv4MinHeaderBytes + kTcpMinHeaderBytes + 16);
+}
+
+TEST(RandomTraffic, EveryPacketValidAndSized) {
+  RandomTraffic src(64, 1);
+  PacketBuf p = make_buf(64);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(src.fill(p), 64U);
+    ASSERT_FALSE(validate_ipv4(p.l3()).has_value());
+    const Ipv4Fields ip = decode_ipv4(p.l3());
+    EXPECT_NE(ip.dst & 0x80000000U, 0U);  // out of the firewall space
+  }
+}
+
+TEST(RandomTraffic, DestinationsVary) {
+  RandomTraffic src(64, 2);
+  PacketBuf p = make_buf(64);
+  std::set<std::uint32_t> dsts;
+  for (int i = 0; i < 200; ++i) {
+    (void)src.fill(p);
+    dsts.insert(decode_ipv4(p.l3()).dst);
+  }
+  EXPECT_GT(dsts.size(), 195U);
+}
+
+TEST(FlowPoolTraffic, DrawsFromFixedPool) {
+  FlowPoolTraffic src(64, 3, 100);
+  PacketBuf p = make_buf(64);
+  std::set<std::uint32_t> dsts;
+  for (int i = 0; i < 2000; ++i) {
+    (void)src.fill(p);
+    ASSERT_FALSE(validate_ipv4(p.l3()).has_value());
+    dsts.insert(decode_ipv4(p.l3()).dst);
+  }
+  EXPECT_LE(dsts.size(), 100U);
+  EXPECT_GT(dsts.size(), 90U);  // nearly all flows seen
+}
+
+TEST(ContentTraffic, ZeroRedundancyIsFresh) {
+  ContentTraffic src(512, 4, 0.0);
+  PacketBuf a = make_buf(512);
+  PacketBuf b = make_buf(512);
+  (void)src.fill(a);
+  (void)src.fill(b);
+  // Payloads differ.
+  EXPECT_NE(std::vector<std::uint8_t>(a.bytes.begin() + 42, a.bytes.end()),
+            std::vector<std::uint8_t>(b.bytes.begin() + 42, b.bytes.end()));
+}
+
+TEST(ContentTraffic, HighRedundancyRepeatsPayloads) {
+  ContentTraffic src(512, 5, 0.9);
+  PacketBuf p = make_buf(512);
+  std::set<std::uint64_t> payload_hashes;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    (void)src.fill(p);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t j = 42; j < p.len; ++j) h = (h ^ p.bytes[j]) * 1099511628211ULL;
+    payload_hashes.insert(h);
+  }
+  // With 90% redundancy, far fewer distinct payloads than packets.
+  EXPECT_LT(payload_hashes.size(), n / 2U);
+}
+
+TEST(ContentTraffic, PacketsAlwaysUdpAndValid) {
+  ContentTraffic src(1500, 6, 0.5);
+  PacketBuf p = make_buf(1500);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(src.fill(p), 1500U);
+    ASSERT_FALSE(validate_ipv4(p.l3()).has_value());
+    EXPECT_EQ(decode_ipv4(p.l3()).protocol, kProtoUdp);
+  }
+}
+
+TEST(Traffic, DeterministicAcrossInstances) {
+  RandomTraffic a(64, 77);
+  RandomTraffic b(64, 77);
+  PacketBuf pa = make_buf(64);
+  PacketBuf pb = make_buf(64);
+  for (int i = 0; i < 50; ++i) {
+    (void)a.fill(pa);
+    (void)b.fill(pb);
+    EXPECT_EQ(pa.bytes, pb.bytes);
+  }
+}
+
+}  // namespace
+}  // namespace pp::net

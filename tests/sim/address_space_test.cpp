@@ -1,0 +1,58 @@
+#include "sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::sim {
+namespace {
+
+TEST(AddressSpace, NeverReturnsZero) {
+  AddressSpace as(2);
+  EXPECT_NE(as.alloc(1, 0), 0U);
+}
+
+TEST(AddressSpace, DomainEncodedInHighBits) {
+  AddressSpace as(2);
+  const Addr a0 = as.alloc(64, 0);
+  const Addr a1 = as.alloc(64, 1);
+  EXPECT_EQ(domain_of(a0), 0);
+  EXPECT_EQ(domain_of(a1), 1);
+}
+
+TEST(AddressSpace, RespectsAlignment) {
+  AddressSpace as(1);
+  (void)as.alloc(3, 0, 1);
+  const Addr a = as.alloc(64, 0, 4096);
+  EXPECT_EQ(a % 4096, 0U);
+}
+
+TEST(AddressSpace, AllocationsDoNotOverlap) {
+  AddressSpace as(1);
+  const Addr a = as.alloc(100, 0);
+  const Addr b = as.alloc(100, 0);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(AddressSpace, TracksAllocatedBytes) {
+  AddressSpace as(2);
+  (void)as.alloc(128, 0, 64);
+  EXPECT_GE(as.allocated(0), 128U);
+  EXPECT_EQ(as.allocated(1), 0U);
+}
+
+TEST(Region, IndexesByStride) {
+  AddressSpace as(1);
+  const Region r = Region::make(as, 0, 32, 10);
+  EXPECT_EQ(r.at(3), r.base() + 96);
+  EXPECT_EQ(r.count(), 10U);
+  EXPECT_EQ(r.bytes(), 320U);
+}
+
+TEST(Region, SeparateRegionsDisjoint) {
+  AddressSpace as(1);
+  const Region a = Region::make(as, 0, 64, 4);
+  const Region b = Region::make(as, 0, 64, 4);
+  EXPECT_GE(b.base(), a.base() + a.bytes());
+}
+
+}  // namespace
+}  // namespace pp::sim

@@ -1,0 +1,95 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::sim {
+namespace {
+
+// Tiny cache: 4 sets x 2 ways, 64B lines (512 bytes).
+CacheGeometry tiny() { return CacheGeometry{512, 2}; }
+
+TEST(Cache, MissThenHit) {
+  Cache c(tiny());
+  EXPECT_EQ(c.find(1), -1);
+  (void)c.insert(1, false, 0);
+  EXPECT_GE(c.find(1), 0);
+}
+
+TEST(Cache, EvictsLruWayWithinSet) {
+  Cache c(tiny());
+  // Lines 0, 4, 8 map to set 0 (4 sets).
+  (void)c.insert(0, false, 0);
+  (void)c.insert(4, false, 0);
+  // Touch line 0 so line 4 is LRU.
+  c.touch_lru(0, c.find(0));
+  const Cache::Eviction ev = c.insert(8, false, 0);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.tag, 4U);
+  EXPECT_GE(c.find(0), 0);
+  EXPECT_EQ(c.find(4), -1);
+}
+
+TEST(Cache, EvictionReportsDirtyAndMask) {
+  Cache c(tiny());
+  (void)c.insert(0, true, 0b101);
+  (void)c.insert(4, false, 0);
+  const Cache::Eviction ev = c.insert(8, false, 0);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.tag, 0U);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.core_mask, 0b101);
+}
+
+TEST(Cache, DifferentSetsDoNotConflict) {
+  Cache c(tiny());
+  for (Addr line = 0; line < 4; ++line) (void)c.insert(line, false, 0);
+  for (Addr line = 0; line < 4; ++line) EXPECT_GE(c.find(line), 0);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness) {
+  Cache c(tiny());
+  (void)c.insert(3, true, 0);
+  EXPECT_TRUE(c.invalidate(3));
+  EXPECT_EQ(c.find(3), -1);
+  EXPECT_FALSE(c.invalidate(3));  // already gone
+}
+
+TEST(Cache, OccupancyAndClear) {
+  Cache c(tiny());
+  (void)c.insert(0, false, 0);
+  (void)c.insert(1, false, 0);
+  EXPECT_EQ(c.occupancy(), 2U);
+  c.clear();
+  EXPECT_EQ(c.occupancy(), 0U);
+  EXPECT_EQ(c.find(0), -1);
+}
+
+TEST(Cache, LineStateMutable) {
+  Cache c(tiny());
+  (void)c.insert(2, false, 0);
+  const int w = c.find(2);
+  ASSERT_GE(w, 0);
+  c.line_at(2, w).dirty = true;
+  c.line_at(2, w).core_mask |= 0b10;
+  EXPECT_TRUE(c.line_at(2, w).dirty);
+  EXPECT_EQ(c.line_at(2, w).core_mask, 0b10);
+}
+
+TEST(Cache, InsertPrefersInvalidWay) {
+  Cache c(tiny());
+  (void)c.insert(0, false, 0);
+  const Cache::Eviction ev = c.insert(4, false, 0);  // second way free
+  EXPECT_FALSE(ev.valid);
+}
+
+// Geometry checks on the real configurations.
+TEST(CacheGeometry, PaperConfigurations) {
+  const MachineConfig cfg;
+  EXPECT_EQ(cfg.l1.num_sets(), 64U);
+  EXPECT_EQ(cfg.l2.num_sets(), 512U);
+  EXPECT_EQ(cfg.l3.num_sets(), 16384U);
+  EXPECT_EQ(cfg.l3.num_lines() * kLineBytes, 12U * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace pp::sim

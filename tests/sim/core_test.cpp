@@ -1,0 +1,108 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::sim {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  MachineConfig cfg_;
+  MemorySystem ms_{cfg_};
+  Core core_{0, &ms_};
+};
+
+TEST_F(CoreTest, ComputeChargesAtConfiguredIpc) {
+  core_.compute(100);  // ipc = 2
+  EXPECT_EQ(core_.now(), 50U);
+  EXPECT_EQ(core_.counters().instructions, 100U);
+  core_.compute(1);  // rounds up
+  EXPECT_EQ(core_.now(), 51U);
+}
+
+TEST_F(CoreTest, DependentMissPaysFullLatency) {
+  const Cycles before = core_.now();
+  core_.load(0x40, /*dependent=*/true);
+  EXPECT_GE(core_.now() - before, 1 + cfg_.l3_latency + cfg_.dram_extra);
+}
+
+TEST_F(CoreTest, IndependentMissOverlapsByMlp) {
+  Core other{1, &ms_};
+  const Cycles before = other.now();
+  other.load(0x80, /*dependent=*/false);
+  const Cycles dep_cost = 1 + cfg_.l3_latency + cfg_.dram_extra;
+  EXPECT_LT(other.now() - before, dep_cost);
+  EXPECT_GE(other.now() - before,
+            1 + (cfg_.l3_latency + cfg_.dram_extra) / static_cast<Cycles>(cfg_.mlp));
+}
+
+TEST_F(CoreTest, StreamTouchesEveryLine) {
+  core_.stream(0x1000, 256, AccessType::kRead);  // 4 lines
+  EXPECT_EQ(core_.counters().l1_hits + core_.counters().l1_misses, 4U);
+}
+
+TEST_F(CoreTest, StreamSpansPartialLines) {
+  core_.stream(0x1000 + 60, 8, AccessType::kRead);  // crosses a boundary
+  EXPECT_EQ(core_.counters().l1_misses, 2U);
+}
+
+TEST_F(CoreTest, AttributionMirrorsCounters) {
+  Counters elem;
+  {
+    AttributionScope scope(core_, &elem);
+    core_.compute(10);
+    core_.load(0x40);
+  }
+  core_.compute(10);  // outside the scope
+  EXPECT_EQ(elem.instructions, 11U);
+  EXPECT_EQ(core_.counters().instructions, 21U);
+  EXPECT_EQ(elem.l1_misses, 1U);
+}
+
+TEST_F(CoreTest, AttributionScopesNest) {
+  Counters outer;
+  Counters inner;
+  {
+    AttributionScope o(core_, &outer);
+    core_.compute(2);
+    {
+      AttributionScope i(core_, &inner);
+      core_.compute(4);
+    }
+    core_.compute(2);
+  }
+  EXPECT_EQ(outer.instructions, 4U);
+  EXPECT_EQ(inner.instructions, 4U);
+}
+
+TEST_F(CoreTest, PacketAndDropCounting) {
+  Counters elem;
+  AttributionScope scope(core_, &elem);
+  core_.count_packet();
+  core_.count_drop();
+  EXPECT_EQ(core_.counters().packets, 1U);
+  EXPECT_EQ(core_.counters().drops, 1U);
+  EXPECT_EQ(elem.packets, 1U);
+  EXPECT_EQ(elem.drops, 1U);
+}
+
+TEST_F(CoreTest, StallAdvancesTimeOnly) {
+  core_.stall(100);
+  EXPECT_EQ(core_.now(), 100U);
+  EXPECT_EQ(core_.counters().instructions, 0U);
+  EXPECT_EQ(core_.counters().cycles, 100U);
+}
+
+TEST_F(CoreTest, WarmRegionLoadsAllLines) {
+  AddressSpace as(1);
+  const Region r = Region::make(as, 0, 64, 32);
+  warm_region(core_, r);
+  EXPECT_EQ(core_.counters().l1_misses, 32U);
+  // All lines now resident.
+  Counters before = core_.counters();
+  warm_region(core_, r);
+  EXPECT_EQ(core_.counters().l1_hits - before.l1_hits, 32U);
+}
+
+}  // namespace
+}  // namespace pp::sim

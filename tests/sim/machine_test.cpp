@@ -1,0 +1,117 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pp::sim {
+namespace {
+
+/// Scripted task: advances its core by a fixed stride and logs its core id.
+class StrideTask final : public Task {
+ public:
+  StrideTask(Cycles stride, std::vector<int>* log, int id)
+      : stride_(stride), log_(log), id_(id) {}
+  void run(Core& core) override {
+    if (log_ != nullptr) log_->push_back(id_);
+    core.stall(stride_);
+  }
+
+ private:
+  Cycles stride_;
+  std::vector<int>* log_;
+  int id_;
+};
+
+TEST(Machine, RunsNothingWithoutTasks) {
+  Machine m;
+  m.run_until(1000);
+  EXPECT_EQ(m.max_time(), 0U);
+}
+
+TEST(Machine, MinClockSchedulingInterleavesFairly) {
+  Machine m;
+  std::vector<int> log;
+  StrideTask fast(10, &log, 0);
+  StrideTask slow(30, &log, 1);
+  m.set_task(0, &fast);
+  m.set_task(1, &slow);
+  m.run_until(300);
+  // Fast core should run ~3x as often.
+  const auto count = [&](int id) {
+    return std::count(log.begin(), log.end(), id);
+  };
+  EXPECT_NEAR(static_cast<double>(count(0)) / static_cast<double>(count(1)), 3.0, 0.5);
+}
+
+TEST(Machine, RunUntilStopsAtDeadline) {
+  Machine m;
+  StrideTask t(7, nullptr, 0);
+  m.set_task(3, &t);
+  m.run_until(100);
+  EXPECT_GE(m.core(3).now(), 100U);
+  EXPECT_LT(m.core(3).now(), 107U + 1U);
+}
+
+TEST(Machine, ZeroProgressTaskStillAdvances) {
+  class Lazy final : public Task {
+   public:
+    void run(Core&) override {}  // no progress
+  };
+  Machine m;
+  Lazy lazy;
+  m.set_task(0, &lazy);
+  m.run_until(50);  // must not hang
+  EXPECT_GE(m.core(0).now(), 50U);
+}
+
+TEST(Machine, AlignClocksNeverRewinds) {
+  Machine m;
+  m.core(0).set_now(100);
+  m.align_clocks(50);
+  EXPECT_EQ(m.core(0).now(), 100U);
+  m.align_clocks(200);
+  EXPECT_EQ(m.core(0).now(), 200U);
+  EXPECT_EQ(m.core(1).now(), 200U);
+}
+
+TEST(Machine, TaskRemovalStopsScheduling) {
+  Machine m;
+  std::vector<int> log;
+  StrideTask t(10, &log, 0);
+  m.set_task(0, &t);
+  m.run_until(50);
+  const std::size_t n = log.size();
+  m.set_task(0, nullptr);
+  m.run_until(500);
+  EXPECT_EQ(log.size(), n);
+}
+
+TEST(Machine, TopologyMatchesConfig) {
+  MachineConfig cfg;
+  cfg.sockets = 2;
+  cfg.cores_per_socket = 6;
+  Machine m(cfg);
+  EXPECT_EQ(m.num_cores(), 12);
+  EXPECT_EQ(m.core(7).socket(), 1);
+}
+
+TEST(Machine, CoresShareSocketL3) {
+  Machine m;
+  // Core 0 warms a line; core 1 hits it in the shared L3.
+  m.core(0).load(0x40);
+  Counters before = m.core(1).counters();
+  m.core(1).load(0x40);
+  const Counters delta = m.core(1).counters() - before;
+  EXPECT_EQ(delta.l3_refs, 1U);
+  EXPECT_EQ(delta.l3_misses, 0U);
+}
+
+TEST(Machine, MsToCyclesUsesClockRate) {
+  MachineConfig cfg;
+  cfg.ghz = 2.8;
+  EXPECT_EQ(cfg.ms_to_cycles(1.0), 2'800'000U);
+}
+
+}  // namespace
+}  // namespace pp::sim

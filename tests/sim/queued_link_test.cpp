@@ -1,0 +1,96 @@
+#include "sim/queued_link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::sim {
+namespace {
+
+TEST(QueuedLink, IdleLinkHasNoDelay) {
+  QueuedLink link(3, 17);
+  EXPECT_EQ(link.request(0, 1000), 0U);
+  // Far-apart requests never queue.
+  EXPECT_EQ(link.request(1, 100000), 0U);
+}
+
+TEST(QueuedLink, BurstBuildsBacklog) {
+  QueuedLink link(1, 10);
+  Cycles delay_sum = 0;
+  for (int i = 0; i < 10; ++i) delay_sum += link.request(0, 1000);  // same instant
+  EXPECT_GT(delay_sum, 0U);
+  // After enough time, the backlog has drained.
+  EXPECT_EQ(link.request(0, 100000), 0U);
+}
+
+TEST(QueuedLink, BacklogDrainsAtCapacity) {
+  QueuedLink link(2, 10);
+  for (int i = 0; i < 10; ++i) (void)link.request(0, 500);
+  // 100 service cycles over 2 channels need 50 cycles to drain.
+  EXPECT_GT(link.backlog(), 0U);
+  (void)link.request(0, 500 + 60);
+  EXPECT_LE(link.backlog(), 2U * 10U);  // only the new request remains
+}
+
+TEST(QueuedLink, PostsDoNotDelayReads) {
+  QueuedLink link(1, 10);
+  for (int i = 0; i < 50; ++i) link.post(0, 2000);  // DMA burst
+  // A demand read right after the burst skips the posted backlog.
+  const Cycles d = link.request(0, 2001);
+  EXPECT_LE(d, 10U);
+}
+
+TEST(QueuedLink, ReadsDrainBeforePosts) {
+  QueuedLink link(1, 10);
+  for (int i = 0; i < 5; ++i) (void)link.request(0, 100);
+  for (int i = 0; i < 5; ++i) link.post(0, 100);
+  // After 50 cycles, reads (50 cycles of work) drained; posts are still
+  // pending.
+  (void)link.request(0, 151);
+  EXPECT_GT(link.backlog(), 0U);
+}
+
+TEST(QueuedLink, PastStampedRequestSkipsBacklog) {
+  QueuedLink link(1, 10);
+  // A future-running core stamps work at t=10000.
+  for (int i = 0; i < 20; ++i) (void)link.request(0, 10000);
+  // A core running behind (t=500) must not wait for "future" work.
+  EXPECT_LE(link.request(0, 500), 10U);
+}
+
+TEST(QueuedLink, UtilizationRisesUnderLoad) {
+  QueuedLink link(1, 10);
+  // Saturating: one request per 10 cycles.
+  for (Cycles t = 0; t < 100000; t += 10) (void)link.request(0, t);
+  EXPECT_GT(link.utilization(), 0.8);
+  // And the M/D/1 term produces nonzero delay while the link stays hot.
+  EXPECT_GT(link.request(0, 100010), 0U);
+}
+
+TEST(QueuedLink, UtilizationDecaysWhenIdle) {
+  QueuedLink link(1, 10);
+  for (Cycles t = 0; t < 50000; t += 10) (void)link.request(0, t);
+  EXPECT_GT(link.utilization(), 0.5);
+  (void)link.request(0, 500000);  // long idle gap
+  EXPECT_LT(link.utilization(), 0.2);
+}
+
+TEST(QueuedLink, StatsCount) {
+  QueuedLink link(2, 5);
+  (void)link.request(0, 0);
+  link.post(1, 0);
+  EXPECT_EQ(link.requests(), 1U);
+  EXPECT_EQ(link.posts(), 1U);
+  EXPECT_EQ(link.busy_cycles(), 10U);
+  link.reset_stats();
+  EXPECT_EQ(link.requests(), 0U);
+}
+
+TEST(QueuedLink, ClearBacklogResets) {
+  QueuedLink link(1, 10);
+  for (int i = 0; i < 10; ++i) (void)link.request(0, 100);
+  link.clear_backlog();
+  EXPECT_EQ(link.backlog(), 0U);
+  EXPECT_EQ(link.request(0, 101), 0U);
+}
+
+}  // namespace
+}  // namespace pp::sim
