@@ -1,5 +1,7 @@
 #include "apps/elements.hpp"
 
+#include <algorithm>
+
 #include "click/args.hpp"
 #include "net/byteorder.hpp"
 #include "net/checksum.hpp"
@@ -70,14 +72,42 @@ std::optional<std::string> RadixIPLookup::initialize(click::ElementEnv& env) {
 
 void RadixIPLookup::prewarm(click::Context& cx) { trie_.prewarm(cx.core); }
 
+namespace {
+/// Destination address of a packet, or 0.0.0.0 for frames too short to
+/// carry one (l3() clamps truncated frames to an empty span; a lookup on
+/// 0.0.0.0 resolves to the default route like any unroutable packet).
+[[nodiscard]] std::uint32_t dst_of(const net::PacketBuf& p) {
+  const auto l3 = p.l3();
+  if (l3.size() < 20) return 0;
+  return net::load_be32(&l3[16]);
+}
+}  // namespace
+
 void RadixIPLookup::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   (void)port;
-  const auto l3 = p->l3();
-  const std::uint32_t dst = net::load_be32(&l3[16]);
+  const std::uint32_t dst = dst_of(*p);
   cx.core.compute(12);
   const std::int32_t out_port = trie_.lookup_sim(cx.core, dst);
   p->output_port = out_port < 0 ? std::uint16_t{0} : static_cast<std::uint16_t>(out_port);
   output(cx, 0, p);
+}
+
+void RadixIPLookup::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // lookup_sim_batch's lane arrays cap at 64; keep that in sync with the
+  // largest burst an element can receive.
+  static_assert(click::kMaxBatch <= 64);
+  std::uint32_t dsts[click::kMaxBatch] = {};
+  std::int32_t ports[click::kMaxBatch] = {};
+  for (int i = 0; i < n; ++i) {
+    dsts[i] = dst_of(*ps[i]);
+    cx.core.compute(12);
+  }
+  trie_.lookup_sim_batch(cx.core, dsts, ports, n);
+  for (int i = 0; i < n; ++i) {
+    ps[i]->output_port = ports[i] < 0 ? std::uint16_t{0} : static_cast<std::uint16_t>(ports[i]);
+  }
+  output_batch(cx, 0, ps, n);
 }
 
 // --------------------------------------------------------------- FlowStatistics
@@ -277,11 +307,45 @@ void SynProcessor::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   const std::uint64_t reads = triggered_ ? alt_reads_ : reads_;
   const std::uint64_t instr = triggered_ ? alt_instr_ : instr_;
   if (instr > 0) cx.core.compute(instr);
+  // Independent probes issued as one burst (identical access sequence;
+  // counter bookkeeping hoisted out of the loop).
+  addr_scratch_.resize(reads);
   for (std::uint64_t i = 0; i < reads; ++i) {
-    cx.core.load(table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))),
-                 /*dependent=*/false);
+    addr_scratch_[i] = table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count())));
   }
+  cx.core.access_many(addr_scratch_.data(), reads, sim::AccessType::kRead,
+                      /*dependent=*/false);
   output(cx, 0, p);
+}
+
+void SynProcessor::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // Same per-packet trigger evaluation, instruction charge, and probe
+  // addresses (same RNG sequence) as the per-packet path; the burst's
+  // independent probes are then issued as one access_many call so the
+  // counter bookkeeping is applied once per burst.
+  addr_scratch_.clear();
+  for (int i = 0; i < n; ++i) {
+    net::PacketBuf* p = ps[i];
+    ++packets_seen_;
+    if (!triggered_ && trig_off_ >= 0 && static_cast<std::size_t>(trig_off_) < p->len &&
+        p->bytes[static_cast<std::size_t>(trig_off_)] == trig_val_) {
+      triggered_ = true;
+    }
+    if (!triggered_ && trig_after_ > 0 && packets_seen_ >= trig_after_) {
+      triggered_ = true;
+    }
+    const std::uint64_t reads = triggered_ ? alt_reads_ : reads_;
+    const std::uint64_t instr = triggered_ ? alt_instr_ : instr_;
+    if (instr > 0) cx.core.compute(instr);
+    for (std::uint64_t r = 0; r < reads; ++r) {
+      addr_scratch_.push_back(
+          table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))));
+    }
+  }
+  cx.core.access_many(addr_scratch_.data(), addr_scratch_.size(), sim::AccessType::kRead,
+                      /*dependent=*/false);
+  output_batch(cx, 0, ps, n);
 }
 
 // -------------------------------------------------------------------- SynSource
@@ -309,10 +373,12 @@ void SynSource::prewarm(click::Context& cx) { sim::warm_region(cx.core, table_);
 
 void SynSource::run_once(click::Context& cx) {
   if (instr_ > 0) cx.core.compute(instr_);
+  addr_scratch_.resize(reads_);
   for (std::uint64_t i = 0; i < reads_; ++i) {
-    cx.core.load(table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))),
-                 /*dependent=*/false);
+    addr_scratch_[i] = table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count())));
   }
+  cx.core.access_many(addr_scratch_.data(), reads_, sim::AccessType::kRead,
+                      /*dependent=*/false);
   cx.core.count_packet();  // one work unit ("batch") for throughput accounting
 }
 

@@ -39,6 +39,7 @@ class RadixIPLookup final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
   std::uint64_t n_prefixes_ = 128'000;
@@ -142,6 +143,7 @@ class SynProcessor final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
   std::uint64_t reads_ = 4;
@@ -156,6 +158,7 @@ class SynProcessor final : public click::Element {
   bool triggered_ = false;
   sim::Region table_;
   Pcg32 rng_{1};
+  std::vector<sim::Addr> addr_scratch_;  // batched-probe staging (host side)
 };
 
 /// Packet-less synthetic driver: each batch performs COMPUTE instructions
@@ -187,6 +190,7 @@ class SynSource final : public click::Element, public click::Driver {
   std::uint64_t table_mb_ = 12;
   sim::Region table_;
   Pcg32 rng_{1};
+  std::vector<sim::Addr> addr_scratch_;  // batched-probe staging (host side)
 };
 
 /// Register all application elements.

@@ -1,5 +1,8 @@
 #include "apps/radix_trie.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "base/check.hpp"
 
 namespace pp::apps {
@@ -102,6 +105,50 @@ std::int32_t RadixTrie::lookup_sim(sim::Core& core, std::uint32_t addr) const {
     }
   }
   return best;
+}
+
+void RadixTrie::lookup_sim_batch(sim::Core& core, const std::uint32_t* addrs, std::int32_t* out,
+                                 int n) const {
+  PP_CHECK(attached_);
+  constexpr int kMaxLanes = 64;
+  PP_CHECK(n >= 0 && n <= kMaxLanes);
+  // Lane order sorted by destination address: lanes that currently sit on
+  // the same node are adjacent, so the level-major node loads below hit the
+  // L1 MRU fast path instead of re-probing the hierarchy per lane.
+  std::array<std::uint8_t, kMaxLanes> order;
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  std::sort(order.begin(), order.begin() + n,
+            [&](std::uint8_t a, std::uint8_t b) { return addrs[a] < addrs[b]; });
+
+  std::array<std::int32_t, kMaxLanes> cur;
+  std::array<std::int32_t, kMaxLanes> best;
+  for (int i = 0; i < n; ++i) {
+    core.load(region_.at(0));
+    cur[static_cast<std::size_t>(i)] = 0;
+    best[static_cast<std::size_t>(i)] = nodes_[0].port;
+  }
+  // `order` doubles as the compact active-lane list: lanes whose walk ended
+  // are squeezed out so each level only visits live lanes.
+  int active = n;
+  for (int depth = 0; depth < 32 && active > 0; ++depth) {
+    int kept = 0;
+    for (int i = 0; i < active; ++i) {
+      const std::uint8_t lane8 = order[static_cast<std::size_t>(i)];
+      const std::size_t lane = lane8;
+      const int bit = static_cast<int>((addrs[lane] >> (31 - depth)) & 1U);
+      core.compute(3);  // extract bit, compare, branch
+      const std::int32_t c = nodes_[static_cast<std::size_t>(cur[lane])].child[bit];
+      cur[lane] = c;
+      if (c < 0) continue;
+      core.load(region_.at(static_cast<std::size_t>(c)));  // dependent walk
+      if (nodes_[static_cast<std::size_t>(c)].port != kNoPort) {
+        best[lane] = nodes_[static_cast<std::size_t>(c)].port;
+      }
+      order[static_cast<std::size_t>(kept++)] = lane8;
+    }
+    active = kept;
+  }
+  for (int i = 0; i < n; ++i) out[i] = best[static_cast<std::size_t>(i)];
 }
 
 void RadixTrie::prewarm(sim::Core& core) const {

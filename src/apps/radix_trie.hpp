@@ -41,6 +41,14 @@ class RadixTrie {
   /// Longest-prefix-match with per-node simulated touches charged to `core`.
   [[nodiscard]] std::int32_t lookup_sim(sim::Core& core, std::uint32_t addr) const;
 
+  /// Batched lookups: the same per-address node touches and per-level
+  /// instructions as `lookup_sim`, issued level-major across the batch so
+  /// that shared top-of-trie lines collapse onto the L1 MRU fast path (the
+  /// lanes are walked in address-sorted order, clustering identical nodes).
+  /// Results land in `out[i]` for `addrs[i]`.
+  void lookup_sim_batch(sim::Core& core, const std::uint32_t* addrs, std::int32_t* out,
+                        int n) const;
+
   /// Touch all live node lines (warm start for measurements).
   void prewarm(sim::Core& core) const;
 

@@ -29,4 +29,15 @@ void Element::output(Context& cx, int port, net::PacketBuf* p) {
   ref.element->push(cx, ref.port, p);
 }
 
+void Element::output_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+  if (n <= 0) return;
+  if (!output_connected(port)) {
+    cx.core.counters().drops += static_cast<std::uint64_t>(n);
+    net::recycle_batch(cx.core, ps, static_cast<std::size_t>(n));
+    return;
+  }
+  const PortRef& ref = outputs_[static_cast<std::size_t>(port)];
+  ref.element->push_batch(cx, ref.port, ps, n);
+}
+
 }  // namespace pp::click

@@ -24,6 +24,11 @@ namespace pp::click {
 
 class Router;
 
+/// Largest burst a driver may produce and an element must accept in one
+/// `push_batch` call. Batch-aware elements size their partition scratch
+/// arrays with this.
+inline constexpr int kMaxBatch = 64;
+
 /// Per-invocation execution context. Carries the core the current task runs
 /// on; everything else is reachable through it.
 struct Context {
@@ -81,6 +86,14 @@ class Element {
     do_push(cx, port, p);
   }
 
+  /// Deliver a burst of `n` (<= kMaxBatch) packets to input `port`. The
+  /// attribution domain is entered once for the whole burst; elements
+  /// without a batch-aware override process the packets one by one.
+  void push_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+    sim::AttributionScope scope(cx.core, &stats_);
+    do_push_batch(cx, port, ps, n);
+  }
+
   void connect_output(int port, Element* dst, int dst_port);
   [[nodiscard]] bool output_connected(int port) const;
 
@@ -93,9 +106,20 @@ class Element {
  protected:
   virtual void do_push(Context& cx, int port, net::PacketBuf* p) = 0;
 
+  /// Batch processing hook. The default degrades to per-packet processing;
+  /// hot elements override it to amortize per-burst costs. May partition the
+  /// burst (drop some packets, forward the rest); `ps` may be mutated.
+  virtual void do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+    for (int i = 0; i < n; ++i) do_push(cx, port, ps[i]);
+  }
+
   /// Forward a packet out of `port`. An unconnected push output behaves as
   /// Discard (the buffer returns to its pool) so partial graphs stay safe.
   void output(Context& cx, int port, net::PacketBuf* p);
+
+  /// Forward a burst out of `port` (unconnected outputs recycle the whole
+  /// burst, as `output` does per packet).
+  void output_batch(Context& cx, int port, net::PacketBuf** ps, int n);
 
   sim::Counters stats_;
 

@@ -14,8 +14,7 @@ constexpr std::uint64_t kDecTtlInstr = 40;
 constexpr std::uint64_t kCounterInstr = 4;
 }  // namespace
 
-void CheckIPHeader::do_push(Context& cx, int port, net::PacketBuf* p) {
-  (void)port;
+bool CheckIPHeader::check_one(Context& cx, net::PacketBuf* p) {
   sim::Core& core = cx.core;
   // First touch of the packet in this flow: the header line (compulsory
   // miss after NIC DMA).
@@ -28,13 +27,27 @@ void CheckIPHeader::do_push(Context& cx, int port, net::PacketBuf* p) {
     } else {
       net::recycle(core, p);
     }
-    return;
+    return false;
   }
-  output(cx, 0, p);
+  return true;
 }
 
-void DecIPTTL::do_push(Context& cx, int port, net::PacketBuf* p) {
+void CheckIPHeader::do_push(Context& cx, int port, net::PacketBuf* p) {
   (void)port;
+  if (check_one(cx, p)) output(cx, 0, p);
+}
+
+void CheckIPHeader::do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  net::PacketBuf* good[kMaxBatch];
+  int ngood = 0;
+  for (int i = 0; i < n; ++i) {
+    if (check_one(cx, ps[i])) good[ngood++] = ps[i];
+  }
+  output_batch(cx, 0, good, ngood);
+}
+
+bool DecIPTTL::dec_one(Context& cx, net::PacketBuf* p) {
   sim::Core& core = cx.core;
   core.compute(kDecTtlInstr);
   const bool alive = net::dec_ttl_in_place(p->l3());
@@ -46,9 +59,24 @@ void DecIPTTL::do_push(Context& cx, int port, net::PacketBuf* p) {
     } else {
       net::recycle(core, p);
     }
-    return;
+    return false;
   }
-  output(cx, 0, p);
+  return true;
+}
+
+void DecIPTTL::do_push(Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  if (dec_one(cx, p)) output(cx, 0, p);
+}
+
+void DecIPTTL::do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  net::PacketBuf* alive_ps[kMaxBatch];
+  int nalive = 0;
+  for (int i = 0; i < n; ++i) {
+    if (dec_one(cx, ps[i])) alive_ps[nalive++] = ps[i];
+  }
+  output_batch(cx, 0, alive_ps, nalive);
 }
 
 std::optional<std::string> Counter::initialize(ElementEnv& env) {
@@ -70,6 +98,12 @@ void Discard::do_push(Context& cx, int port, net::PacketBuf* p) {
   (void)port;
   cx.core.count_drop();
   net::recycle(cx.core, p);
+}
+
+void Discard::do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  cx.core.count_drops(static_cast<std::uint64_t>(n));
+  net::recycle_batch(cx.core, ps, static_cast<std::size_t>(n));
 }
 
 std::optional<std::string> Classifier::configure(const std::vector<std::string>& args,

@@ -22,6 +22,12 @@ class CheckIPHeader final : public Element {
 
  protected:
   void do_push(Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) override;
+
+ private:
+  /// Charge + validate one packet. Returns true when the packet should
+  /// continue on output 0; false when it was routed to output 1 / recycled.
+  bool check_one(Context& cx, net::PacketBuf* p);
 };
 
 /// Decrements TTL and incrementally updates the checksum (RFC 1624);
@@ -33,6 +39,12 @@ class DecIPTTL final : public Element {
 
  protected:
   void do_push(Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) override;
+
+ private:
+  /// Charge + decrement one packet. Returns true when the packet is still
+  /// alive (continue on output 0); false when it was routed / recycled.
+  bool dec_one(Context& cx, net::PacketBuf* p);
 };
 
 /// Packet/byte counter with a simulated counter line (hot, per-flow).
@@ -61,6 +73,7 @@ class Discard final : public Element {
 
  protected:
   void do_push(Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) override;
 };
 
 /// Byte-pattern classifier, a subset of Click's: each configuration

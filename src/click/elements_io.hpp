@@ -28,6 +28,8 @@ class FromDevice final : public Element, public Driver {
   ///   POOL n       flow-pool size for FLOWPOOL (default 100k)
   ///   RED x        redundancy fraction for CONTENT (default 0)
   ///   BUFS n       buffer-pool depth (default 512)
+  ///   BATCH n      packets received per task invocation (default 1; at 1
+  ///                the original per-packet path runs unchanged)
   [[nodiscard]] std::optional<std::string> configure(const std::vector<std::string>& args,
                                                      ElementEnv& env) override;
   [[nodiscard]] std::optional<std::string> initialize(ElementEnv& env) override;
@@ -52,6 +54,7 @@ class FromDevice final : public Element, public Driver {
   double redundancy_ = 0.0;
   std::uint64_t pool_bufs_ = 2048;
   std::uint16_t port_no_ = 0;
+  std::uint64_t batch_ = 1;
 
   sim::Region desc_ring_;
   std::size_t desc_next_ = 0;
@@ -68,6 +71,7 @@ class ToDevice final : public Element {
 
  protected:
   void do_push(Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
   sim::Region desc_ring_;

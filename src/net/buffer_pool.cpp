@@ -42,7 +42,7 @@ PacketBuf* BufferPool::alloc(sim::Core& core) {
   // pool, so packet data continuously lands in fresh lines.
   const std::int32_t slot = free_[free_head_];
   core.load(list_.at(free_head_));  // read ring entry
-  free_head_ = (free_head_ + 1) % free_.size();
+  if (++free_head_ == free_.size()) free_head_ = 0;
   --free_count_;
   core.store(head_addr_);  // advance head
   core.compute(8);
@@ -72,13 +72,92 @@ void BufferPool::free(sim::Core& core, PacketBuf* p) {
   if (core.id() != owner_core_) core.store(lock_addr_);  // release
   PP_CHECK(free_count_ < free_.size());
   free_[free_tail_] = p->pool_slot;
-  free_tail_ = (free_tail_ + 1) % free_.size();
+  if (++free_tail_ == free_.size()) free_tail_ = 0;
   ++free_count_;
+}
+
+std::size_t BufferPool::alloc_batch(sim::Core& core, PacketBuf** out, std::size_t n) {
+  sim::AttributionScope scope(core, &stats_);
+  core.load(head_addr_);  // read ring head (once per burst)
+  std::size_t got = 0;
+  while (got < n && free_count_ > 0) {
+    const std::int32_t slot = free_[free_head_];
+    core.load(list_.at(free_head_));  // read ring entry
+    if (++free_head_ == free_.size()) free_head_ = 0;
+    --free_count_;
+    core.compute(8);
+    PacketBuf& p = slots_[static_cast<std::size_t>(slot)];
+    p.len = 0;
+    p.color = 0;
+    p.input_port = 0;
+    p.output_port = 0;
+    out[got++] = &p;
+  }
+  if (got > 0) core.store(head_addr_);  // advance head (once per burst)
+  return got;
+}
+
+void BufferPool::free_batch(sim::Core& core, PacketBuf* const* ps, std::size_t n) {
+  if (n == 0) return;
+  sim::AttributionScope scope(core, &stats_);
+  if (core.id() != owner_core_) {
+    // Remote frees keep the full per-buffer protocol: the lock and head
+    // lines bounce between the producer and consumer cores, and that
+    // cross-core traffic is precisely the pipelining overhead the paper
+    // charges (Section 2.2) — a burst must not amortize it away.
+    for (std::size_t i = 0; i < n; ++i) {
+      PacketBuf* p = ps[i];
+      PP_CHECK(p != nullptr);
+      PP_CHECK(p->owner_pool == this);
+      PP_CHECK(p->pool_slot >= 0 && static_cast<std::size_t>(p->pool_slot) < slots_.size());
+      core.store(lock_addr_);
+      core.compute(12);
+      core.load(head_addr_);
+      core.store(list_.at(free_tail_));
+      core.store(head_addr_);
+      core.compute(8);
+      core.store(lock_addr_);
+      PP_CHECK(free_count_ < free_.size());
+      free_[free_tail_] = p->pool_slot;
+      if (++free_tail_ == free_.size()) free_tail_ = 0;
+      ++free_count_;
+    }
+    return;
+  }
+  // Owner-core bulk free: the head line (core-local, cache-hot) is touched
+  // once per burst; per-buffer list-entry stores and list-manipulation
+  // instructions remain.
+  core.load(head_addr_);
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketBuf* p = ps[i];
+    PP_CHECK(p != nullptr);
+    PP_CHECK(p->owner_pool == this);
+    PP_CHECK(p->pool_slot >= 0 && static_cast<std::size_t>(p->pool_slot) < slots_.size());
+    PP_CHECK(free_count_ < free_.size());
+    core.store(list_.at(free_tail_));  // push entry at the ring tail
+    core.compute(8);
+    free_[free_tail_] = p->pool_slot;
+    if (++free_tail_ == free_.size()) free_tail_ = 0;
+    ++free_count_;
+  }
+  core.store(head_addr_);
 }
 
 void recycle(sim::Core& core, PacketBuf* p) {
   PP_CHECK(p != nullptr && p->owner_pool != nullptr);
   p->owner_pool->free(core, p);
+}
+
+void recycle_batch(sim::Core& core, PacketBuf* const* ps, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    PP_CHECK(ps[i] != nullptr && ps[i]->owner_pool != nullptr);
+    BufferPool* pool = ps[i]->owner_pool;
+    std::size_t j = i + 1;
+    while (j < n && ps[j] != nullptr && ps[j]->owner_pool == pool) ++j;
+    pool->free_batch(core, ps + i, j - i);
+    i = j;
+  }
 }
 
 }  // namespace pp::net

@@ -38,6 +38,18 @@ class BufferPool {
   /// list manipulation on lines the owner keeps hot).
   void free(sim::Core& core, PacketBuf* p);
 
+  /// Pop up to `n` buffers into `out`; returns how many were available
+  /// (possibly 0). The ring-head line is touched once per burst instead of
+  /// once per buffer — skb bulk recycling, Section 2.2 — while per-buffer
+  /// list-entry touches and list-manipulation instructions stay per buffer.
+  [[nodiscard]] std::size_t alloc_batch(sim::Core& core, PacketBuf** out, std::size_t n);
+
+  /// Return a burst of buffers (all owned by this pool). Only the
+  /// owner-core path amortizes the head-line touch; a remote core pays the
+  /// full per-buffer lock protocol, preserving the paper's per-packet
+  /// cross-core recycling cost (Section 2.2).
+  void free_batch(sim::Core& core, PacketBuf* const* ps, std::size_t n);
+
   [[nodiscard]] std::size_t available() const { return free_count_; }
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
   [[nodiscard]] int owner_core() const { return owner_core_; }
@@ -63,5 +75,9 @@ class BufferPool {
 
 /// Return `p` to its owning pool, charging `core` (Discard/ToDevice path).
 void recycle(sim::Core& core, PacketBuf* p);
+
+/// Return a burst of buffers to their owning pools, grouping consecutive
+/// runs with the same owner into one bulk free.
+void recycle_batch(sim::Core& core, PacketBuf* const* ps, std::size_t n);
 
 }  // namespace pp::net

@@ -33,20 +33,29 @@ struct PacketBuf {
   [[nodiscard]] std::span<std::uint8_t> data() { return {bytes.data(), len}; }
   [[nodiscard]] std::span<const std::uint8_t> data() const { return {bytes.data(), len}; }
 
+  /// L3 (IP) bytes. A packet shorter than its own l3_offset (truncated or
+  /// garbage frame) yields an empty span rather than an underflowed length.
   [[nodiscard]] std::span<std::uint8_t> l3() {
+    if (len <= l3_offset) return {};
     return {bytes.data() + l3_offset, len - l3_offset};
   }
   [[nodiscard]] std::span<const std::uint8_t> l3() const {
+    if (len <= l3_offset) return {};
     return {bytes.data() + l3_offset, len - l3_offset};
   }
 
   /// Transport header bytes (assumes IHL=5 for our generated traffic; apps
-  /// that must handle options read the IHL themselves).
+  /// that must handle options read the IHL themselves). Clamped to empty for
+  /// packets too short to carry an L4 payload.
   [[nodiscard]] std::span<std::uint8_t> l4(std::size_t ip_header_bytes = 20) {
-    return {bytes.data() + l3_offset + ip_header_bytes, len - l3_offset - ip_header_bytes};
+    const std::size_t off = static_cast<std::size_t>(l3_offset) + ip_header_bytes;
+    if (len <= off) return {};
+    return {bytes.data() + off, len - off};
   }
   [[nodiscard]] std::span<const std::uint8_t> l4(std::size_t ip_header_bytes = 20) const {
-    return {bytes.data() + l3_offset + ip_header_bytes, len - l3_offset - ip_header_bytes};
+    const std::size_t off = static_cast<std::size_t>(l3_offset) + ip_header_bytes;
+    if (len <= off) return {};
+    return {bytes.data() + off, len - off};
   }
 
   /// Simulated address of a byte offset within the packet.

@@ -6,31 +6,10 @@ Cache::Cache(const CacheGeometry& g) : num_sets_(g.num_sets()), ways_(g.ways) {
   PP_CHECK(g.line_bytes == kLineBytes);
   PP_CHECK(ways_ >= 1);
   PP_CHECK(num_sets_ >= 1 && (num_sets_ & (num_sets_ - 1)) == 0);  // power of two
-  lines_.assign(static_cast<std::size_t>(num_sets_) * ways_, Line{});
-}
-
-int Cache::find(Addr line) const {
-  const std::size_t base = set_index(line);
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    const Line& l = lines_[base + w];
-    if (l.valid && l.tag == line) return static_cast<int>(w);
-  }
-  return -1;
-}
-
-void Cache::touch_lru(Addr line, int way) {
-  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
-  lines_[set_index(line) + static_cast<std::uint32_t>(way)].lru = ++stamp_;
-}
-
-Cache::Line& Cache::line_at(Addr line, int way) {
-  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
-  return lines_[set_index(line) + static_cast<std::uint32_t>(way)];
-}
-
-const Cache::Line& Cache::line_at(Addr line, int way) const {
-  PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
-  return lines_[set_index(line) + static_cast<std::uint32_t>(way)];
+  const std::size_t slots = static_cast<std::size_t>(num_sets_) * ways_;
+  tags_.assign(slots, kNoTag);
+  lru_.assign(slots, 0);
+  meta_.assign(slots, 0);
 }
 
 Cache::Eviction Cache::insert(Addr line, bool dirty, std::uint16_t core_mask) {
@@ -39,53 +18,52 @@ Cache::Eviction Cache::insert(Addr line, bool dirty, std::uint16_t core_mask) {
   std::size_t victim = base;
   std::uint64_t best = ~0ULL;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    Line& l = lines_[base + w];
-    if (!l.valid) {
+    if (tags_[base + w] == kNoTag) {
       victim = base + w;
       best = 0;
       break;
     }
-    if (l.lru < best) {
-      best = l.lru;
+    if (lru_[base + w] < best) {
+      best = lru_[base + w];
       victim = base + w;
     }
   }
-  Line& v = lines_[victim];
   Eviction ev;
-  if (v.valid) {
+  if (tags_[victim] != kNoTag) {
     ev.valid = true;
-    ev.tag = v.tag;
-    ev.dirty = v.dirty;
-    ev.core_mask = v.core_mask;
+    ev.tag = tags_[victim];
+    ev.dirty = (meta_[victim] & kDirtyBit) != 0;
+    ev.core_mask = static_cast<std::uint16_t>(meta_[victim] & kMaskBits);
   }
-  v.tag = line;
-  v.valid = true;
-  v.dirty = dirty;
-  v.core_mask = core_mask;
-  v.lru = ++stamp_;
+  tags_[victim] = line;
+  meta_[victim] = core_mask | (dirty ? kDirtyBit : 0);
+  lru_[victim] = ++stamp_;
+  mru_ = victim;
   return ev;
 }
 
 bool Cache::invalidate(Addr line) {
   const int way = find(line);
   if (way < 0) return false;
-  Line& l = line_at(line, way);
-  const bool was_dirty = l.dirty;
-  l.valid = false;
-  l.dirty = false;
-  l.core_mask = 0;
+  const std::size_t idx = set_index(line) + static_cast<std::uint32_t>(way);
+  const bool was_dirty = (meta_[idx] & kDirtyBit) != 0;
+  tags_[idx] = kNoTag;
+  meta_[idx] = 0;
   return was_dirty;
 }
 
 std::size_t Cache::occupancy() const {
   std::size_t n = 0;
-  for (const Line& l : lines_) n += l.valid ? 1 : 0;
+  for (const Addr t : tags_) n += t != kNoTag ? 1 : 0;
   return n;
 }
 
 void Cache::clear() {
-  for (Line& l : lines_) l = Line{};
+  for (Addr& t : tags_) t = kNoTag;
+  for (std::uint64_t& l : lru_) l = 0;
+  for (std::uint32_t& m : meta_) m = 0;
   stamp_ = 0;
+  mru_ = 0;
 }
 
 }  // namespace pp::sim

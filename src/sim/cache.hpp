@@ -6,6 +6,16 @@
 // this for inclusive back-invalidation — the mechanism by which competing
 // flows convert a target flow's solo-run hits into misses, which is the
 // paper's central phenomenon (Section 3.3).
+//
+// Host-performance notes (the tag store is the simulator's hottest data
+// structure — every simulated access probes up to three of them):
+//  - state is stored structure-of-arrays (tags / LRU stamps / meta), so the
+//    way scans in `find` and `insert` stream over one or two dense host
+//    cache lines per set instead of striding through fat line records;
+//  - the most recently touched slot is remembered (`mru_`) so consecutive
+//    touches of the same line skip the way scan entirely. The hint is
+//    validated against the authoritative tag array, so a stale hint is
+//    harmless: a tag can only match at its home (set, way) position.
 #pragma once
 
 #include <cstdint>
@@ -18,14 +28,6 @@ namespace pp::sim {
 
 class Cache {
  public:
-  struct Line {
-    Addr tag = 0;            // full line number (address >> 6)
-    std::uint64_t lru = 0;   // last-use stamp; smaller = older
-    std::uint16_t core_mask = 0;  // L3 only: cores caching this line privately
-    bool valid = false;
-    bool dirty = false;
-  };
-
   /// Outcome of an insertion: the line that had to be evicted, if any.
   struct Eviction {
     bool valid = false;      // an occupied line was displaced
@@ -37,14 +39,50 @@ class Cache {
   explicit Cache(const CacheGeometry& g);
 
   /// Probe for a line. Returns the way index or -1. Does not touch LRU.
-  [[nodiscard]] int find(Addr line) const;
+  [[nodiscard]] int find(Addr line) const {
+    const std::size_t base = set_index(line);
+    const Addr* t = tags_.data() + base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (t[w] == line) return static_cast<int>(w);
+    }
+    return -1;
+  }
+
+  /// True when `line` occupies the most recently touched slot. Sound even if
+  /// the hint is stale: `tags_` is authoritative and a line only ever appears
+  /// at its home (set, way).
+  [[nodiscard]] bool mru_is(Addr line) const { return tags_[mru_] == line; }
+
+  /// Re-touch the MRU slot (LRU stamp + dirty). Only valid right after
+  /// `mru_is` returned true; equivalent to touch_lru + a dirty update.
+  void mru_touch(bool write) {
+    lru_[mru_] = ++stamp_;
+    if (write) meta_[mru_] |= kDirtyBit;
+  }
 
   /// Mark a (set, way) as most-recently used.
-  void touch_lru(Addr line, int way);
+  void touch_lru(Addr line, int way) {
+    PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+    const std::size_t idx = set_index(line) + static_cast<std::uint32_t>(way);
+    lru_[idx] = ++stamp_;
+    mru_ = idx;
+  }
 
-  /// Access the line's mutable state (valid way required).
-  [[nodiscard]] Line& line_at(Addr line, int way);
-  [[nodiscard]] const Line& line_at(Addr line, int way) const;
+  // --- per-line state (valid way required) --------------------------------
+  [[nodiscard]] bool dirty(Addr line, int way) const {
+    return (meta_[slot(line, way)] & kDirtyBit) != 0;
+  }
+  void mark_dirty(Addr line, int way) { meta_[slot(line, way)] |= kDirtyBit; }
+  void clear_dirty(Addr line, int way) { meta_[slot(line, way)] &= ~kDirtyBit; }
+  [[nodiscard]] std::uint16_t core_mask(Addr line, int way) const {
+    return static_cast<std::uint16_t>(meta_[slot(line, way)] & kMaskBits);
+  }
+  void add_core(Addr line, int way, std::uint16_t core_bit) {
+    meta_[slot(line, way)] |= core_bit;
+  }
+  void remove_core(Addr line, int way, std::uint16_t core_bit) {
+    meta_[slot(line, way)] &= ~static_cast<std::uint32_t>(core_bit);
+  }
 
   /// Insert `line`, evicting the LRU victim if the set is full.
   Eviction insert(Addr line, bool dirty, std::uint16_t core_mask);
@@ -63,14 +101,27 @@ class Cache {
   void clear();
 
  private:
+  /// Sentinel tag for an invalid way. Real line numbers are addresses >> 6,
+  /// which never reach 2^58, so the all-ones value cannot collide.
+  static constexpr Addr kNoTag = ~Addr{0};
+  static constexpr std::uint32_t kMaskBits = 0xFFFFU;   // core_mask (L3 only)
+  static constexpr std::uint32_t kDirtyBit = 1U << 16;
+
   [[nodiscard]] std::size_t set_index(Addr line) const {
     return static_cast<std::size_t>(line & (num_sets_ - 1)) * ways_;
+  }
+  [[nodiscard]] std::size_t slot(Addr line, int way) const {
+    PP_DCHECK(way >= 0 && static_cast<std::uint32_t>(way) < ways_);
+    return set_index(line) + static_cast<std::uint32_t>(way);
   }
 
   std::uint32_t num_sets_;
   std::uint32_t ways_;
   std::uint64_t stamp_ = 0;
-  std::vector<Line> lines_;  // sets * ways, set-major
+  std::size_t mru_ = 0;              // index of the most recently touched slot
+  std::vector<Addr> tags_;           // sets * ways, set-major; kNoTag invalid
+  std::vector<std::uint64_t> lru_;   // last-use stamps; smaller = older
+  std::vector<std::uint32_t> meta_;  // core_mask | dirty
 };
 
 }  // namespace pp::sim

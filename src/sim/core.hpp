@@ -19,7 +19,12 @@ namespace pp::sim {
 
 class Core {
  public:
-  Core(int id, MemorySystem* ms) : id_(id), ms_(ms), socket_(ms->socket_of(id)) {}
+  Core(int id, MemorySystem* ms)
+      : id_(id),
+        ms_(ms),
+        socket_(ms->socket_of(id)),
+        ipc_(static_cast<std::uint64_t>(ms->config().compute_ipc)),
+        ipc_shift_((ipc_ & (ipc_ - 1)) == 0 ? shift_of(ipc_) : -1) {}
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
@@ -31,14 +36,29 @@ class Core {
 
   /// Retire `n` ALU instructions (superscalar: config().compute_ipc per cycle).
   void compute(std::uint64_t n) {
-    const auto ipc = static_cast<std::uint64_t>(ms_->config().compute_ipc);
-    advance((n + ipc - 1) / ipc);
+    // ceil(n / ipc); the IPC is almost always a power of two, so the common
+    // case is a shift instead of a hardware divide on this very hot path.
+    const std::uint64_t cyc =
+        ipc_shift_ >= 0 ? (n + ipc_ - 1) >> ipc_shift_ : (n + ipc_ - 1) / ipc_;
+    advance(cyc);
     ctr_.instructions += n;
     if (attr_ != nullptr) attr_->instructions += n;
   }
 
   /// One data access. `dependent` controls latency overlap (see file header).
   void access(Addr a, AccessType t, bool dependent = true) {
+    // L1 MRU fast path: a repeat touch of the last-hit line is a guaranteed
+    // L1 hit; skip the way scans and the Outcome/AccessDelta round trip.
+    if (ms_->try_l1_mru(id_, a, t)) {
+      advance(1);
+      ctr_.instructions += 1;
+      ctr_.l1_hits += 1;
+      if (attr_ != nullptr) {
+        attr_->instructions += 1;
+        attr_->l1_hits += 1;
+      }
+      return;
+    }
     const MemorySystem::Outcome out = ms_->access(id_, a, t, now_);
     Cycles lat = out.latency;
     if (!dependent && lat > 0) {
@@ -57,6 +77,18 @@ class Core {
   void load(Addr a, bool dependent = true) { access(a, AccessType::kRead, dependent); }
   void store(Addr a, bool dependent = true) { access(a, AccessType::kWrite, dependent); }
 
+  /// A burst of accesses at arbitrary addresses (batched random probes such
+  /// as SynProcessor table reads). Semantically identical to calling
+  /// `access(addrs[i], t, dependent)` in order; counter applies are hoisted
+  /// out of the loop. `dependent` is deliberately not defaulted: it selects
+  /// the latency-overlap model, and callers must choose it consciously.
+  void access_many(const Addr* addrs, std::size_t n, AccessType t, bool dependent) {
+    if (n == 0) return;
+    BurstAcc b;
+    for (std::size_t i = 0; i < n; ++i) access_into(addrs[i], t, dependent, b);
+    finish_burst(b, n);
+  }
+
   /// Touch every line of [base, base+bytes); sequential buffer walks
   /// (packet payload, rule arrays) are independent accesses by default
   /// (hardware prefetchers and OoO execution overlap them).
@@ -64,9 +96,13 @@ class Core {
     if (bytes == 0) return;
     const Addr first = line_of(base);
     const Addr last = line_of(base + bytes - 1);
+    BurstAcc b;
+    std::uint64_t n = 0;
     for (Addr line = first; line <= last; ++line) {
-      access(line << kLineShift, t, dependent);
+      access_into(line << kLineShift, t, dependent, b);
+      ++n;
     }
+    finish_burst(b, n);
   }
 
   /// Raw stall (device doorbells etc.): time passes, nothing retires.
@@ -81,6 +117,15 @@ class Core {
   void count_drop() {
     ctr_.drops += 1;
     if (attr_ != nullptr) attr_->drops += 1;
+  }
+  /// Batch variants (one counter update for a burst of packets).
+  void count_packets(std::uint64_t n) {
+    ctr_.packets += n;
+    if (attr_ != nullptr) attr_->packets += n;
+  }
+  void count_drops(std::uint64_t n) {
+    ctr_.drops += n;
+    if (attr_ != nullptr) attr_->drops += n;
   }
 
   [[nodiscard]] Counters& counters() { return ctr_; }
@@ -105,9 +150,58 @@ class Core {
     if (attr_ != nullptr) attr_->cycles += n;
   }
 
+  /// Per-burst accumulation state for access_many/stream. One access's
+  /// bookkeeping lives in access_into; `access` keeps its own hand-inlined
+  /// copy of the same sequence (fast path + mlp overlap) because the single
+  /// access must not pay for burst accumulator setup — any change to the
+  /// latency model must be mirrored there.
+  struct BurstAcc {
+    Cycles cyc = 0;
+    std::uint64_t fast_hits = 0;
+    AccessDeltaSum acc;
+  };
+
+  void access_into(Addr a, AccessType t, bool dependent, BurstAcc& b) {
+    if (ms_->try_l1_mru(id_, a, t)) {
+      now_ += 1;
+      b.cyc += 1;
+      ++b.fast_hits;
+      return;
+    }
+    const MemorySystem::Outcome out = ms_->access(id_, a, t, now_);
+    Cycles lat = out.latency;
+    if (!dependent && lat > 0) {
+      lat = lat / static_cast<Cycles>(ms_->config().mlp);
+      if (lat == 0) lat = 1;
+    }
+    now_ += 1 + lat;
+    b.cyc += 1 + lat;
+    b.acc.add(out.delta);
+  }
+
+  void finish_burst(BurstAcc& b, std::uint64_t n) {
+    b.acc.l1_hit += b.fast_hits;
+    ctr_.cycles += b.cyc;
+    ctr_.instructions += n;
+    b.acc.apply(ctr_);
+    if (attr_ != nullptr) {
+      attr_->cycles += b.cyc;
+      attr_->instructions += n;
+      b.acc.apply(*attr_);
+    }
+  }
+
+  [[nodiscard]] static int shift_of(std::uint64_t pow2) {
+    int s = 0;
+    while ((std::uint64_t{1} << s) < pow2) ++s;
+    return s;
+  }
+
   int id_;
   MemorySystem* ms_;
   int socket_;
+  std::uint64_t ipc_;
+  int ipc_shift_;  // log2(ipc_) when ipc_ is a power of two, else -1
   Cycles now_ = 0;
   Counters ctr_;
   Counters* attr_ = nullptr;

@@ -105,4 +105,42 @@ struct AccessDelta {
   }
 };
 
+/// Wide accumulator for a burst of AccessDeltas, applied to the core and
+/// attribution counters once per burst instead of once per access (the sums
+/// are identical; only the host-side bookkeeping is hoisted out of the loop).
+struct AccessDeltaSum {
+  std::uint64_t l1_hit = 0, l1_miss = 0;
+  std::uint64_t l2_hit = 0, l2_miss = 0;
+  std::uint64_t l3_ref = 0, l3_miss = 0, xcore_hit = 0;
+  std::uint64_t remote_ref = 0;
+  std::uint64_t mc_queue = 0;
+  std::uint64_t qpi_queue = 0;
+
+  constexpr void add(const AccessDelta& d) noexcept {
+    l1_hit += d.l1_hit;
+    l1_miss += d.l1_miss;
+    l2_hit += d.l2_hit;
+    l2_miss += d.l2_miss;
+    l3_ref += d.l3_ref;
+    l3_miss += d.l3_miss;
+    xcore_hit += d.xcore_hit;
+    remote_ref += d.remote_ref;
+    mc_queue += d.mc_queue;
+    qpi_queue += d.qpi_queue;
+  }
+
+  constexpr void apply(Counters& c) const noexcept {
+    c.l1_hits += l1_hit;
+    c.l1_misses += l1_miss;
+    c.l2_hits += l2_hit;
+    c.l2_misses += l2_miss;
+    c.l3_refs += l3_ref;
+    c.l3_misses += l3_miss;
+    c.xcore_hits += xcore_hit;
+    c.remote_refs += remote_ref;
+    c.mc_queue_cycles += mc_queue;
+    c.qpi_queue_cycles += qpi_queue;
+  }
+};
+
 }  // namespace pp::sim

@@ -36,7 +36,7 @@ MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type,
   Cache& l1c = l1(core);
   if (const int w = l1c.find(line); w >= 0) {
     l1c.touch_lru(line, w);
-    if (is_write) l1c.line_at(line, w).dirty = true;
+    if (is_write) l1c.mark_dirty(line, w);
     out.delta.l1_hit = 1;
     out.latency = 0;
     return out;
@@ -47,13 +47,13 @@ MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type,
   Cache& l2c = l2(core);
   if (const int w = l2c.find(line); w >= 0) {
     l2c.touch_lru(line, w);
-    if (is_write) l2c.line_at(line, w).dirty = true;
+    if (is_write) l2c.mark_dirty(line, w);
     out.delta.l2_hit = 1;
     out.latency = cfg_.l2_latency;
     // Promote into L1 (inclusion within the private hierarchy).
     Cache::Eviction ev = l1c.insert(line, is_write, 0);
     if (ev.valid && ev.dirty) {
-      if (const int w2 = l2c.find(ev.tag); w2 >= 0) l2c.line_at(ev.tag, w2).dirty = true;
+      if (const int w2 = l2c.find(ev.tag); w2 >= 0) l2c.mark_dirty(ev.tag, w2);
     }
     return out;
   }
@@ -64,15 +64,15 @@ MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type,
   out.delta.l3_ref = 1;
   if (const int w = l3c.find(line); w >= 0) {
     l3c.touch_lru(line, w);
-    Cache::Line& l = l3c.line_at(line, w);
     out.latency = cfg_.l3_latency;
-    if ((l.core_mask & static_cast<std::uint16_t>(~core_bit)) != 0 && l.dirty) {
+    if ((l3c.core_mask(line, w) & static_cast<std::uint16_t>(~core_bit)) != 0 &&
+        l3c.dirty(line, w)) {
       // Served by a cache-to-cache transfer from a sibling core.
       out.latency += cfg_.snoop_extra;
       out.delta.xcore_hit = 1;
     }
-    l.core_mask |= core_bit;
-    if (is_write) l.dirty = true;
+    l3c.add_core(line, w, core_bit);
+    if (is_write) l3c.mark_dirty(line, w);
     install_private(core, line, is_write);
     return out;
   }
@@ -115,10 +115,10 @@ void MemorySystem::install_private(int core, Addr line, bool dirty) {
     const bool l1_dirty = l1c.invalidate(ev2.tag);
     const bool v_dirty = ev2.dirty || l1_dirty;
     if (const int w = l3c.find(ev2.tag); w >= 0) {
-      Cache::Line& l = l3c.line_at(ev2.tag, w);
-      if (v_dirty) l.dirty = true;
-      l.core_mask &= static_cast<std::uint16_t>(
-          ~(1U << static_cast<unsigned>(core_index_in_socket(core))));
+      if (v_dirty) l3c.mark_dirty(ev2.tag, w);
+      l3c.remove_core(ev2.tag, w,
+                      static_cast<std::uint16_t>(
+                          1U << static_cast<unsigned>(core_index_in_socket(core))));
     }
     // If the L3 no longer holds the victim (already displaced), the dirty
     // data was written back during that displacement; nothing more to do.
@@ -126,7 +126,7 @@ void MemorySystem::install_private(int core, Addr line, bool dirty) {
 
   Cache::Eviction ev1 = l1c.insert(line, dirty, 0);
   if (ev1.valid && ev1.dirty) {
-    if (const int w = l2c.find(ev1.tag); w >= 0) l2c.line_at(ev1.tag, w).dirty = true;
+    if (const int w = l2c.find(ev1.tag); w >= 0) l2c.mark_dirty(ev1.tag, w);
   }
 }
 
@@ -162,8 +162,8 @@ void MemorySystem::dma_write(Addr addr, std::size_t bytes, Cycles now) {
     for (int s = 0; s < cfg_.sockets; ++s) {
       Cache& l3c = l3(s);
       if (const int w = l3c.find(line); w >= 0) {
-        const Cache::Line l = l3c.line_at(line, w);
-        if (l.core_mask != 0) back_invalidate(s, line, l.core_mask);
+        const std::uint16_t mask = l3c.core_mask(line, w);
+        if (mask != 0) back_invalidate(s, line, mask);
         l3c.invalidate(line);
       }
     }
@@ -189,7 +189,7 @@ void MemorySystem::dma_read(Addr addr, std::size_t bytes, Cycles now) {
   for (Addr line = first; line <= last; ++line) {
     for (int s = 0; s < cfg_.sockets; ++s) {
       Cache& l3c = l3(s);
-      if (const int w = l3c.find(line); w >= 0) l3c.line_at(line, w).dirty = false;
+      if (const int w = l3c.find(line); w >= 0) l3c.clear_dirty(line, w);
     }
     if (domain >= 0 && domain < cfg_.sockets) controller(domain).post(line, now);
   }

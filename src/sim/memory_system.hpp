@@ -39,6 +39,20 @@ class MemorySystem {
   /// link queues; returns the charged latency and counter deltas.
   [[nodiscard]] Outcome access(int core, Addr addr, AccessType type, Cycles now);
 
+  /// Fast path for the dominant repeat pattern (descriptor load/store pairs,
+  /// free-list head touches, streaming over a just-installed line): when the
+  /// accessed line occupies `core`'s L1 MRU slot the access is a guaranteed
+  /// L1 hit with zero extra latency, and the LRU/dirty update happens without
+  /// the way scan or the Outcome/AccessDelta round-trip of `access`. Returns
+  /// false (without side effects) when the slow path must run. Exactly
+  /// equivalent to `access` hitting in L1.
+  [[nodiscard]] bool try_l1_mru(int core, Addr addr, AccessType type) {
+    Cache& l1c = *l1_[static_cast<std::size_t>(core)];
+    if (!l1c.mru_is(line_of(addr))) return false;
+    l1c.mru_touch(type == AccessType::kWrite);
+    return true;
+  }
+
   /// NIC DMA write of a packet buffer. The paper's platform (82599 +
   /// Westmere) uses Direct Cache Access: the DMA'd lines are placed in the
   /// home socket's L3 (displacing whatever lived there — DMA traffic is

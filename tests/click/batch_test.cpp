@@ -1,0 +1,114 @@
+// Batch execution mode: BATCH=1 must reproduce the per-packet path exactly
+// (same counters, cycle for cycle), and batched runs must agree with the
+// per-packet model within noise while processing bursts per task invocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "base/strings.hpp"
+#include "click/parser.hpp"
+#include "core/workloads.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::click {
+namespace {
+
+sim::Counters run_chain(const std::string& text, double ms = 1.0) {
+  sim::MachineConfig mcfg;
+  sim::Machine machine(mcfg);
+  Router router(machine, 0, 0, 1);
+  auto err = parse_config(text, core::default_registry(), router);
+  EXPECT_FALSE(err.has_value()) << err.value_or("");
+  err = router.initialize();
+  EXPECT_FALSE(err.has_value()) << err.value_or("");
+  err = router.install_tasks();
+  EXPECT_FALSE(err.has_value()) << err.value_or("");
+  machine.run_until(mcfg.ms_to_cycles(ms));
+  sim::Counters total;
+  for (int c = 0; c < machine.num_cores(); ++c) total += machine.core(c).counters();
+  return total;
+}
+
+std::string ip_chain(const std::string& batch_arg) {
+  return strformat(R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 5%s);
+    chk :: CheckIPHeader;
+    lkp :: RadixIPLookup(PREFIXES 20000, SEED 3);
+    ttl :: DecIPTTL;
+    out :: ToDevice;
+    src -> chk -> lkp -> ttl -> out;
+  )", batch_arg.c_str());
+}
+
+TEST(BatchExecution, BatchOneIsBitIdenticalToUnbatched) {
+  const sim::Counters plain = run_chain(ip_chain(""));
+  const sim::Counters batch1 = run_chain(ip_chain(", BATCH 1"));
+  EXPECT_EQ(plain.packets, batch1.packets);
+  EXPECT_EQ(plain.cycles, batch1.cycles);
+  EXPECT_EQ(plain.instructions, batch1.instructions);
+  EXPECT_EQ(plain.l1_hits, batch1.l1_hits);
+  EXPECT_EQ(plain.l2_hits, batch1.l2_hits);
+  EXPECT_EQ(plain.l3_refs, batch1.l3_refs);
+  EXPECT_EQ(plain.l3_misses, batch1.l3_misses);
+  EXPECT_EQ(plain.drops, batch1.drops);
+}
+
+TEST(BatchExecution, BatchedRunAgreesWithinNoise) {
+  const sim::Counters one = run_chain(ip_chain(", BATCH 1"), 3.0);
+  const sim::Counters batched = run_chain(ip_chain(", BATCH 16"), 3.0);
+  ASSERT_GT(one.packets, 0U);
+  ASSERT_GT(batched.packets, 0U);
+  const double pps_delta =
+      std::abs(static_cast<double>(batched.packets) - static_cast<double>(one.packets)) /
+      static_cast<double>(one.packets);
+  EXPECT_LT(pps_delta, 0.02) << "batched throughput drifted: " << one.packets << " vs "
+                             << batched.packets;
+  const double refs_pp_one =
+      static_cast<double>(one.l3_refs) / static_cast<double>(one.packets);
+  const double refs_pp_batched =
+      static_cast<double>(batched.l3_refs) / static_cast<double>(batched.packets);
+  EXPECT_LT(std::abs(refs_pp_batched - refs_pp_one) / refs_pp_one, 0.02)
+      << "L3 refs/packet drifted: " << refs_pp_one << " vs " << refs_pp_batched;
+}
+
+TEST(BatchExecution, PipelinedBatchDeliversPackets) {
+  const std::string text = R"(
+    src :: FromDevice(RANDOM, BYTES 64, SEED 5, BATCH 8);
+    q :: Queue(128);
+    uq :: Unqueue(BATCH 8);
+    out :: ToDevice;
+    src -> q -> uq -> out;
+  )";
+  sim::MachineConfig mcfg;
+  sim::Machine machine(mcfg);
+  Router router(machine, 0, 0, 1);
+  auto err = parse_config(text, core::default_registry(), router);
+  ASSERT_FALSE(err.has_value()) << err.value_or("");
+  ASSERT_FALSE(router.bind_driver("uq", 1).has_value());
+  ASSERT_FALSE(router.initialize().has_value());
+  ASSERT_FALSE(router.install_tasks().has_value());
+  machine.run_until(mcfg.ms_to_cycles(0.5));
+  std::uint64_t packets = 0;
+  for (int c = 0; c < machine.num_cores(); ++c) packets += machine.core(c).counters().packets;
+  EXPECT_GT(packets, 1000U);
+}
+
+TEST(BatchExecution, BatchArgValidated) {
+  sim::MachineConfig mcfg;
+  sim::Machine machine(mcfg);
+  Router router(machine, 0, 0, 1);
+  auto err = parse_config("src :: FromDevice(RANDOM, BATCH 0); out :: ToDevice; src -> out;",
+                          core::default_registry(), router);
+  if (!err.has_value()) err = router.initialize();
+  EXPECT_TRUE(err.has_value());
+
+  Router router2(machine, 0, 0, 1);
+  err = parse_config("src :: FromDevice(RANDOM, BATCH 9999); out :: ToDevice; src -> out;",
+                     core::default_registry(), router2);
+  if (!err.has_value()) err = router2.initialize();
+  EXPECT_TRUE(err.has_value());
+}
+
+}  // namespace
+}  // namespace pp::click

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "net/buffer_pool.hpp"
+#include "sim/machine.hpp"
+
+namespace pp::net {
+namespace {
+
+class BufferPoolBatchTest : public ::testing::Test {
+ protected:
+  sim::Machine machine_;
+  BufferPool pool_{machine_.address_space(), 0, 0, 8, 256};
+};
+
+TEST_F(BufferPoolBatchTest, AllocBatchReturnsDistinctBuffers) {
+  auto& core = machine_.core(0);
+  PacketBuf* bufs[8] = {};
+  const std::size_t n = pool_.alloc_batch(core, bufs, 4);
+  ASSERT_EQ(n, 4U);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NE(bufs[i], nullptr);
+    for (std::size_t j = i + 1; j < n; ++j) EXPECT_NE(bufs[i], bufs[j]);
+  }
+  EXPECT_EQ(pool_.available(), 4U);
+}
+
+TEST_F(BufferPoolBatchTest, AllocBatchResetsAnnotations) {
+  auto& core = machine_.core(0);
+  PacketBuf* a = pool_.alloc(core);
+  a->len = 99;
+  a->color = 7;
+  pool_.free(core, a);
+  PacketBuf* bufs[8] = {};
+  const std::size_t n = pool_.alloc_batch(core, bufs, 8);
+  ASSERT_EQ(n, 8U);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bufs[i]->len, 0U);
+    EXPECT_EQ(bufs[i]->color, 0);
+  }
+}
+
+TEST_F(BufferPoolBatchTest, PartialBatchWhenNearlyExhausted) {
+  auto& core = machine_.core(0);
+  PacketBuf* drain[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core, drain, 5), 5U);  // 3 left
+  PacketBuf* bufs[8] = {};
+  EXPECT_EQ(pool_.alloc_batch(core, bufs, 8), 3U);
+  EXPECT_EQ(pool_.available(), 0U);
+}
+
+TEST_F(BufferPoolBatchTest, ExhaustedPoolReturnsZero) {
+  auto& core = machine_.core(0);
+  PacketBuf* drain[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core, drain, 8), 8U);
+  PacketBuf* bufs[8] = {};
+  EXPECT_EQ(pool_.alloc_batch(core, bufs, 8), 0U);
+}
+
+TEST_F(BufferPoolBatchTest, FreeBatchReturnsAllBuffers) {
+  auto& core = machine_.core(0);
+  PacketBuf* bufs[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core, bufs, 8), 8U);
+  pool_.free_batch(core, bufs, 8);
+  EXPECT_EQ(pool_.available(), 8U);
+}
+
+TEST_F(BufferPoolBatchTest, BatchRoundTripPreservesFifoCycling) {
+  auto& core = machine_.core(0);
+  PacketBuf* bufs[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core, bufs, 2), 2U);
+  pool_.free_batch(core, bufs, 2);
+  // 6 other buffers are ahead in the FIFO ring.
+  PacketBuf* next = pool_.alloc(core);
+  EXPECT_NE(next, bufs[0]);
+  EXPECT_NE(next, bufs[1]);
+}
+
+TEST_F(BufferPoolBatchTest, BatchChargesFewerCyclesThanPerPacket) {
+  auto& core = machine_.core(0);
+  // Per-packet allocs.
+  PacketBuf* singles[4] = {};
+  const sim::Cycles t0 = core.now();
+  for (auto& p : singles) p = pool_.alloc(core);
+  const sim::Cycles per_packet_cost = core.now() - t0;
+  for (auto* p : singles) pool_.free(core, p);
+
+  PacketBuf* bufs[4] = {};
+  const sim::Cycles t1 = core.now();
+  ASSERT_EQ(pool_.alloc_batch(core, bufs, 4), 4U);
+  const sim::Cycles batch_cost = core.now() - t1;
+  // The burst touches the ring-head line once instead of once per buffer.
+  EXPECT_LT(batch_cost, per_packet_cost);
+  pool_.free_batch(core, bufs, 4);
+}
+
+TEST_F(BufferPoolBatchTest, RemoteFreeBatchCostsMoreThanLocal) {
+  auto& core0 = machine_.core(0);
+  auto& core1 = machine_.core(1);
+  PacketBuf* bufs[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core0, bufs, 8), 8U);
+
+  const sim::Cycles t0 = core0.now();
+  pool_.free_batch(core0, bufs, 4);  // owner free
+  const sim::Cycles local_cost = core0.now() - t0;
+
+  const sim::Cycles t1 = core1.now();
+  pool_.free_batch(core1, bufs + 4, 4);  // remote free takes the lock per buffer
+  const sim::Cycles remote_cost = core1.now() - t1;
+  EXPECT_GT(remote_cost, local_cost);
+  EXPECT_EQ(pool_.available(), 8U);
+}
+
+TEST_F(BufferPoolBatchTest, RecycleBatchGroupsByOwnerPool) {
+  auto& core = machine_.core(0);
+  BufferPool other{machine_.address_space(), 0, 0, 4, 256};
+  PacketBuf* mixed[4] = {};
+  mixed[0] = pool_.alloc(core);
+  mixed[1] = pool_.alloc(core);
+  mixed[2] = other.alloc(core);
+  mixed[3] = pool_.alloc(core);
+  recycle_batch(core, mixed, 4);
+  EXPECT_EQ(pool_.available(), 8U);
+  EXPECT_EQ(other.available(), 4U);
+}
+
+TEST_F(BufferPoolBatchTest, StatsAttributedToPoolDomain) {
+  auto& core = machine_.core(0);
+  PacketBuf* bufs[8] = {};
+  ASSERT_EQ(pool_.alloc_batch(core, bufs, 8), 8U);
+  pool_.free_batch(core, bufs, 8);
+  EXPECT_GT(pool_.stats().instructions, 0U);
+  EXPECT_GT(pool_.stats().cycles, 0U);
+}
+
+}  // namespace
+}  // namespace pp::net

@@ -1,0 +1,58 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::net {
+namespace {
+
+PacketBuf make_buf(std::uint32_t len) {
+  PacketBuf p;
+  p.bytes.assign(256, 0xAB);
+  p.len = len;
+  return p;
+}
+
+TEST(PacketBuf, L3SpansValidRegion) {
+  PacketBuf p = make_buf(64);
+  EXPECT_EQ(p.l3().size(), 64U - 14U);
+  EXPECT_EQ(p.l3().data(), p.bytes.data() + 14);
+}
+
+TEST(PacketBuf, L4SkipsIpHeader) {
+  PacketBuf p = make_buf(64);
+  EXPECT_EQ(p.l4().size(), 64U - 14U - 20U);
+  EXPECT_EQ(p.l4(24).size(), 64U - 14U - 24U);
+}
+
+// Regression: a packet shorter than its own l3_offset used to produce a
+// span whose length underflowed to ~2^32; it must clamp to empty.
+TEST(PacketBuf, ShortPacketYieldsEmptyL3) {
+  PacketBuf p = make_buf(10);  // shorter than the 14-byte Ethernet header
+  EXPECT_TRUE(p.l3().empty());
+  const PacketBuf& cp = p;
+  EXPECT_TRUE(cp.l3().empty());
+}
+
+TEST(PacketBuf, L3ExactlyAtOffsetIsEmpty) {
+  PacketBuf p = make_buf(14);
+  EXPECT_TRUE(p.l3().empty());
+}
+
+TEST(PacketBuf, ShortPacketYieldsEmptyL4) {
+  PacketBuf p = make_buf(30);  // 14 + 16 < 14 + 20
+  EXPECT_TRUE(p.l4().empty());
+  const PacketBuf& cp = p;
+  EXPECT_TRUE(cp.l4().empty());
+  EXPECT_TRUE(make_buf(34).l4().empty());  // exactly l3_offset + 20
+  EXPECT_FALSE(make_buf(35).l4().empty());
+}
+
+TEST(PacketBuf, ZeroLengthPacket) {
+  PacketBuf p = make_buf(0);
+  EXPECT_TRUE(p.data().empty());
+  EXPECT_TRUE(p.l3().empty());
+  EXPECT_TRUE(p.l4().empty());
+}
+
+}  // namespace
+}  // namespace pp::net

@@ -69,10 +69,14 @@ TEST(Cache, LineStateMutable) {
   (void)c.insert(2, false, 0);
   const int w = c.find(2);
   ASSERT_GE(w, 0);
-  c.line_at(2, w).dirty = true;
-  c.line_at(2, w).core_mask |= 0b10;
-  EXPECT_TRUE(c.line_at(2, w).dirty);
-  EXPECT_EQ(c.line_at(2, w).core_mask, 0b10);
+  c.mark_dirty(2, w);
+  c.add_core(2, w, 0b10);
+  EXPECT_TRUE(c.dirty(2, w));
+  EXPECT_EQ(c.core_mask(2, w), 0b10);
+  c.remove_core(2, w, 0b10);
+  EXPECT_EQ(c.core_mask(2, w), 0);
+  c.clear_dirty(2, w);
+  EXPECT_FALSE(c.dirty(2, w));
 }
 
 TEST(Cache, InsertPrefersInvalidWay) {

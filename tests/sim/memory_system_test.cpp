@@ -118,7 +118,7 @@ TEST_F(MemorySystemTest, DmaWriteInstallsInHomeL3AndInvalidatesPrivate) {
   EXPECT_EQ(ms_.l2(0).find(line_of(a)), -1);
   const int w = ms_.l3(0).find(line_of(a));
   ASSERT_GE(w, 0);
-  EXPECT_FALSE(ms_.l3(0).line_at(line_of(a), w).dirty);
+  EXPECT_FALSE(ms_.l3(0).dirty(line_of(a), w));
   // Next core read is an L3 hit, not a DRAM miss.
   const auto out = read(0, a);
   EXPECT_EQ(out.delta.l3_ref, 1);
@@ -137,7 +137,7 @@ TEST_F(MemorySystemTest, DmaReadFlushesDirtyButKeepsCached) {
   ms_.dma_read(a, 64, 0);
   const int w = ms_.l3(0).find(line_of(a));
   ASSERT_GE(w, 0);
-  EXPECT_FALSE(ms_.l3(0).line_at(line_of(a), w).dirty);
+  EXPECT_FALSE(ms_.l3(0).dirty(line_of(a), w));
 }
 
 TEST_F(MemorySystemTest, SocketOfMapsCores) {
