@@ -1,5 +1,5 @@
 // Section 2.2 ablation: parallel vs pipelined parallelization — plus the
-// platform's batched execution mode.
+// platform's batched execution mode and the sampled-fidelity speed mode.
 //
 // Part 1 — a realistic IP chain run (a) entirely on one core and (b) split
 // across two cores with a Queue handoff. The paper: pipelining adds 10-15
@@ -11,21 +11,26 @@
 // across the two sockets so each half-structure fits its socket's L3, the
 // pipeline wins; run monolithically, the structure thrashes a single L3.
 //
-// Every configuration runs twice: BATCH=1 (the per-packet execution model;
+// Every configuration runs at BATCH=1 (the per-packet execution model;
 // bit-identical to the pre-batching platform) and BATCH=32 (burst
-// execution). The simulated results must agree within noise while the host
-// wall-clock drops — batching is a simulator-speed feature, not a model
-// change. Results, including host seconds per configuration, are emitted to
-// BENCH_pipeline.json so future changes have a perf trajectory to compare
-// against.
+// execution). With SIM_FIDELITY=sampled each configuration additionally
+// runs under SimFidelity::kSampled and the process FAILS (exit 1) if the
+// sampled simulated throughput drifts from exact by more than the
+// documented tolerance (docs/simulation_modes.md) — this is the CI drift
+// gate. Results, including host seconds per configuration, fidelity mode
+// and the host thread count, are emitted to BENCH_pipeline.json in both the
+// working directory and the repository root, so the perf trajectory is
+// tracked across PRs.
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "base/strings.hpp"
 #include "click/parser.hpp"
 #include "common.hpp"
+#include "core/parallel.hpp"
 
 namespace {
 
@@ -33,6 +38,12 @@ using namespace pp;
 using namespace pp::core;
 
 constexpr int kBatch = 32;  // burst size for the batched runs
+
+/// Documented sampled-vs-exact simulated-throughput tolerance, in percent
+/// (see docs/simulation_modes.md). The CI smoke job fails beyond this.
+/// Typical drift is well under 1.5%; the quick-scale IP chain (small trie,
+/// cold start, no prewarm pass) sits at ~-3.2% and is the worst case.
+constexpr double kSampledPpsTolerancePct = 3.5;
 
 struct StageResult {
   double pps = 0;
@@ -78,67 +89,132 @@ StageResult run_config(const sim::MachineConfig& mcfg, const std::string& text,
   return r;
 }
 
-struct ConfigRun {
-  std::string name;
+/// One configuration under one fidelity: per-packet and batched runs.
+struct ModeResult {
   StageResult per_packet;  // BATCH=1
   StageResult batched;     // BATCH=kBatch
 
   [[nodiscard]] double host_speedup() const {
     return per_packet.host_seconds / batched.host_seconds;
   }
+};
+
+struct ConfigRun {
+  std::string name;
+  ModeResult exact;
+  bool has_sampled = false;
+  ModeResult sampled;
+
   [[nodiscard]] double pps_delta_pct() const {
-    return 100.0 * (batched.pps - per_packet.pps) / per_packet.pps;
+    return 100.0 * (exact.batched.pps - exact.per_packet.pps) / exact.per_packet.pps;
   }
   [[nodiscard]] double refs_delta_pct() const {
-    return 100.0 * (batched.refs_pp - per_packet.refs_pp) / per_packet.refs_pp;
+    return 100.0 * (exact.batched.refs_pp - exact.per_packet.refs_pp) /
+           exact.per_packet.refs_pp;
+  }
+  /// Sampled-vs-exact host speedup / simulated drift at the same batch size.
+  [[nodiscard]] double sampled_speedup() const {
+    return exact.batched.host_seconds / sampled.batched.host_seconds;
+  }
+  [[nodiscard]] double sampled_pps_drift_pct() const {
+    return 100.0 * (sampled.batched.pps - exact.batched.pps) / exact.batched.pps;
   }
 };
 
-void emit_json(const std::vector<ConfigRun>& runs, Scale scale) {
-  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write BENCH_pipeline.json\n");
-    return;
+struct HostTotals {
+  double per_packet = 0;  // exact, BATCH=1
+  double batched = 0;     // exact, BATCH=kBatch
+  double sampled = 0;     // sampled, BATCH=kBatch
+
+  static HostTotals of(const std::vector<ConfigRun>& runs) {
+    HostTotals t;
+    for (const ConfigRun& r : runs) {
+      t.per_packet += r.exact.per_packet.host_seconds;
+      t.batched += r.exact.batched.host_seconds;
+      if (r.has_sampled) t.sampled += r.sampled.batched.host_seconds;
+    }
+    return t;
   }
+};
+
+void emit_json_to(std::FILE* f, const std::vector<ConfigRun>& runs, const HostTotals& totals,
+                  Scale scale, bool sampled_mode) {
   std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"scale\": \"%s\",\n", to_string(scale));
+  std::fprintf(f, "  \"fidelity\": \"%s\",\n", sampled_mode ? "sampled" : "exact");
+  std::fprintf(f, "  \"sweep_threads\": %d,\n", host_threads_from_env());
   std::fprintf(f, "  \"batch_size\": %d,\n  \"configurations\": [\n", kBatch);
+  const auto stage = [f](const char* key, const StageResult& s, const char* tail) {
+    std::fprintf(f,
+                 "     \"%s\": {\"host_seconds\": %.6f, \"pps\": %.1f, "
+                 "\"l3_refs_per_packet\": %.4f, \"xcore_per_packet\": %.4f}%s\n",
+                 key, s.host_seconds, s.pps, s.refs_pp, s.xcore_pp, tail);
+  };
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const ConfigRun& r = runs[i];
+    std::fprintf(f, "    {\"name\": \"%s\",\n", r.name.c_str());
+    stage("per_packet", r.exact.per_packet, ",");
+    stage("batched", r.exact.batched, ",");
+    if (r.has_sampled) {
+      stage("sampled_per_packet", r.sampled.per_packet, ",");
+      stage("sampled_batched", r.sampled.batched, ",");
+      std::fprintf(f, "     \"sampled_host_speedup\": %.2f, \"sampled_pps_drift_pct\": %.3f,\n",
+                   r.sampled_speedup(), r.sampled_pps_drift_pct());
+    }
     std::fprintf(f,
-                 "    {\"name\": \"%s\",\n"
-                 "     \"per_packet\": {\"host_seconds\": %.6f, \"pps\": %.1f, "
-                 "\"l3_refs_per_packet\": %.4f, \"xcore_per_packet\": %.4f},\n"
-                 "     \"batched\": {\"host_seconds\": %.6f, \"pps\": %.1f, "
-                 "\"l3_refs_per_packet\": %.4f, \"xcore_per_packet\": %.4f},\n"
                  "     \"host_speedup\": %.2f, \"pps_delta_pct\": %.3f, "
                  "\"l3_refs_delta_pct\": %.3f}%s\n",
-                 r.name.c_str(), r.per_packet.host_seconds, r.per_packet.pps,
-                 r.per_packet.refs_pp, r.per_packet.xcore_pp, r.batched.host_seconds,
-                 r.batched.pps, r.batched.refs_pp, r.batched.xcore_pp, r.host_speedup(),
-                 r.pps_delta_pct(), r.refs_delta_pct(),
+                 r.exact.host_speedup(), r.pps_delta_pct(), r.refs_delta_pct(),
                  i + 1 < runs.size() ? "," : "");
   }
-  double h1 = 0;
-  double hb = 0;
-  for (const ConfigRun& r : runs) {
-    h1 += r.per_packet.host_seconds;
-    hb += r.batched.host_seconds;
+  std::fprintf(f, "  ],\n  \"total_host_seconds_per_packet\": %.6f,\n", totals.per_packet);
+  std::fprintf(f, "  \"total_host_seconds_batched\": %.6f,\n", totals.batched);
+  if (sampled_mode) {
+    std::fprintf(f, "  \"total_host_seconds_sampled_batched\": %.6f,\n", totals.sampled);
+    std::fprintf(f, "  \"sampled_total_host_speedup\": %.2f,\n",
+                 totals.batched / totals.sampled);
+    std::fprintf(f, "  \"sampled_pps_tolerance_pct\": %.1f,\n", kSampledPpsTolerancePct);
   }
-  std::fprintf(f, "  ],\n  \"total_host_seconds_per_packet\": %.6f,\n", h1);
-  std::fprintf(f, "  \"total_host_seconds_batched\": %.6f,\n", hb);
-  std::fprintf(f, "  \"total_host_speedup\": %.2f\n}\n", h1 / hb);
-  std::fclose(f);
-  std::printf("wrote BENCH_pipeline.json (total host speedup at BATCH=%d: %.2fx)\n\n",
-              kBatch, h1 / hb);
+  std::fprintf(f, "  \"total_host_speedup\": %.2f\n}\n", totals.per_packet / totals.batched);
+}
+
+void emit_json(const std::vector<ConfigRun>& runs, Scale scale, bool sampled_mode) {
+  std::vector<std::string> paths = {"BENCH_pipeline.json"};
+#ifdef PP_SOURCE_DIR
+  // Also drop the trajectory file at the repository root (the working
+  // directory is usually the build tree), so it is tracked across PRs.
+  const std::string repo_root = std::string(PP_SOURCE_DIR) + "/BENCH_pipeline.json";
+  if (repo_root != paths[0]) paths.push_back(repo_root);
+#endif
+  const HostTotals totals = HostTotals::of(runs);
+  for (const std::string& path : paths) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      continue;
+    }
+    emit_json_to(f, runs, totals, scale, sampled_mode);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("total host speedup at BATCH=%d: %.2fx\n\n", kBatch,
+              totals.per_packet / totals.batched);
 }
 
 }  // namespace
 
 int main() {
   const Scale scale = scale_from_env();
+  const bool sampled_mode = fidelity_from_env() == sim::SimFidelity::kSampled;
   bench::header("Section 2.2 ablation", "parallel vs pipelined parallelization", scale);
   const WorkloadSizes z = WorkloadSizes::for_scale(scale);
-  sim::MachineConfig mcfg;
+  sim::MachineConfig mcfg;  // exact fidelity: the reference results
+  sim::MachineConfig sampled_cfg;
+  sampled_cfg.fidelity = sim::SimFidelity::kSampled;
+  if (sampled_mode) {
+    std::printf("SIM_FIDELITY=sampled: every configuration also runs set-sampled "
+                "(period %u); drift gate at %.1f%% pps.\n\n",
+                sampled_cfg.sample_period, kSampledPpsTolerancePct);
+  }
 
   // --- Part 1: realistic IP chain -----------------------------------------
   const auto parallel = [&](int batch) {
@@ -163,26 +239,6 @@ int main() {
       src -> chk -> q -> uq -> lkp -> ttl -> out;
     )", batch, batch, static_cast<unsigned long long>(z.prefixes));
   };
-
-  std::vector<ConfigRun> runs;
-  runs.reserve(4);  // references into `runs` are taken below; no reallocation
-  runs.push_back(ConfigRun{"parallel_ip", run_config(mcfg, parallel(1), {}),
-                           run_config(mcfg, parallel(kBatch), {})});
-  runs.push_back(ConfigRun{"pipelined_ip", run_config(mcfg, pipelined(1), {{"uq", 1}}),
-                           run_config(mcfg, pipelined(kBatch), {{"uq", 1}})});
-
-  const StageResult par = runs[0].per_packet;
-  const StageResult pipe = runs[1].per_packet;
-
-  TextTable t({"configuration", "throughput (Mpps)", "L3 refs/packet (all cores)",
-               "cross-core transfers/packet"});
-  t.add_numeric_row("parallel (1 core)", {par.pps / 1e6, par.refs_pp, par.xcore_pp}, 2);
-  t.add_numeric_row("pipelined (2 cores)", {pipe.pps / 1e6, pipe.refs_pp, pipe.xcore_pp}, 2);
-  bench::print_table("IP chain, parallel vs pipelined:", t);
-  std::printf(
-      "extra shared-cache references per packet from pipelining: %.1f\n"
-      "(paper: pipelining costs 10-15 extra cache misses per packet)\n\n",
-      pipe.refs_pp - par.refs_pp);
 
   // --- Part 2: the contrived pipeline-friendly workload -------------------
   // >200 random accesses per packet over a 24MB structure (2 x L3).
@@ -209,16 +265,51 @@ int main() {
     )", batch, batch);
   };
 
-  runs.push_back(ConfigRun{"mono_syn", run_config(mcfg, mono(1), {}),
-                           run_config(mcfg, mono(kBatch), {})});
-  // Bind the second stage to the far socket. Its table is allocated in the
-  // router's domain (0) — place the consumer on socket 1 but note the data
-  // stays domain-0; the win comes from the private L3.
-  runs.push_back(ConfigRun{"split_syn", run_config(mcfg, split(1), {{"uq", 6}}),
-                           run_config(mcfg, split(kBatch), {{"uq", 6}})});
+  struct ConfigSpec {
+    const char* name;
+    std::function<std::string(int)> text;
+    std::vector<std::pair<std::string, int>> bindings;
+  };
+  // Bind split_syn's second stage to the far socket. Its table is allocated
+  // in the router's domain (0) — place the consumer on socket 1 but note the
+  // data stays domain-0; the win comes from the private L3.
+  const std::vector<ConfigSpec> specs = {
+      {"parallel_ip", parallel, {}},
+      {"pipelined_ip", pipelined, {{"uq", 1}}},
+      {"mono_syn", mono, {}},
+      {"split_syn", split, {{"uq", 6}}},
+  };
 
-  const StageResult m = runs[2].per_packet;
-  const StageResult s = runs[3].per_packet;
+  std::vector<ConfigRun> runs;
+  runs.reserve(specs.size());
+  for (const ConfigSpec& s : specs) {
+    ConfigRun r;
+    r.name = s.name;
+    r.exact.per_packet = run_config(mcfg, s.text(1), s.bindings);
+    r.exact.batched = run_config(mcfg, s.text(kBatch), s.bindings);
+    if (sampled_mode) {
+      r.has_sampled = true;
+      r.sampled.per_packet = run_config(sampled_cfg, s.text(1), s.bindings);
+      r.sampled.batched = run_config(sampled_cfg, s.text(kBatch), s.bindings);
+    }
+    runs.push_back(std::move(r));
+  }
+
+  const StageResult par = runs[0].exact.per_packet;
+  const StageResult pipe = runs[1].exact.per_packet;
+
+  TextTable t({"configuration", "throughput (Mpps)", "L3 refs/packet (all cores)",
+               "cross-core transfers/packet"});
+  t.add_numeric_row("parallel (1 core)", {par.pps / 1e6, par.refs_pp, par.xcore_pp}, 2);
+  t.add_numeric_row("pipelined (2 cores)", {pipe.pps / 1e6, pipe.refs_pp, pipe.xcore_pp}, 2);
+  bench::print_table("IP chain, parallel vs pipelined:", t);
+  std::printf(
+      "extra shared-cache references per packet from pipelining: %.1f\n"
+      "(paper: pipelining costs 10-15 extra cache misses per packet)\n\n",
+      pipe.refs_pp - par.refs_pp);
+
+  const StageResult m = runs[2].exact.per_packet;
+  const StageResult s = runs[3].exact.per_packet;
 
   TextTable t2({"configuration", "throughput (Mpps)", "L3 refs/packet"});
   t2.add_numeric_row("parallel (1 core, 24MB table)", {m.pps / 1e6, m.refs_pp}, 3);
@@ -232,11 +323,38 @@ int main() {
   TextTable t3({"configuration", "host s (BATCH=1)", "host s (BATCH=32)", "host speedup",
                 "pps delta %", "L3 refs/pkt delta %"});
   for (const ConfigRun& r : runs) {
-    t3.add_numeric_row(r.name, {r.per_packet.host_seconds, r.batched.host_seconds,
-                                r.host_speedup(), r.pps_delta_pct(), r.refs_delta_pct()}, 3);
+    t3.add_numeric_row(r.name,
+                       {r.exact.per_packet.host_seconds, r.exact.batched.host_seconds,
+                        r.exact.host_speedup(), r.pps_delta_pct(), r.refs_delta_pct()},
+                       3);
   }
   bench::print_table("Batched execution (same simulated scenario, burst drivers):", t3);
 
-  emit_json(runs, scale);
+  bool drift_ok = true;
+  if (sampled_mode) {
+    TextTable t4({"configuration", "host s exact (B=32)", "host s sampled (B=32)",
+                  "sampled speedup", "pps drift %"});
+    for (const ConfigRun& r : runs) {
+      t4.add_numeric_row(r.name,
+                         {r.exact.batched.host_seconds, r.sampled.batched.host_seconds,
+                          r.sampled_speedup(), r.sampled_pps_drift_pct()},
+                         3);
+      if (r.sampled_pps_drift_pct() > kSampledPpsTolerancePct ||
+          r.sampled_pps_drift_pct() < -kSampledPpsTolerancePct) {
+        drift_ok = false;
+      }
+    }
+    bench::print_table("Sampled fidelity (same scenario, set-sampled tag stores):", t4);
+  }
+
+  emit_json(runs, scale, sampled_mode);
+
+  if (sampled_mode && !drift_ok) {
+    std::fprintf(stderr,
+                 "FAIL: sampled-vs-exact pps drift exceeds the documented %.1f%% "
+                 "tolerance (see table above / docs/simulation_modes.md)\n",
+                 kSampledPpsTolerancePct);
+    return 1;
+  }
   return 0;
 }

@@ -138,6 +138,22 @@ void FlowStatistics::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   output(cx, 0, p);
 }
 
+void FlowStatistics::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // Hash-probe burst (see FlowTable::update_sim_batch); the burst stays
+  // intact for the downstream chain instead of degrading to per-packet
+  // pushes.
+  net::FiveTuple tuples[click::kMaxBatch];
+  std::uint32_t lens[click::kMaxBatch];
+  for (int i = 0; i < n; ++i) {
+    tuples[i] = tuple_of(*ps[i]);
+    lens[i] = ps[i]->len;
+  }
+  full_events_ += table_->update_sim_batch(cx.core, tuples, lens, sim_ns(cx.core),
+                                           static_cast<std::size_t>(n));
+  output_batch(cx, 0, ps, n);
+}
+
 // ------------------------------------------------------------------ SeqFirewall
 
 std::optional<std::string> SeqFirewall::configure(const std::vector<std::string>& args,
@@ -173,6 +189,39 @@ void SeqFirewall::do_push(click::Context& cx, int port, net::PacketBuf* p) {
     return;
   }
   output(cx, 0, p);
+}
+
+void SeqFirewall::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // Rule-scan burst: one access_many covers every packet's scanned lines,
+  // then the burst is partitioned into passed and matched packets (order
+  // preserved) so downstream elements and the recycler stay batched.
+  PacketFields fields[click::kMaxBatch];
+  std::int32_t match_idx[click::kMaxBatch];
+  for (int i = 0; i < n; ++i) fields[i] = fields_of(*ps[i]);
+  rules_->match_sim_batch(cx.core, fields, match_idx, static_cast<std::size_t>(n));
+
+  net::PacketBuf* passed[click::kMaxBatch];
+  net::PacketBuf* dropped[click::kMaxBatch];
+  int np = 0;
+  int nd = 0;
+  for (int i = 0; i < n; ++i) {
+    if (match_idx[i] >= 0) {
+      dropped[nd++] = ps[i];
+    } else {
+      passed[np++] = ps[i];
+    }
+  }
+  if (nd > 0) {
+    matched_ += static_cast<std::uint64_t>(nd);
+    cx.core.count_drops(static_cast<std::uint64_t>(nd));
+    if (output_connected(1)) {
+      output_batch(cx, 1, dropped, nd);
+    } else {
+      net::recycle_batch(cx.core, dropped, static_cast<std::size_t>(nd));
+    }
+  }
+  if (np > 0) output_batch(cx, 0, passed, np);
 }
 
 // --------------------------------------------------------------- RedundancyElim

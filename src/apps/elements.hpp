@@ -60,6 +60,7 @@ class FlowStatistics final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
   std::uint64_t buckets_ = 1ULL << 17;  // holds the paper's 100k flows
@@ -80,6 +81,7 @@ class SeqFirewall final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
   std::uint64_t n_rules_ = 1000;

@@ -42,6 +42,32 @@ std::int32_t RuleSet::match(const PacketFields& pkt) const {
   return -1;
 }
 
+void RuleSet::match_sim_batch(sim::Core& core, const PacketFields* pkts, std::int32_t* out,
+                              std::size_t n) const {
+  PP_CHECK(attached_);
+  scan_scratch_.clear();
+  std::uint64_t rules_scanned = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    sim::Addr last_line = ~sim::Addr{0};
+    out[p] = -1;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const sim::Addr a = region_.at(i);
+      if (sim::line_of(a) != last_line) {
+        scan_scratch_.push_back(a);
+        last_line = sim::line_of(a);
+      }
+      ++rules_scanned;
+      if (rule_matches(rules_[i], pkts[p])) {
+        out[p] = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+  }
+  core.access_many(scan_scratch_.data(), scan_scratch_.size(), sim::AccessType::kRead,
+                   /*dependent=*/false);
+  core.compute(kInstrPerRule * rules_scanned);
+}
+
 std::int32_t RuleSet::match_sim(sim::Core& core, const PacketFields& pkt) const {
   PP_CHECK(attached_);
   sim::Addr last_line = ~sim::Addr{0};

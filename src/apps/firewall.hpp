@@ -39,6 +39,13 @@ class RuleSet {
   /// line and scanned in order (independent, prefetch-friendly accesses).
   [[nodiscard]] std::int32_t match_sim(sim::Core& core, const PacketFields& pkt) const;
 
+  /// Match a burst of `n` packets (rule-scan burst). Matching runs
+  /// host-side per packet; every packet's scanned line touches are issued
+  /// as one independent access_many (same addresses and counts as `n`
+  /// match_sim calls) and the per-rule instruction charge once per burst.
+  void match_sim_batch(sim::Core& core, const PacketFields* pkts, std::int32_t* out,
+                       std::size_t n) const;
+
   /// Touch all rule lines (warm start for measurements).
   void prewarm(sim::Core& core) const;
 
@@ -52,6 +59,7 @@ class RuleSet {
   std::vector<net::FirewallRule> rules_;
   sim::Region region_;
   bool attached_ = false;
+  mutable std::vector<sim::Addr> scan_scratch_;  // batched-scan staging (host side)
 };
 
 }  // namespace pp::apps

@@ -36,6 +36,19 @@ std::int64_t FlowTable::probe(const net::FiveTuple& t, sim::Core* core) const {
   return -1;
 }
 
+std::int64_t FlowTable::probe_collect(const net::FiveTuple& t,
+                                      std::vector<sim::Addr>& addrs) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(hash_tuple(t)) & mask;
+  for (std::size_t step = 0; step < slots_.size(); ++step) {
+    addrs.push_back(region_.at(idx));
+    const Slot& s = slots_[idx];
+    if (!s.used || s.rec.key == t) return static_cast<std::int64_t>(idx);
+    idx = (idx + 1) & mask;
+  }
+  return -1;
+}
+
 bool FlowTable::update_at(std::int64_t idx, const net::FiveTuple& t, std::uint32_t bytes,
                           std::uint64_t now_ns) {
   if (idx < 0) return false;
@@ -66,6 +79,31 @@ bool FlowTable::update_sim(sim::Core& core, const net::FiveTuple& t, std::uint32
     core.compute(10);
   }
   return ok;
+}
+
+std::size_t FlowTable::update_sim_batch(sim::Core& core, const net::FiveTuple* ts,
+                                        const std::uint32_t* bytes, std::uint64_t now_ns,
+                                        std::size_t n) {
+  PP_CHECK(attached_);
+  probe_scratch_.clear();
+  store_scratch_.clear();
+  std::uint64_t update_instr = 0;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t idx = probe_collect(ts[i], probe_scratch_);
+    if (!update_at(idx, ts[i], bytes[i], now_ns)) ++failed;
+    if (idx >= 0) {
+      store_scratch_.push_back(region_.at(static_cast<std::size_t>(idx)));
+      update_instr += 10;
+    }
+  }
+  core.compute(24 * n);  // 5-tuple hashes
+  core.access_many(probe_scratch_.data(), probe_scratch_.size(), sim::AccessType::kRead,
+                   /*dependent=*/true);
+  core.access_many(store_scratch_.data(), store_scratch_.size(), sim::AccessType::kWrite,
+                   /*dependent=*/true);
+  core.compute(update_instr);  // count/timestamp updates
+  return failed;
 }
 
 void FlowTable::prewarm(sim::Core& core) const {

@@ -44,6 +44,16 @@ class FlowTable {
   bool update_sim(sim::Core& core, const net::FiveTuple& t, std::uint32_t bytes,
                   std::uint64_t now_ns);
 
+  /// Account a burst of `n` packets (hash-probe burst). Host-side updates
+  /// run packet by packet — later packets in the burst see earlier
+  /// insertions — while the simulated probe loads and entry stores are
+  /// issued as per-burst access_many calls (identical addresses and
+  /// dependent-chain latency; counter bookkeeping applied once per burst).
+  /// Returns the number of packets rejected because the table was full.
+  std::size_t update_sim_batch(sim::Core& core, const net::FiveTuple* ts,
+                               const std::uint32_t* bytes, std::uint64_t now_ns,
+                               std::size_t n);
+
   [[nodiscard]] std::optional<FlowRecord> find(const net::FiveTuple& t) const;
   [[nodiscard]] std::size_t size() const { return used_; }
   [[nodiscard]] std::size_t buckets() const { return slots_.size(); }
@@ -73,6 +83,11 @@ class FlowTable {
   /// dependent simulated touch.
   [[nodiscard]] std::int64_t probe(const net::FiveTuple& t, sim::Core* core) const;
 
+  /// Same probe, appending the simulated address of every probed slot to
+  /// `addrs` instead of touching the core (batched path).
+  [[nodiscard]] std::int64_t probe_collect(const net::FiveTuple& t,
+                                           std::vector<sim::Addr>& addrs) const;
+
   bool update_at(std::int64_t idx, const net::FiveTuple& t, std::uint32_t bytes,
                  std::uint64_t now_ns);
 
@@ -81,6 +96,8 @@ class FlowTable {
   std::size_t max_used_;
   sim::Region region_;
   bool attached_ = false;
+  std::vector<sim::Addr> probe_scratch_;  // batched-probe staging (host side)
+  std::vector<sim::Addr> store_scratch_;
 };
 
 }  // namespace pp::apps

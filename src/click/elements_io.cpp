@@ -49,6 +49,8 @@ std::optional<std::string> FromDevice::initialize(ElementEnv& env) {
                                             packet_bytes_);
   desc_ring_ = sim::Region::make(env.machine->address_space(), env.numa_domain, kDescBytes,
                                  kDescRingEntries);
+  // The rx descriptor ring is NIC-hot; sampled fidelity replays it exactly.
+  env.machine->address_space().pin_hot(desc_ring_.base(), desc_ring_.bytes());
   return std::nullopt;
 }
 
@@ -116,6 +118,8 @@ std::optional<std::string> ToDevice::configure(const std::vector<std::string>& a
 std::optional<std::string> ToDevice::initialize(ElementEnv& env) {
   desc_ring_ = sim::Region::make(env.machine->address_space(), env.numa_domain, kDescBytes,
                                  kDescRingEntries);
+  // The tx descriptor ring is NIC-hot; sampled fidelity replays it exactly.
+  env.machine->address_space().pin_hot(desc_ring_.base(), desc_ring_.bytes());
   return std::nullopt;
 }
 

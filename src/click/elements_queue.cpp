@@ -29,6 +29,12 @@ std::optional<std::string> Queue::initialize(ElementEnv& env) {
   slots_ = sim::Region::make(as, env.numa_domain, 8, ring_.size());
   head_line_ = as.alloc(sim::kLineBytes, env.numa_domain, sim::kLineBytes);
   tail_line_ = as.alloc(sim::kLineBytes, env.numa_domain, sim::kLineBytes);
+  // The descriptor slots and index lines ping-pong between producer and
+  // consumer cores — the pipelining overhead the paper measures. Sampled
+  // fidelity replays them exactly.
+  as.pin_hot(slots_.base(), slots_.bytes());
+  as.pin_hot(head_line_, sim::kLineBytes);
+  as.pin_hot(tail_line_, sim::kLineBytes);
   return std::nullopt;
 }
 

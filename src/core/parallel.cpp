@@ -1,0 +1,44 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace pp::core {
+
+int host_threads_from_env() {
+  if (const char* v = std::getenv("SWEEP_THREADS"); v != nullptr) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return n > 64 ? 64 : static_cast<int>(n);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw > 8 ? 8 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t workers = threads <= 1 ? 1 : static_cast<std::size_t>(threads);
+  if (workers > n) workers = n;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace pp::core

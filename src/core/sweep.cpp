@@ -52,8 +52,8 @@ double SweepCurve::drop_at(double refs) const {
   return pts_.back().drop_pct;
 }
 
-SweepProfiler::SweepProfiler(SoloProfiler& solo, int competitors)
-    : solo_(solo), competitors_(competitors) {
+SweepProfiler::SweepProfiler(SoloProfiler& solo, int competitors, int threads)
+    : solo_(solo), competitors_(competitors), threads_(threads < 1 ? 1 : threads) {
   PP_CHECK(competitors >= 1 && competitors <= 5);
 }
 
@@ -82,10 +82,16 @@ SweepResult SweepProfiler::sweep(const FlowSpec& target, ContentionMode mode,
   result.target = target.type;
   result.mode = mode;
 
+  // Every (level, seed) pair is an independent machine; lay the configs out
+  // up front and fan the runs out over the host thread pool. Each job writes
+  // its own slot, and aggregation below walks the slots in serial order, so
+  // the result is bit-identical whatever threads_ is.
+  const int seeds = solo_.seeds();
+  const std::size_t jobs = levels.size() * static_cast<std::size_t>(seeds);
+  std::vector<RunConfig> cfgs;
+  cfgs.reserve(jobs);
   for (const SynParams& level : levels) {
-    std::vector<FlowMetrics> target_runs;
-    double comp_refs_sum = 0;
-    for (int s = 0; s < solo_.seeds(); ++s) {
+    for (int s = 0; s < seeds; ++s) {
       RunConfig cfg;
       cfg.seed = static_cast<std::uint64_t>(s + 1) * 104729;
       cfg.warmup_ms = tb.default_warmup_ms();
@@ -111,16 +117,28 @@ SweepResult SweepProfiler::sweep(const FlowSpec& target, ContentionMode mode,
         }
         cfg.placement.push_back(pl);
       }
-      const std::vector<FlowMetrics> run = tb.run(cfg);
+      cfgs.push_back(std::move(cfg));
+    }
+  }
+
+  std::vector<std::vector<FlowMetrics>> runs(jobs);
+  parallel_for(jobs, threads_, [&](std::size_t j) { runs[j] = tb.run(cfgs[j]); });
+
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    std::vector<FlowMetrics> target_runs;
+    double comp_refs_sum = 0;
+    for (int s = 0; s < seeds; ++s) {
+      const std::vector<FlowMetrics>& run = runs[l * static_cast<std::size_t>(seeds) +
+                                                 static_cast<std::size_t>(s)];
       target_runs.push_back(run[0]);
       double refs = 0;
       for (std::size_t i = 1; i < run.size(); ++i) refs += run[i].refs_per_sec();
       comp_refs_sum += refs;
     }
     SweepLevel out;
-    out.syn = level;
+    out.syn = levels[l];
     out.target = merge_metrics(target_runs);
-    out.competing_refs_per_sec = comp_refs_sum / solo_.seeds();
+    out.competing_refs_per_sec = comp_refs_sum / seeds;
     out.drop_pct = drop_pct(solo, out.target);
     result.levels.push_back(std::move(out));
   }

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/profiler.hpp"
 #include "core/testbed.hpp"
 
@@ -60,7 +61,8 @@ struct SweepResult {
 
 class SweepProfiler {
  public:
-  SweepProfiler(SoloProfiler& solo, int competitors = 5);
+  SweepProfiler(SoloProfiler& solo, int competitors = 5,
+                int threads = host_threads_from_env());
 
   /// Ramp schedule: SYN (reads, instr) pairs from near-idle to SYN_MAX.
   /// Batches are kept short (small reads, modest instr) so competitor tasks
@@ -68,12 +70,20 @@ class SweepProfiler {
   /// fine-grained.
   [[nodiscard]] static std::vector<SynParams> default_levels(Scale s);
 
+  /// Sweep the ramp. The (level, seed) runs are fully independent machines
+  /// and execute on up to `threads()` host threads; results are aggregated
+  /// in serial order, so the output is bit-identical for any thread count.
   [[nodiscard]] SweepResult sweep(const FlowSpec& target, ContentionMode mode,
                                   const std::vector<SynParams>& levels);
+
+  /// Host-parallelism override (tests pin this to compare thread counts).
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  [[nodiscard]] int threads() const { return threads_; }
 
  private:
   SoloProfiler& solo_;
   int competitors_;
+  int threads_;
 };
 
 }  // namespace pp::core

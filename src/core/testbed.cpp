@@ -1,11 +1,20 @@
 #include "core/testbed.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "apps/elements.hpp"
 #include "base/check.hpp"
 #include "base/hash.hpp"
 #include "click/elements_io.hpp"
 
 namespace pp::core {
+
+sim::SimFidelity fidelity_from_env() {
+  const char* v = std::getenv("SIM_FIDELITY");
+  if (v != nullptr && std::strcmp(v, "sampled") == 0) return sim::SimFidelity::kSampled;
+  return sim::SimFidelity::kExact;
+}
 
 RunConfig RunConfig::simple(std::vector<FlowSpec> flows, std::uint64_t seed) {
   RunConfig cfg;
@@ -19,7 +28,9 @@ RunConfig RunConfig::simple(std::vector<FlowSpec> flows, std::uint64_t seed) {
 }
 
 Testbed::Testbed(Scale scale, std::uint64_t seed)
-    : scale_(scale), seed_(seed), sizes_(WorkloadSizes::for_scale(scale)) {}
+    : scale_(scale), seed_(seed), sizes_(WorkloadSizes::for_scale(scale)) {
+  mcfg_.fidelity = fidelity_from_env();
+}
 
 double Testbed::default_warmup_ms() const {
   switch (scale_) {
@@ -76,12 +87,12 @@ Snapshot snap(sim::Machine& m, int core, const click::Router& router) {
 
 }  // namespace
 
-std::vector<FlowMetrics> Testbed::run(const RunConfig& cfg) {
+std::vector<FlowMetrics> Testbed::run(const RunConfig& cfg) const {
   return run_with_windows(cfg, 0.0, {});
 }
 
 std::vector<FlowMetrics> Testbed::run_with_windows(const RunConfig& cfg, double window_ms,
-                                                   const WindowHook& hook) {
+                                                   const WindowHook& hook) const {
   PP_CHECK(!cfg.flows.empty());
   PP_CHECK(cfg.flows.size() == cfg.placement.size());
 
@@ -132,9 +143,11 @@ std::vector<FlowMetrics> Testbed::run_with_windows(const RunConfig& cfg, double 
   }
   const sim::Cycles start = machine.max_time();
   machine.align_clocks(start);
-  // The serial prewarm pass issues traffic at unrealistic timestamps; do not
-  // let its queueing backlog leak into the measured window.
+  // The serial prewarm pass issues traffic at unrealistic timestamps and a
+  // compulsory-miss-only access mix; let neither its queueing backlog nor
+  // its calibration signal leak into the measured window.
   machine.memory().clear_link_backlogs();
+  machine.memory().reset_sample_calibration();
 
   const sim::Cycles warm = start + mcfg_.ms_to_cycles(cfg.warmup_ms);
   const sim::Cycles measure = mcfg_.ms_to_cycles(cfg.measure_ms);
@@ -185,7 +198,7 @@ std::vector<FlowMetrics> Testbed::run_with_windows(const RunConfig& cfg, double 
   return out;
 }
 
-FlowMetrics Testbed::run_solo(const FlowSpec& spec) {
+FlowMetrics Testbed::run_solo(const FlowSpec& spec) const {
   RunConfig cfg = configure({spec});
   return run(cfg)[0];
 }

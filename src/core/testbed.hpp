@@ -17,6 +17,12 @@
 
 namespace pp::core {
 
+/// Simulation fidelity requested via the SIM_FIDELITY environment variable
+/// ("sampled" selects sim::SimFidelity::kSampled; anything else, including
+/// unset, is the exact default). The Testbed applies this to its machine
+/// config so every bench/driver honors it without plumbing.
+[[nodiscard]] sim::SimFidelity fidelity_from_env();
+
 /// Where a flow runs and where its data lives. data_domain = -1 means
 /// NUMA-local (the paper's normal rule, Section 2.2); the Figure 3
 /// configurations override it to expose individual resources.
@@ -96,17 +102,19 @@ class Testbed {
   [[nodiscard]] double default_measure_ms() const;
   [[nodiscard]] RunConfig configure(std::vector<FlowSpec> flows, std::uint64_t seed = 1) const;
 
-  /// Run an experiment; metrics are returned in flow order.
-  [[nodiscard]] std::vector<FlowMetrics> run(const RunConfig& cfg);
+  /// Run an experiment; metrics are returned in flow order. Const — and
+  /// therefore safe to call concurrently from several host threads, each
+  /// run building its own Machine (see core/parallel.hpp).
+  [[nodiscard]] std::vector<FlowMetrics> run(const RunConfig& cfg) const;
 
   /// Same, invoking `hook` every `window_ms` of simulated time during the
   /// measurement window (after warmup).
   [[nodiscard]] std::vector<FlowMetrics> run_with_windows(const RunConfig& cfg,
                                                           double window_ms,
-                                                          const WindowHook& hook);
+                                                          const WindowHook& hook) const;
 
   /// One flow alone on core 0 (the paper's "solo run").
-  [[nodiscard]] FlowMetrics run_solo(const FlowSpec& spec);
+  [[nodiscard]] FlowMetrics run_solo(const FlowSpec& spec) const;
 
  private:
   Scale scale_;

@@ -33,4 +33,79 @@ double model_drop(const CacheModelParams& p, double delta_sec) {
   return performance_drop(p.target_hits_per_sec, delta_sec, conversion_rate(p));
 }
 
+// ----------------------------------------------------------- SetSampleEstimator
+
+SetSampleEstimator::SetSampleEstimator(int cores, std::uint64_t seed) {
+  PP_CHECK(cores >= 1);
+  cells_.resize(static_cast<std::size_t>(cores) * kBuckets);
+  for (Cell& c : cells_) rebuild(c);
+  rng_.reserve(static_cast<std::size_t>(cores));
+  std::uint64_t s = seed;
+  for (int i = 0; i < cores; ++i) {
+    const std::uint64_t a = splitmix64(s);
+    const std::uint64_t b = splitmix64(s);
+    rng_.emplace_back(a, b);
+  }
+}
+
+void SetSampleEstimator::rebuild(Cell& c) {
+  const std::uint64_t split = c.n[kL2Hit] + c.n[kL3Hit] + c.n[kMiss];
+  c.t[0] = (c.n[kL2Hit] << 32U) / split;
+  c.t[1] = ((c.n[kL2Hit] + c.n[kL3Hit]) << 32U) / split;
+  c.t_xcore = c.n[kL3Hit] > 0 ? (c.xcore << 32U) / c.n[kL3Hit] : 0;
+  c.t_wb = c.n[kMiss] > 0 ? (c.wb << 32U) / c.n[kMiss] : 0;
+  c.since_rebuild = 0;
+}
+
+void SetSampleEstimator::observe(int core, std::uint32_t bucket, int level, bool xcore) {
+  Cell& c = cell(core, bucket);
+  c.n[static_cast<std::size_t>(level)] += 1;
+  if (xcore) c.xcore += 1;
+  if (c.n[0] + c.n[1] + c.n[2] + c.n[3] >= kDecayAt) {
+    for (std::uint64_t& v : c.n) v = (v + 1) / 2;
+    c.xcore = (c.xcore + 1) / 2;
+    c.wb = (c.wb + 1) / 2;
+  }
+  if (++c.since_rebuild >= c.rebuild_interval) {
+    if (c.rebuild_interval < kRebuildEvery) c.rebuild_interval *= 2;
+    rebuild(c);
+  }
+}
+
+void SetSampleEstimator::reset_counts() {
+  for (Cell& c : cells_) {
+    c = Cell{};
+    rebuild(c);
+  }
+}
+
+void SetSampleEstimator::observe_writeback(int core, std::uint32_t bucket) {
+  Cell& c = cell(core, bucket);
+  if (c.wb < c.n[kMiss]) c.wb += 1;  // a writeback accompanies a miss
+}
+
+SetSampleEstimator::Sampled SetSampleEstimator::sample(int core, std::uint32_t bucket) {
+  Cell& c = cell(core, bucket);
+  Pcg32& rng = rng_[static_cast<std::size_t>(core)];
+  const std::uint64_t u = rng.next();
+  Sampled s;
+  if (u < c.t[0]) {
+    s.level = kL2Hit;
+  } else if (u < c.t[1]) {
+    s.level = kL3Hit;
+    s.xcore = static_cast<std::uint64_t>(rng.next()) < c.t_xcore;
+  } else {
+    s.level = kMiss;
+    s.writeback = static_cast<std::uint64_t>(rng.next()) < c.t_wb;
+  }
+  return s;
+}
+
+
+double SetSampleEstimator::level_probability(int core, std::uint32_t bucket, int level) const {
+  const Cell& c = cells_[static_cast<std::size_t>(core) * kBuckets + bucket];
+  const double total = static_cast<double>(c.n[0] + c.n[1] + c.n[2] + c.n[3]);
+  return static_cast<double>(c.n[static_cast<std::size_t>(level)]) / total;
+}
+
 }  // namespace pp::model

@@ -21,9 +21,26 @@
 //    and the hit-to-miss conversion rate is 1 - P(hit) (Figure 7's
 //    "estimated" curve). The paper stresses this explains the *shape*
 //    (sharp rise then plateau), not exact values.
+//
+// 3. SetSampleEstimator: the online calibrator behind the simulator's
+//    SimFidelity::kSampled mode. The classic set-sampling observation is
+//    that a set-associative cache's sets are independent: restricting full
+//    tag replay to 1/N of the sets costs nothing in fidelity *for those
+//    sets*, and their hit/miss mix is an unbiased estimate of the whole
+//    cache's. The estimator aggregates the outcomes of the replayed
+//    ("tracked") accesses into per-(core, address-bucket) level
+//    probabilities and serves every untracked access by a deterministic
+//    pseudo-random draw from that distribution — effectively scaling the
+//    sampled sets' counters up to the full access stream. Bucketing by
+//    address (1 MB granularity) keeps per-structure behaviour distinct
+//    (a trie's top levels vs a uniformly hammered flow table), which the
+//    Figure 7 per-function conversion curves need.
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
 
 namespace pp::model {
 
@@ -50,5 +67,89 @@ struct CacheModelParams {
 /// Model-derived drop curve point: feed the model's conversion rate into
 /// Equation 1 (used to sanity-check the shape of Figure 5 analytically).
 [[nodiscard]] double model_drop(const CacheModelParams& p, double delta_sec);
+
+/// Online per-level hit-rate estimator for set-sampled simulation (see file
+/// header, item 3). One instance belongs to one simulated machine; all state
+/// is deterministic, so sampled runs are bit-reproducible for a fixed seed.
+class SetSampleEstimator {
+ public:
+  /// Access outcome levels, in hierarchy order.
+  enum Level : int { kL1Hit = 0, kL2Hit = 1, kL3Hit = 2, kMiss = 3 };
+
+  struct Sampled {
+    int level = kMiss;
+    bool xcore = false;      // L3 hit served by a dirty sibling line
+    bool writeback = false;  // miss whose eviction posts a dirty writeback
+  };
+
+  SetSampleEstimator(int cores, std::uint64_t seed);
+
+  /// Record the outcome of one exactly-replayed access by `core` to a line
+  /// in `bucket` (see bucket_of).
+  void observe(int core, std::uint32_t bucket, int level, bool xcore);
+
+  /// Record a dirty writeback caused by a replayed demand miss of `core`.
+  void observe_writeback(int core, std::uint32_t bucket);
+
+  /// Draw the L2/L3/memory split for a modeled access that missed the
+  /// (exactly replayed) L1. Never returns kL1Hit.
+  [[nodiscard]] Sampled sample(int core, std::uint32_t bucket);
+
+  /// Fallback address bucket of a line (4 MB granularity) for memory
+  /// systems with no bound AddressSpace. The simulator proper buckets by
+  /// allocation (AddressSpace::structure_of_line), so each application
+  /// structure calibrates its own cell.
+  [[nodiscard]] static std::uint32_t bucket_of(std::uint64_t line) noexcept {
+    return static_cast<std::uint32_t>(line >> 16) & (kBuckets - 1);
+  }
+
+  /// Drop all calibration back to the prior (keeps the RNG streams). Used
+  /// between artificial phases — the serial prewarm pass streams every
+  /// structure once, which is a pure compulsory-miss signal that badly
+  /// misrepresents steady state.
+  void reset_counts();
+
+  /// Current estimate of P(level) for a (core, bucket) cell (tests).
+  [[nodiscard]] double level_probability(int core, std::uint32_t bucket, int level) const;
+
+  static constexpr std::uint32_t kBuckets = 128;
+
+ private:
+  /// Outcome counts halve once their sum reaches this, giving the estimate
+  /// a ~1k-observation memory so it tracks phase changes — the prewarm
+  /// pass's compulsory misses, warmup convergence, a competitor ramping —
+  /// within a fraction of a warmup window instead of averaging the run.
+  static constexpr std::uint64_t kDecayAt = 1ULL << 10;
+  /// Steady-state threshold-rebuild cadence. Young cells rebuild after
+  /// every observation, doubling the interval up to this, so the first
+  /// modeled draws already reflect the first replayed outcomes instead of
+  /// the prior.
+  static constexpr std::uint32_t kRebuildEvery = 64;
+
+  struct Cell {
+    // Tracked-outcome counts over the L1-missing levels (the simulator
+    // replays the L1 exactly for every line, so kL1Hit is never observed
+    // or drawn), seeded with a minimal uniform prior that washes out after
+    // a handful of tracked accesses thanks to the adaptive rebuild.
+    std::uint64_t n[4] = {0, 1, 1, 1};
+    std::uint64_t xcore = 0;  // among kL3Hit outcomes
+    std::uint64_t wb = 0;     // among kMiss outcomes
+    std::uint32_t since_rebuild = 0;
+    std::uint32_t rebuild_interval = 1;  // doubles up to kRebuildEvery
+    // Cumulative L1-miss-split thresholds scaled to 2^32
+    // (draw u32: < t[0] => L2 hit, < t[1] => L3 hit, else miss).
+    std::uint64_t t[2] = {0, 0};
+    std::uint64_t t_xcore = 0;
+    std::uint64_t t_wb = 0;
+  };
+
+  void rebuild(Cell& c);
+  [[nodiscard]] Cell& cell(int core, std::uint32_t bucket) {
+    return cells_[static_cast<std::size_t>(core) * kBuckets + bucket];
+  }
+
+  std::vector<Cell> cells_;  // cores * kBuckets
+  std::vector<Pcg32> rng_;   // one independent stream per core
+};
 
 }  // namespace pp::model

@@ -18,6 +18,13 @@ BufferPool::BufferPool(sim::AddressSpace& as, int domain, int owner_core, std::s
   list_ = sim::Region::make(as, domain, 8, count);
   head_addr_ = as.alloc(sim::kLineBytes, domain, sim::kLineBytes);
   lock_addr_ = as.alloc(sim::kLineBytes, domain, sim::kLineBytes);
+  // Packet data (DMA targets), the recycle list, and the head/lock words
+  // carry the cross-core traffic the paper's Section 2.2 is about; sampled
+  // fidelity must replay them exactly.
+  as.pin_hot(buffers_.base(), buffers_.bytes());
+  as.pin_hot(list_.base(), list_.bytes());
+  as.pin_hot(head_addr_, sim::kLineBytes);
+  as.pin_hot(lock_addr_, sim::kLineBytes);
 
   slots_.resize(count);
   free_.assign(count, 0);

@@ -19,7 +19,79 @@ Addr AddressSpace::alloc(std::size_t bytes, int domain, std::size_t align) {
   const std::size_t offset = cur;
   cur += bytes;
   PP_CHECK(cur < (1ULL << kDomainShift));  // arena must not spill into the next domain
-  return (static_cast<Addr>(domain) << kDomainShift) + offset;
+  const Addr addr = (static_cast<Addr>(domain) << kDomainShift) + offset;
+
+  // Record the allocation boundary (sorted by start line; domains allocate
+  // interleaved, so insert in place). Allocation count per machine is tens,
+  // so the linear insert is irrelevant.
+  AllocMark mark{line_of(addr), next_alloc_id_++};
+  auto it = allocs_.begin();
+  while (it != allocs_.end() && it->start_line < mark.start_line) ++it;
+  allocs_.insert(it, mark);
+  return addr;
+}
+
+std::uint32_t AddressSpace::structure_of_line(Addr line, std::uint32_t modulo) const {
+  return classify_line(line, modulo).bucket;
+}
+
+AddressSpace::LineClass AddressSpace::classify_line(Addr line, std::uint32_t modulo) const {
+  // Last allocation starting at or before `line`.
+  std::size_t lo = 0;
+  std::size_t hi = allocs_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (allocs_[mid].start_line <= line) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  LineClass c;
+  c.first = 0;
+  c.last = lo < allocs_.size() ? allocs_[lo].start_line - 1 : ~Addr{0};
+  if (lo > 0) {
+    c.first = allocs_[lo - 1].start_line;
+    c.bucket = allocs_[lo - 1].id % modulo;
+  }
+  c.pinned = is_pinned_line(line);
+  return c;
+}
+
+void AddressSpace::pin_hot(Addr addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  ++pin_version_;
+  LineRange r{line_of(addr), line_of(addr + bytes - 1)};
+  // Insert sorted by first line, then coalesce with any neighbours that
+  // touch or overlap (pool sub-regions are allocated back to back, so most
+  // registrations collapse into one range).
+  auto it = pins_.begin();
+  while (it != pins_.end() && it->first < r.first) ++it;
+  it = pins_.insert(it, r);
+  if (it != pins_.begin()) --it;
+  while (it + 1 != pins_.end()) {
+    if (it->last + 1 < (it + 1)->first) {
+      ++it;
+      continue;
+    }
+    if ((it + 1)->last > it->last) it->last = (it + 1)->last;
+    pins_.erase(it + 1);
+  }
+}
+
+bool AddressSpace::is_pinned_line(Addr line) const {
+  // Binary search for the last range starting at or before `line`.
+  std::size_t lo = 0;
+  std::size_t hi = pins_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (pins_[mid].first <= line) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && line <= pins_[lo - 1].last;
 }
 
 std::size_t AddressSpace::allocated(int domain) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,8 +31,70 @@ class AddressSpace {
 
   [[nodiscard]] int domains() const { return static_cast<int>(cursor_.size()); }
 
+  /// Register [addr, addr+bytes) as contention-critical ("hot") lines: NIC
+  /// descriptor rings, packet-buffer pools, queue index/slot lines. In
+  /// SimFidelity::kSampled every set these lines map to keeps full tag-store
+  /// replay, so all cross-core coherence traffic (descriptor handoffs, skb
+  /// recycling, DMA invalidations) stays cycle-exact. No-op cost in kExact
+  /// mode — the ranges are only consulted by a sampled-mode MemorySystem.
+  /// Adjacent/overlapping ranges are merged; ranges are expected to be
+  /// registered during initialization, before traffic runs.
+  void pin_hot(Addr addr, std::size_t bytes);
+
+  /// True when `line` (an address >> kLineShift) falls in a pinned range.
+  [[nodiscard]] bool is_pinned_line(Addr line) const;
+
+  /// Number of distinct pinned ranges (diagnostic/test use).
+  [[nodiscard]] std::size_t pinned_ranges() const { return pins_.size(); }
+
+  /// Monotone counter bumped by every pin_hot (consumers cache derived
+  /// structures keyed on this).
+  [[nodiscard]] std::uint64_t pin_version() const { return pin_version_; }
+
+  /// Invoke fn(first_line, last_line) for every pinned range.
+  void each_pinned(const std::function<void(Addr, Addr)>& fn) const {
+    for (const LineRange& r : pins_) fn(r.first, r.last);
+  }
+
+  /// Stable small id of the allocation `line` belongs to, in [0, modulo).
+  /// Every alloc() is one application structure (a table, a trie, a rule
+  /// array), so this gives the sampled-mode estimator per-structure cells —
+  /// a 32 KB rule set never shares a cell with the multi-MB table allocated
+  /// next to it. Lines outside any allocation map to id 0.
+  [[nodiscard]] std::uint32_t structure_of_line(Addr line, std::uint32_t modulo) const;
+
+  /// Classification of `line`'s whole allocation in one lookup: the line
+  /// range it is valid for, its structure id, and whether it is pinned
+  /// (pins cover whole allocations, so pinned-ness is uniform across the
+  /// range; alignment-gap lines are never accessed). The sampled-mode hot
+  /// path memoizes this per core.
+  struct LineClass {
+    Addr first = 1;  // empty range (first > last) => never matches
+    Addr last = 0;
+    std::uint32_t bucket = 0;
+    bool pinned = false;
+  };
+  [[nodiscard]] LineClass classify_line(Addr line, std::uint32_t modulo) const;
+
+  /// Allocation count (memo-invalidation version, with pin_version).
+  [[nodiscard]] std::uint32_t alloc_count() const { return next_alloc_id_; }
+
  private:
+  struct LineRange {
+    Addr first = 0;  // inclusive, in line numbers
+    Addr last = 0;   // inclusive
+  };
+
+  struct AllocMark {
+    Addr start_line = 0;
+    std::uint32_t id = 0;  // allocation counter at alloc() time
+  };
+
   std::vector<std::size_t> cursor_;  // per-domain bump pointer (offset in arena)
+  std::vector<LineRange> pins_;      // sorted by first, non-overlapping
+  std::vector<AllocMark> allocs_;    // sorted by start_line
+  std::uint32_t next_alloc_id_ = 0;
+  std::uint64_t pin_version_ = 0;
 };
 
 /// A typed view over an allocation: element i lives at `base + i * stride`.

@@ -42,6 +42,71 @@ Cache::Eviction Cache::insert(Addr line, bool dirty, std::uint16_t core_mask) {
   return ev;
 }
 
+Cache::Eviction Cache::probe_insert(Addr line, bool dirty, bool* hit) {
+  const std::size_t base = set_index(line);
+  std::size_t victim = base;
+  std::uint64_t best = ~0ULL;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const std::size_t idx = base + w;
+    if (tags_[idx] == line) {
+      *hit = true;
+      lru_[idx] = ++stamp_;
+      mru_ = idx;
+      if (dirty) meta_[idx] |= kDirtyBit;
+      return Eviction{};
+    }
+    if (tags_[idx] == kNoTag) {
+      if (best != 0) {
+        best = 0;
+        victim = idx;
+      }
+      continue;
+    }
+    if (lru_[idx] < best) {
+      best = lru_[idx];
+      victim = idx;
+    }
+  }
+  *hit = false;
+  Eviction ev;
+  if (tags_[victim] != kNoTag) {
+    ev.valid = true;
+    ev.tag = tags_[victim];
+    ev.dirty = (meta_[victim] & kDirtyBit) != 0;
+    ev.core_mask = static_cast<std::uint16_t>(meta_[victim] & kMaskBits);
+  }
+  tags_[victim] = line;
+  meta_[victim] = dirty ? kDirtyBit : 0;
+  lru_[victim] = ++stamp_;
+  mru_ = victim;
+  return ev;
+}
+
+Cache::Eviction Cache::evict_lru(Addr line, std::uint64_t min_idle_ops) {
+  const std::size_t base = set_index(line);
+  std::size_t victim = base;
+  std::uint64_t best = ~0ULL;
+  bool found = false;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == kNoTag) continue;
+    if (lru_[base + w] < best) {
+      best = lru_[base + w];
+      victim = base + w;
+      found = true;
+    }
+  }
+  Eviction ev;
+  if (!found) return ev;
+  if (min_idle_ops > 0 && best + min_idle_ops > stamp_) return ev;  // too recently used
+  ev.valid = true;
+  ev.tag = tags_[victim];
+  ev.dirty = (meta_[victim] & kDirtyBit) != 0;
+  ev.core_mask = static_cast<std::uint16_t>(meta_[victim] & kMaskBits);
+  tags_[victim] = kNoTag;
+  meta_[victim] = 0;
+  return ev;
+}
+
 bool Cache::invalidate(Addr line) {
   const int way = find(line);
   if (way < 0) return false;

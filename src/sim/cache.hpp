@@ -87,6 +87,27 @@ class Cache {
   /// Insert `line`, evicting the LRU victim if the set is full.
   Eviction insert(Addr line, bool dirty, std::uint16_t core_mask);
 
+  /// find + touch on hit, insert on miss — in one way scan. Equivalent to
+  /// `if (w = find(line)) { touch_lru; if dirty mark_dirty; } else
+  /// insert(line, dirty, 0)`; `hit` reports which case ran. The sampled
+  /// model's L1 replay runs this once per access instead of find + insert.
+  Eviction probe_insert(Addr line, bool dirty, bool* hit);
+
+  /// Valid ways in `line`'s set (sampled-mode pressure modeling).
+  [[nodiscard]] std::uint32_t set_occupancy(Addr line) const {
+    const std::size_t base = set_index(line);
+    std::uint32_t n = 0;
+    for (std::uint32_t w = 0; w < ways_; ++w) n += tags_[base + w] != kNoTag ? 1U : 0U;
+    return n;
+  }
+
+  /// Evict the LRU valid way of `line`'s set without inserting anything
+  /// (sampled mode charges un-replayed competitor fills this way). A line
+  /// touched within the last `min_idle_ops` operations on this cache is
+  /// spared — a recently filled/used line would not be the LRU of its set
+  /// once the un-replayed occupants are accounted for.
+  Eviction evict_lru(Addr line, std::uint64_t min_idle_ops = 0);
+
   /// Drop a line if present (DMA invalidation, back-invalidation).
   /// Returns true if the line was present and dirty.
   bool invalidate(Addr line);

@@ -24,7 +24,9 @@ class Core {
         ms_(ms),
         socket_(ms->socket_of(id)),
         ipc_(static_cast<std::uint64_t>(ms->config().compute_ipc)),
-        ipc_shift_((ipc_ & (ipc_ - 1)) == 0 ? shift_of(ipc_) : -1) {}
+        ipc_shift_((ipc_ & (ipc_ - 1)) == 0 ? shift_of(ipc_) : -1),
+        mlp_(static_cast<Cycles>(ms->config().mlp)),
+        mlp_shift_((mlp_ & (mlp_ - 1)) == 0 ? shift_of(mlp_) : -1) {}
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
@@ -62,7 +64,7 @@ class Core {
     const MemorySystem::Outcome out = ms_->access(id_, a, t, now_);
     Cycles lat = out.latency;
     if (!dependent && lat > 0) {
-      lat = lat / static_cast<Cycles>(ms_->config().mlp);
+      lat = mlp_shift_ >= 0 ? lat >> mlp_shift_ : lat / mlp_;
       if (lat == 0) lat = 1;
     }
     advance(1 + lat);
@@ -171,7 +173,7 @@ class Core {
     const MemorySystem::Outcome out = ms_->access(id_, a, t, now_);
     Cycles lat = out.latency;
     if (!dependent && lat > 0) {
-      lat = lat / static_cast<Cycles>(ms_->config().mlp);
+      lat = mlp_shift_ >= 0 ? lat >> mlp_shift_ : lat / mlp_;
       if (lat == 0) lat = 1;
     }
     now_ += 1 + lat;
@@ -202,6 +204,8 @@ class Core {
   int socket_;
   std::uint64_t ipc_;
   int ipc_shift_;  // log2(ipc_) when ipc_ is a power of two, else -1
+  Cycles mlp_;
+  int mlp_shift_;  // log2(mlp_) when mlp_ is a power of two, else -1
   Cycles now_ = 0;
   Counters ctr_;
   Counters* attr_ = nullptr;

@@ -6,6 +6,9 @@ namespace pp::sim {
 
 Machine::Machine(const MachineConfig& cfg)
     : cfg_(cfg), ms_(std::make_unique<MemorySystem>(cfg)), as_(cfg.sockets) {
+  // Sampled fidelity exempts every set a registered hot line maps to from
+  // statistical modeling; the registrations live in the address space.
+  ms_->bind_pins(&as_);
   cores_.reserve(static_cast<std::size_t>(cfg_.num_cores()));
   for (int i = 0; i < cfg_.num_cores(); ++i) {
     cores_.push_back(std::make_unique<Core>(i, ms_.get()));

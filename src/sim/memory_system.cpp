@@ -17,6 +17,42 @@ MemorySystem::MemorySystem(const MachineConfig& cfg) : cfg_(cfg) {
   for (int i = 0; i < cfg_.sockets * cfg_.sockets; ++i) {
     qpi_.push_back(std::make_unique<QueuedLink>(cfg_.qpi_lanes, cfg_.qpi_service));
   }
+
+  if (cfg_.fidelity == SimFidelity::kSampled) {
+    const std::uint32_t p = cfg_.sample_period;
+    PP_CHECK(p >= 2 && p <= 64 && (p & (p - 1)) == 0);
+    // The residue bits must be set-index bits at every level so that a set
+    // is wholly replayed or wholly modeled.
+    PP_CHECK(p <= cfg_.l1.num_sets() && p <= cfg_.l2.num_sets() && p <= cfg_.l3.num_sets());
+    sampling_ = true;
+    l3_sets_ = cfg_.l3.num_sets();
+    sample_mask_ = p - 1;
+    tracked_residues_ = 1ULL << (cfg_.sample_seed % p);
+    est_ = std::make_unique<model::SetSampleEstimator>(cores, cfg_.sample_seed);
+    pending_binv_.assign(static_cast<std::size_t>(cores), 0);
+    class_memo_.assign(static_cast<std::size_t>(cores), AddressSpace::LineClass{});
+    std::uint64_t s = cfg_.sample_seed ^ 0x9e3779b97f4a7c15ULL;
+    model_rng_.reserve(static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c) {
+      const std::uint64_t a = splitmix64(s);
+      const std::uint64_t b = splitmix64(s);
+      model_rng_.emplace_back(a, b);
+    }
+  }
+}
+
+void MemorySystem::rebuild_pin_set_map() {
+  pin_map_version_ = pins_->pin_version();
+  pin_set_map_.assign((l3_sets_ + 63) / 64, 0);
+  pins_->each_pinned([this](Addr first, Addr last) {
+    // A range spanning >= l3_sets_ lines covers every set.
+    const Addr span = last - first + 1;
+    const Addr n = span < static_cast<Addr>(l3_sets_) ? span : static_cast<Addr>(l3_sets_);
+    for (Addr l = first; l < first + n; ++l) {
+      const std::size_t set = static_cast<std::size_t>(l) & (l3_sets_ - 1);
+      pin_set_map_[set >> 6] |= 1ULL << (set & 63);
+    }
+  });
 }
 
 QueuedLink& MemorySystem::qpi(int from_socket, int to_socket) {
@@ -25,6 +61,168 @@ QueuedLink& MemorySystem::qpi(int from_socket, int to_socket) {
 }
 
 MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type, Cycles now) {
+  if (!sampling_) return access_exact(core, addr, type, now, /*calibrate=*/false);
+
+  const Addr line = line_of(addr);
+  const bool in_residue = ((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0;
+
+  // Per-core memoized line classification: consecutive accesses almost
+  // always stay within one structure, so the alloc/pin binary searches are
+  // paid only on structure changes.
+  bool pinned = false;
+  std::uint32_t bucket = 0;
+  if (pins_ != nullptr) {
+    const std::uint64_t ver =
+        pins_->pin_version() + (static_cast<std::uint64_t>(pins_->alloc_count()) << 32);
+    if (ver != memo_version_) {
+      memo_version_ = ver;
+      for (AddressSpace::LineClass& m : class_memo_) m = AddressSpace::LineClass{};
+    }
+    AddressSpace::LineClass& m = class_memo_[static_cast<std::size_t>(core)];
+    if (line < m.first || line > m.last) {
+      m = pins_->classify_line(line, model::SetSampleEstimator::kBuckets);
+    }
+    pinned = m.pinned;
+    bucket = m.bucket;
+  } else {
+    bucket = model::SetSampleEstimator::bucket_of(line);
+  }
+
+  if (!in_residue && !pinned) return model_access(core, line, type, now, bucket);
+
+  // Calibration sample = the residue class MINUS the pinned ranges: exactly
+  // a 1/period unbiased sample of the population the model serves. Pinned
+  // lines are replayed at full weight and have their own (descriptor/pool,
+  // L1-heavy) access mix — letting them into the estimator would swamp the
+  // sampled structures sharing their buckets.
+  if (!in_residue) return access_exact(core, addr, type, now, /*calibrate=*/false);
+  const bool calibrate = !pinned;
+  const Outcome out = access_exact(core, addr, type, now, calibrate);
+  // Only L1-missing outcomes calibrate: the model replays the L1 exactly
+  // and draws solely the L2/L3/memory split.
+  if (calibrate && out.delta.l1_hit == 0) {
+    const AccessDelta& d = out.delta;
+    const int level = d.l2_hit != 0    ? model::SetSampleEstimator::kL2Hit
+                      : d.l3_miss != 0 ? model::SetSampleEstimator::kMiss
+                                       : model::SetSampleEstimator::kL3Hit;
+    est_->observe(core, bucket, level, d.xcore_hit != 0);
+  }
+  return out;
+}
+
+MemorySystem::Outcome MemorySystem::model_access(int core, Addr line, AccessType type,
+                                                 Cycles now, std::uint32_t bucket) {
+  Outcome out;
+  const bool is_write = type == AccessType::kWrite;
+
+  // The L1 replays exactly for every line, modeled or not: it is the tiny,
+  // cheap tag store, and it is where per-line recency lives — the hottest
+  // few lines of a structure (top-of-trie, table heads) are precisely what
+  // a 1/period line sample estimates worst, so they are kept structural.
+  // Only the L2/L3/memory classification of L1 misses is statistical.
+  // Pending back-invalidation debt (see back_invalidate) demotes L1 hits
+  // that an inclusive eviction would have stripped under contention.
+  Cache& l1c = l1(core);
+  bool l1_hit = false;
+  bool demoted = false;
+  Cache::Eviction l1_ev = l1c.probe_insert(line, is_write, &l1_hit);
+  if (l1_hit) {
+    std::uint32_t& debt = pending_binv_[static_cast<std::size_t>(core)];
+    if (debt == 0) {
+      out.delta.l1_hit = 1;
+      return out;
+    }
+    --debt;
+    demoted = true;
+    // As the back-invalidation would have: the copy disappears, and a
+    // dirty copy is written back on the way out.
+    if (l1c.invalidate(line)) writeback(line, now);
+  }
+  out.delta.l1_miss = 1;
+
+  const model::SetSampleEstimator::Sampled s = est_->sample(core, bucket);
+  switch (s.level) {
+    case model::SetSampleEstimator::kL2Hit:
+      out.delta.l2_hit = 1;
+      out.latency = cfg_.l2_latency;
+      break;
+    case model::SetSampleEstimator::kL3Hit:
+      out.delta.l2_miss = 1;
+      out.delta.l3_ref = 1;
+      out.latency = cfg_.l3_latency;
+      if (s.xcore) {
+        out.latency += cfg_.snoop_extra;
+        out.delta.xcore_hit = 1;
+      }
+      break;
+    default: {
+      // Modeled miss: the hit/miss classification is statistical, but
+      // bandwidth is not — the request still queues on the real controller
+      // (and QPI for a remote domain), so Figure 4(b)-style contention
+      // emerges structurally in sampled mode too.
+      out.delta.l2_miss = 1;
+      out.delta.l3_ref = 1;
+      out.delta.l3_miss = 1;
+      const int socket = socket_of(core);
+      const int domain = domain_of(line << kLineShift);
+      Cycles lat = cfg_.l3_latency + cfg_.dram_extra;
+      if (domain != socket) {
+        out.delta.remote_ref = 1;
+        const Cycles qd = qpi(socket, domain).request(line, now);
+        out.delta.qpi_queue = static_cast<std::uint32_t>(qd);
+        lat += cfg_.qpi_latency + qd;
+      }
+      const Cycles md = controller(domain).request(line, now);
+      out.delta.mc_queue = static_cast<std::uint32_t>(md);
+      lat += md;
+      out.latency = lat;
+      if (s.writeback) writeback(line, now);
+      // The fill this miss implies would evict this set's LRU line. The
+      // only real occupants of an un-replayed set are pinned lines; without
+      // this pressure they would never lose L3 residency to competitors in
+      // sampled mode (exact co-runs show DMA buffers being re-fetched under
+      // contention, and that must survive sampling). Victim-is-occupied is
+      // approximated as occupancy/ways; a just-touched line is spared (it
+      // would not be the LRU once the un-replayed occupants are counted).
+      // The set bitmap skips all of this for the vast majority of sets no
+      // pinned line maps to.
+      if (pin_set_map_hit(line)) {
+        Cache& l3c = l3(socket);
+        const std::uint32_t occ = l3c.set_occupancy(line);
+        if (occ > 0) {
+          const std::uint64_t thresh =
+              (static_cast<std::uint64_t>(occ) << 32U) / l3c.ways();
+          if (static_cast<std::uint64_t>(model_rng_[static_cast<std::size_t>(core)].next()) <
+              thresh) {
+            const Cache::Eviction ev = l3c.evict_lru(line, kPinEvictIdleOps);
+            if (ev.valid) {
+              bool dirty = ev.dirty;
+              if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
+              if (dirty) writeback(ev.tag, now);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  // The line now lives in this core's L1 (probe_insert filled it on the
+  // miss path; a demoted hit refills here, as the post-back-invalidation
+  // refetch would). A modeled line can only displace lines of its own
+  // residue class — pinned lines keep their exact L2 dirty propagation; a
+  // modeled victim's writeback is already folded into the calibrated
+  // writeback rate.
+  if (demoted) l1_ev = l1c.insert(line, is_write, 0);
+  if (l1_ev.valid && l1_ev.dirty) {
+    Cache& l2c = l2(core);
+    if (const int w2 = l2c.find(l1_ev.tag); w2 >= 0) l2c.mark_dirty(l1_ev.tag, w2);
+  }
+  return out;
+}
+
+MemorySystem::Outcome MemorySystem::access_exact(int core, Addr addr, AccessType type,
+                                                 Cycles now, bool calibrate) {
   Outcome out;
   const Addr line = line_of(addr);
   const bool is_write = type == AccessType::kWrite;
@@ -97,7 +295,10 @@ MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type,
   if (ev.valid) {
     bool dirty = ev.dirty;
     if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
-    if (dirty) writeback(ev.tag, now);
+    if (dirty) {
+      writeback(ev.tag, now);
+      if (calibrate) est_->observe_writeback(core, bucket_of(line));
+    }
   }
   install_private(core, line, is_write);
   return out;
@@ -133,9 +334,21 @@ void MemorySystem::install_private(int core, Addr line, bool dirty) {
 bool MemorySystem::back_invalidate(int socket, Addr line, std::uint16_t core_mask) {
   bool dirty = false;
   const int base = socket * cfg_.cores_per_socket;
+  // A stripped L1 copy of a calibration-class line stands for sample_period
+  // population lines losing their copies the same way; the modeled lines
+  // among them pay that debt as demoted L1 hits (see model_access). Pinned
+  // lines replay at full weight and carry no debt.
+  const bool scale_debt =
+      sampling_ && ((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0 &&
+      !(pins_ != nullptr && pins_->is_pinned_line(line));
   for (int i = 0; i < cfg_.cores_per_socket; ++i) {
     if ((core_mask & (1U << static_cast<unsigned>(i))) == 0) continue;
     const int core = base + i;
+    if (scale_debt && l1(core).find(line) >= 0) {
+      std::uint32_t& debt = pending_binv_[static_cast<std::size_t>(core)];
+      debt += sample_mask_;  // period - 1 modeled/untracked equivalents
+      if (debt > kMaxBinvDebt) debt = kMaxBinvDebt;
+    }
     dirty |= l1(core).invalidate(line);
     dirty |= l2(core).invalidate(line);
   }
@@ -158,6 +371,18 @@ void MemorySystem::dma_write(Addr addr, std::size_t bytes, Cycles now) {
   const int domain = domain_of(addr);
   const bool valid_domain = domain >= 0 && domain < cfg_.sockets;
   for (Addr line = first; line <= last; ++line) {
+    if (sampling_ && !line_is_exact(line)) {
+      // Un-replayed line: no L2/L3 copies exist to displace, but modeled
+      // lines do live in L1 replay — coherent DMA must still drop those
+      // stale copies. The DMA consumes controller bandwidth as usual.
+      // (Packet buffers are pinned by their pool, so in practice DMA
+      // targets full replay and this branch is a safety net.)
+      for (int c = 0; c < cfg_.num_cores(); ++c) {
+        if (l1(c).invalidate(line)) writeback(line, now);
+      }
+      if (valid_domain) controller(domain).post(line, now);
+      continue;
+    }
     // Coherent DMA: stale copies disappear from every cache.
     for (int s = 0; s < cfg_.sockets; ++s) {
       Cache& l3c = l3(s);
@@ -187,9 +412,11 @@ void MemorySystem::dma_read(Addr addr, std::size_t bytes, Cycles now) {
   const Addr last = line_of(addr + (bytes > 0 ? bytes - 1 : 0));
   const int domain = domain_of(addr);
   for (Addr line = first; line <= last; ++line) {
-    for (int s = 0; s < cfg_.sockets; ++s) {
-      Cache& l3c = l3(s);
-      if (const int w = l3c.find(line); w >= 0) l3c.clear_dirty(line, w);
+    if (!sampling_ || line_is_exact(line)) {
+      for (int s = 0; s < cfg_.sockets; ++s) {
+        Cache& l3c = l3(s);
+        if (const int w = l3c.find(line); w >= 0) l3c.clear_dirty(line, w);
+      }
     }
     if (domain >= 0 && domain < cfg_.sockets) controller(domain).post(line, now);
   }

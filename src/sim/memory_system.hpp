@@ -16,6 +16,8 @@
 #include <memory>
 #include <vector>
 
+#include "model/cache_model.hpp"
+#include "sim/address_space.hpp"
 #include "sim/cache.hpp"
 #include "sim/counters.hpp"
 #include "sim/queued_link.hpp"
@@ -36,8 +38,37 @@ class MemorySystem {
   };
 
   /// One data access by `core` at local time `now`. Mutates cache state and
-  /// link queues; returns the charged latency and counter deltas.
+  /// link queues; returns the charged latency and counter deltas. Under
+  /// SimFidelity::kSampled, accesses to lines outside the sampled/pinned
+  /// sets are served by the calibrated statistical model instead of the tag
+  /// stores (memory-controller/QPI queueing stays structural either way).
   [[nodiscard]] Outcome access(int core, Addr addr, AccessType type, Cycles now);
+
+  /// Sampled-mode wiring: consult `as` for the pinned hot-line ranges
+  /// (descriptor rings, buffer pools, queue index lines) that keep full
+  /// replay. The Machine binds its own address space at construction;
+  /// standalone MemorySystems (unit tests) may leave this unset.
+  void bind_pins(const AddressSpace* as) { pins_ = as; }
+
+  /// True when `line` receives full tag-store replay under the current
+  /// fidelity (always true in kExact mode).
+  [[nodiscard]] bool line_is_exact(Addr line) const {
+    if (!sampling_) return true;
+    if (((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0) return true;
+    return pins_ != nullptr && pins_->is_pinned_line(line);
+  }
+
+  /// The sampled-mode estimator (nullptr in kExact mode; test/diagnostic).
+  [[nodiscard]] const model::SetSampleEstimator* estimator() const { return est_.get(); }
+
+  /// Estimator cell of a line: per allocation when an AddressSpace is
+  /// bound (each application structure calibrates its own cell), address
+  /// granularity otherwise.
+  [[nodiscard]] std::uint32_t bucket_of(Addr line) const {
+    return pins_ != nullptr
+               ? pins_->structure_of_line(line, model::SetSampleEstimator::kBuckets)
+               : model::SetSampleEstimator::bucket_of(line);
+  }
 
   /// Fast path for the dominant repeat pattern (descriptor load/store pairs,
   /// free-list head touches, streaming over a just-installed line): when the
@@ -84,9 +115,32 @@ class MemorySystem {
   /// QueuedLink::clear_backlog).
   void clear_link_backlogs();
 
+  /// Drop the sampled-mode calibration back to its prior (no-op in kExact
+  /// mode). Called alongside clear_link_backlogs for the same reason: the
+  /// serial prewarm pass is an artificial phase — a pure compulsory-miss
+  /// stream — that must not anchor the steady-state estimate.
+  void reset_sample_calibration() {
+    if (est_ == nullptr) return;
+    est_->reset_counts();
+    for (std::uint32_t& d : pending_binv_) d = 0;
+  }
+
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
 
  private:
+  /// The full tag-store state machine (the only path in kExact mode).
+  /// `calibrate` feeds this access's outcome to the sampled-mode estimator
+  /// (true only for residue-class, non-pinned lines in kSampled mode).
+  [[nodiscard]] Outcome access_exact(int core, Addr addr, AccessType type, Cycles now,
+                                     bool calibrate);
+
+  /// Statistical service of an un-replayed line: the L1 still replays
+  /// exactly (hot-line recency is structural), the L2/L3/memory split of an
+  /// L1 miss is drawn from the estimator, and misses are still routed
+  /// through the real controller/QPI queues.
+  [[nodiscard]] Outcome model_access(int core, Addr line, AccessType type, Cycles now,
+                                     std::uint32_t bucket);
+
   /// Install a line into `core`'s private L2+L1, maintaining inclusion
   /// bookkeeping (dirty propagation on eviction, L3 core-mask updates).
   void install_private(int core, Addr line, bool dirty);
@@ -103,6 +157,47 @@ class MemorySystem {
   std::vector<std::unique_ptr<Cache>> l3_;
   std::vector<std::unique_ptr<QueuedLink>> mc_;
   std::vector<std::unique_ptr<QueuedLink>> qpi_;  // sockets*sockets, from-major
+
+  // --- SimFidelity::kSampled state (inert in kExact mode) -----------------
+  bool sampling_ = false;
+  std::uint32_t sample_mask_ = 0;          // sample_period - 1
+  std::uint64_t tracked_residues_ = ~0ULL; // bitmap over line residues
+  const AddressSpace* pins_ = nullptr;
+  std::unique_ptr<model::SetSampleEstimator> est_;
+  /// Per-core back-invalidation debt: each stripped L1 copy of a
+  /// calibration-class line adds period-1 demotions owed by that core's
+  /// modeled L1 hits (capped — debt beyond a window's worth of hits would
+  /// just model lines already naturally evicted).
+  static constexpr std::uint32_t kMaxBinvDebt = 1U << 14;
+  std::vector<std::uint32_t> pending_binv_;
+  /// Per-core streams for the structural pressure draws (pinned-set
+  /// eviction on modeled misses); independent of the estimator's streams.
+  std::vector<Pcg32> model_rng_;
+
+  /// A pressure victim must have been idle this many L3 operations — a
+  /// fresher line would not be the LRU of its set among the un-replayed
+  /// occupants (freshly DCA'd packet buffers especially).
+  static constexpr std::uint64_t kPinEvictIdleOps = 64;
+
+  /// Bitmap over L3 set indices that at least one pinned line maps to,
+  /// rebuilt lazily when pin registrations change. True => the modeled
+  /// miss pressure path must run for this line's set.
+  [[nodiscard]] bool pin_set_map_hit(Addr line) {
+    if (pins_ == nullptr) return false;
+    if (pin_map_version_ != pins_->pin_version()) rebuild_pin_set_map();
+    const std::size_t set = static_cast<std::size_t>(line) & (l3_sets_ - 1);
+    return (pin_set_map_[set >> 6] >> (set & 63)) & 1ULL;
+  }
+  void rebuild_pin_set_map();
+
+  std::size_t l3_sets_ = 0;
+  std::uint64_t pin_map_version_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> pin_set_map_;
+
+  /// Per-core memoized line classification (see access()); invalidated
+  /// when the address space gains allocations or pins.
+  std::vector<AddressSpace::LineClass> class_memo_;
+  std::uint64_t memo_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace pp::sim

@@ -42,9 +42,9 @@ class QueuedLink {
     (void)line;
     const bool in_past = now < clock_;
     drain(now);
-    const double u = util_ewma_ < 0.95 ? util_ewma_ : 0.95;
-    Cycles delay =
-        static_cast<Cycles>(static_cast<double>(service_) * u / (2.0 * (1.0 - u)));
+    // The M/D/1 wait term depends only on the EWMA, which changes only in
+    // drain(); uterm_ caches it so the hot path pays no FP divide.
+    Cycles delay = uterm_;
     if (!in_past) {
       // Normally-ordered arrival: queue behind the outstanding backlog.
       delay += rd_backlog_ / channels_;
@@ -98,6 +98,7 @@ class QueuedLink {
     wr_backlog_ = 0;
     booked_ = 0;
     util_ewma_ = 0;
+    uterm_ = 0;
   }
 
  private:
@@ -121,6 +122,8 @@ class QueuedLink {
       const double alpha =
           dt >= kUtilWindow ? 1.0 : static_cast<double>(dt) / static_cast<double>(kUtilWindow);
       util_ewma_ += alpha * (inst - util_ewma_);
+      const double u = util_ewma_ < 0.95 ? util_ewma_ : 0.95;
+      uterm_ = static_cast<Cycles>(static_cast<double>(service_) * u / (2.0 * (1.0 - u)));
       booked_ = 0;
       clock_ = now;
     }
@@ -133,6 +136,7 @@ class QueuedLink {
   Cycles wr_backlog_ = 0;  // undrained posted-write service cycles
   Cycles booked_ = 0;      // service cycles booked since the last drain
   double util_ewma_ = 0;
+  Cycles uterm_ = 0;       // cached M/D/1 expected wait at util_ewma_
   std::uint64_t requests_ = 0;
   std::uint64_t posts_ = 0;
   std::uint64_t busy_cycles_ = 0;

@@ -31,6 +31,25 @@ inline constexpr int kDomainShift = 40;
 
 enum class AccessType : std::uint8_t { kRead, kWrite };
 
+/// How faithfully the memory hierarchy is replayed.
+///
+///   kExact   — every access runs the full tag-store state machine. This is
+///              the default and the reference: results are bit-reproducible
+///              and independent of the sampling knobs below.
+///   kSampled — the classic set-sampling speedup: a deterministic subset of
+///              cache sets (one line-address residue class mod
+///              `sample_period`, plus every set that registered hot lines —
+///              NIC descriptor rings, buffer pools, queue index lines — map
+///              to) keeps full replay; accesses to all other sets are served
+///              by a statistical per-level hit-rate model calibrated online
+///              from the replayed sets. Memory-controller and QPI queueing
+///              stay structural in both modes. See docs/simulation_modes.md.
+enum class SimFidelity : std::uint8_t { kExact, kSampled };
+
+[[nodiscard]] constexpr const char* to_string(SimFidelity f) noexcept {
+  return f == SimFidelity::kSampled ? "sampled" : "exact";
+}
+
 /// Geometry of one cache level.
 struct CacheGeometry {
   std::uint32_t size_bytes = 0;
@@ -82,6 +101,24 @@ struct MachineConfig {
   /// *independent* accesses (batched random reads, payload streaming).
   /// Dependent chains (pointer chasing in the radix trie) do not overlap.
   int mlp = 4;
+
+  /// Simulation fidelity (see SimFidelity). kExact is the default; kSampled
+  /// trades per-set statistical accuracy outside the sampled/pinned sets for
+  /// host speed.
+  SimFidelity fidelity = SimFidelity::kExact;
+
+  /// Set-sampling factor for kSampled: one line-address residue class mod
+  /// `sample_period` is replayed exactly (i.e. 1/sample_period of every
+  /// cache level's sets). Must be a power of two in [2, 64] so it divides
+  /// every level's set count; the replayed residue is sample_seed %
+  /// sample_period. 8 balances host speed against near-capacity accuracy
+  /// (the paper's saturated-cache regime is where a thin sample wobbles).
+  std::uint32_t sample_period = 8;
+
+  /// Seed for the sampled-mode model: selects the replayed residue class
+  /// and the per-core RNG streams of the statistical estimator. Results in
+  /// kSampled mode are bit-reproducible for a fixed seed.
+  std::uint64_t sample_seed = 0x5eedU;
 
   [[nodiscard]] constexpr int num_cores() const noexcept {
     return sockets * cores_per_socket;
