@@ -3,6 +3,11 @@
 // flow-to-socket placements; the gap bounds what contention-aware scheduling
 // could buy. The paper's headline: 2% for realistic mixes (6 MON + 6 FW),
 // 6% for the adversarial 6 SYN_MAX + 6 FW mix.
+//
+// Each combination's placement enumeration fans out over SWEEP_THREADS host
+// threads through the ProfileStore (every (placement, seed) run is an
+// independent scenario); aggregation stays in enumeration order, so the
+// study is bit-identical at any thread count.
 #include "base/strings.hpp"
 #include "common.hpp"
 
@@ -22,12 +27,8 @@ std::vector<pp::core::FlowSpec> combo(std::initializer_list<std::pair<pp::core::
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  bench::header("Figure 10", "best vs worst flow-to-core placement", scale);
-
-  Testbed tb(scale, 1);
-  SoloProfiler solo(tb, bench::sweep_seeds(scale));
-  PlacementEvaluator eval(solo);
+  bench::Engine eng;
+  bench::header("Figure 10", "best vs worst flow-to-core placement", eng.scale);
 
   const struct {
     const char* name;
@@ -47,7 +48,7 @@ int main() {
   const PlacementStudy* mon_fw_study = nullptr;
   static PlacementStudy studies[std::size(combos)];
   for (std::size_t i = 0; i < std::size(combos); ++i) {
-    studies[i] = eval.evaluate(combos[i].flows);
+    studies[i] = eng.placement.evaluate(combos[i].flows);
     const PlacementStudy& s = studies[i];
     a.add_row({combos[i].name, pp::strformat("%.2f", s.best.avg_drop_pct),
                pp::strformat("%.2f", s.worst.avg_drop_pct),
@@ -71,5 +72,6 @@ int main() {
         "Paper: worst = all 6 MON on one socket (each ~27%%); best = 3+3 split\n"
         "(each ~21%%); overall gap ~2%%. Adversarial SYN_MAX mix gap ~6%%.\n");
   }
+  eng.print_store_stats("fig10");
   return 0;
 }

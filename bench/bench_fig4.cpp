@@ -5,18 +5,23 @@
 //   (b) memctrl-only    — competitors on the other socket, data local to the
 //                         target's domain;
 //   (c) both            — normal NUMA-local placement.
+//
+// The five per-type sweeps of each placement fan out over SWEEP_THREADS
+// host threads through the ProfileStore (sweep_many); with PROFILE_CACHE
+// set, a repeated invocation re-simulates nothing and reproduces this
+// stdout byte-identically (the CI warm-cache job asserts both).
 #include "common.hpp"
 
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  bench::header("Figure 4", "drop vs competing L3 refs/sec, per contended resource", scale);
+  bench::Engine eng;
+  bench::header("Figure 4", "drop vs competing L3 refs/sec, per contended resource",
+                eng.scale);
 
-  Testbed tb(scale, 1);
-  SoloProfiler solo(tb, bench::sweep_seeds(scale));
-  SweepProfiler sweep(solo, 5);
-  const auto levels = SweepProfiler::default_levels(scale);
+  const auto levels = SweepProfiler::default_levels(eng.scale);
+  std::vector<FlowSpec> targets;
+  for (const FlowType t : kRealisticTypes) targets.push_back(FlowSpec::of(t));
 
   const struct {
     ContentionMode mode;
@@ -29,11 +34,9 @@ int main() {
 
   for (const auto& part : parts) {
     SeriesChart chart("competing L3 refs/sec (M)", {"IP", "MON", "FW", "RE", "VPN"});
-    // One sweep per type; levels align by index, x = mean competing refs.
-    std::vector<SweepResult> results;
-    for (const FlowType t : kRealisticTypes) {
-      results.push_back(sweep.sweep(FlowSpec::of(t), part.mode, levels));
-    }
+    // All five per-type sweeps of this placement run concurrently; levels
+    // align by index, x = mean competing refs.
+    const std::vector<SweepResult> results = eng.sweep.sweep_many(targets, part.mode, levels);
     for (std::size_t level = 0; level < levels.size(); ++level) {
       double x = 0;
       std::vector<double> ys;
@@ -50,5 +53,6 @@ int main() {
       "Paper's qualitative result to compare against: the cache dominates\n"
       "(MON up to ~32%% in 4(a)) while the controller alone stays small\n"
       "(MON <= 6%% in 4(b)); 4(c) is essentially 4(a) plus a few points.\n");
+  eng.print_store_stats("fig4");
   return 0;
 }

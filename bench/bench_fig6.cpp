@@ -9,8 +9,8 @@
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  bench::header("Figure 6", "Equation-1 worst-case drop vs solo hits/sec", scale);
+  bench::Engine eng(seeds_for(scale_from_env()));
+  bench::header("Figure 6", "Equation-1 worst-case drop vs solo hits/sec", eng.scale);
 
   SeriesChart chart("solo cache hits/sec (M)",
                     {"delta=60ns", "delta=43.75ns", "delta=30ns"});
@@ -21,19 +21,18 @@ int main() {
   }
   bench::print_chart("Worst-case drop (%) vs solo hits/sec:", chart);
 
-  Testbed tb(scale, 1);
-  SoloProfiler solo(tb, seeds_for(scale));
   TextTable points({"Flow", "solo hits/sec (M)", "worst-case drop % (delta=43.75ns)",
                     "paper's annotated point (%)"});
   const double paper_points[] = {47, 48, 9, 19, 24};
   for (std::size_t i = 0; i < 5; ++i) {
     const FlowType t = kRealisticTypes[i];
-    const double h = solo.profile(t).hits_per_sec();
+    const double h = eng.solo.profile(t).hits_per_sec();
     points.add_numeric_row(to_string(t),
                            {h / 1e6, model::worst_case_drop(h, 43.75e-9) * 100.0,
                             paper_points[i]},
                            1);
   }
   bench::print_table("Measured per-app points:", points);
+  eng.print_store_stats("fig6");
   return 0;
 }

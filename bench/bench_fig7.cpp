@@ -38,23 +38,21 @@ const pp::sim::Counters* find_element(const pp::core::FlowMetrics& m, const std:
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  bench::header("Figure 7", "measured vs modeled hit-to-miss conversion (MON)", scale);
+  bench::Engine eng;
+  bench::header("Figure 7", "measured vs modeled hit-to-miss conversion (MON)", eng.scale);
 
-  Testbed tb(scale, 1);
-  SoloProfiler solo(tb, bench::sweep_seeds(scale));
-  SweepProfiler sweep(solo, 5);
-  const FlowMetrics mon_solo = solo.profile(FlowType::kMon);
-  const SweepResult r = sweep.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kCacheOnly,
-                                    SweepProfiler::default_levels(scale));
+  const FlowMetrics mon_solo = eng.solo.profile(FlowType::kMon);
+  const SweepResult r = eng.sweep.sweep(FlowSpec::of(FlowType::kMon),
+                                        ContentionMode::kCacheOnly,
+                                        SweepProfiler::default_levels(eng.scale));
 
   // Appendix model parameters: the shared cache in lines; MON's cacheable
   // chunks approximated by its flow table (the uniformly accessed structure
   // the model describes best, as the paper notes).
   model::CacheModelParams params;
-  params.cache_lines = tb.machine_config().l3.num_lines();
+  params.cache_lines = eng.tb.machine_config().l3.num_lines();
   params.target_chunks =
-      static_cast<double>(tb.sizes().flow_buckets) / 2.0;  // 32B entries, 2/line
+      static_cast<double>(eng.tb.sizes().flow_buckets) / 2.0;  // 32B entries, 2/line
   params.target_hits_per_sec = mon_solo.hits_per_sec();
 
   SeriesChart chart("competing L3 refs/sec (M)",
@@ -91,5 +89,6 @@ int main() {
       "Expected shape (paper): sharp rise then plateau; flow_statistics\n"
       "tracks the model (uniform access), check_ip_header and skb_recycle\n"
       "stay near zero (per-packet-hot lines), radix_ip_lookup in between.\n");
+  eng.print_store_stats("fig7");
   return 0;
 }

@@ -8,19 +8,15 @@
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  bench::header("Figure 9", "mixed workload: 2 MON + 2 VPN + 1 FW + 1 RE per socket", scale);
-
-  Testbed tb(scale, 1);
-  SoloProfiler solo(tb, bench::sweep_seeds(scale));
-  SweepProfiler sweep(solo, 5);
-  ContentionPredictor pred(solo, sweep);
+  bench::Engine eng;
+  bench::header("Figure 9", "mixed workload: 2 MON + 2 VPN + 1 FW + 1 RE per socket",
+                eng.scale);
 
   // One socket's mix; both sockets carry the same combination.
   const FlowType socket_mix[] = {FlowType::kMon, FlowType::kMon, FlowType::kVpn,
                                  FlowType::kVpn, FlowType::kFw,  FlowType::kRe};
 
-  RunConfig cfg = tb.configure({});
+  RunConfig cfg = eng.tb.configure({});
   for (int sock = 0; sock < 2; ++sock) {
     for (int i = 0; i < 6; ++i) {
       cfg.flows.push_back(
@@ -28,7 +24,7 @@ int main() {
       cfg.placement.push_back(FlowPlacement{sock * 6 + i, -1});
     }
   }
-  const auto run = tb.run(cfg);
+  const ScenarioResult& run = *eng.store().get_or_run(Scenario::of(eng.tb, cfg));
 
   TextTable t({"flow", "measured drop (%)", "predicted drop (%)", "absolute error"});
   double max_err = 0;
@@ -40,8 +36,8 @@ int main() {
     for (std::size_t j = 0; j < cfg.flows.size(); ++j) {
       if (j != i && cfg.placement[j].core / 6 == socket) comps.push_back(cfg.flows[j].type);
     }
-    const double actual = drop_pct(solo.profile(target), run[i]);
-    const double predicted = pred.predict(target, comps);
+    const double actual = drop_pct(eng.solo.profile(target), run[i]);
+    const double predicted = eng.predictor.predict(target, comps);
     const double err = std::abs(predicted - actual);
     max_err = std::max(max_err, err);
     t.add_numeric_row(std::string(to_string(target)) + " (core " +
@@ -50,5 +46,6 @@ int main() {
   }
   bench::print_table("Figure 9: measured vs predicted drop per flow:", t);
   std::printf("max absolute error: %.2f points (paper: 1.26)\n", max_err);
+  eng.print_store_stats("fig9");
   return 0;
 }

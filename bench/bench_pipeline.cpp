@@ -121,6 +121,16 @@ struct ConfigRun {
   }
 };
 
+/// Scenario-engine demonstration: the same small SYN sweep driven through a
+/// ProfileStore twice. The cold pass simulates; the warm pass must aggregate
+/// memoized results only (warm_simulated == 0) — the in-process equivalent
+/// of the CI job that re-runs bench_fig4 against a populated PROFILE_CACHE.
+struct CacheDemo {
+  double cold_host_seconds = 0;
+  double warm_host_seconds = 0;
+  std::uint64_t warm_simulated = 0;
+};
+
 struct HostTotals {
   double per_packet = 0;  // exact, BATCH=1
   double batched = 0;     // exact, BATCH=kBatch
@@ -138,7 +148,7 @@ struct HostTotals {
 };
 
 void emit_json_to(std::FILE* f, const std::vector<ConfigRun>& runs, const HostTotals& totals,
-                  Scale scale, bool sampled_mode) {
+                  Scale scale, bool sampled_mode, const CacheDemo& cache) {
   std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"scale\": \"%s\",\n", to_string(scale));
   std::fprintf(f, "  \"fidelity\": \"%s\",\n", sampled_mode ? "sampled" : "exact");
   std::fprintf(f, "  \"sweep_threads\": %d,\n", host_threads_from_env());
@@ -166,7 +176,13 @@ void emit_json_to(std::FILE* f, const std::vector<ConfigRun>& runs, const HostTo
                  r.exact.host_speedup(), r.pps_delta_pct(), r.refs_delta_pct(),
                  i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"total_host_seconds_per_packet\": %.6f,\n", totals.per_packet);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"profile_cache\": {\"cold_host_seconds\": %.6f, "
+               "\"warm_host_seconds\": %.6f, \"warm_simulated\": %llu},\n",
+               cache.cold_host_seconds, cache.warm_host_seconds,
+               static_cast<unsigned long long>(cache.warm_simulated));
+  std::fprintf(f, "  \"total_host_seconds_per_packet\": %.6f,\n", totals.per_packet);
   std::fprintf(f, "  \"total_host_seconds_batched\": %.6f,\n", totals.batched);
   if (sampled_mode) {
     std::fprintf(f, "  \"total_host_seconds_sampled_batched\": %.6f,\n", totals.sampled);
@@ -177,7 +193,8 @@ void emit_json_to(std::FILE* f, const std::vector<ConfigRun>& runs, const HostTo
   std::fprintf(f, "  \"total_host_speedup\": %.2f\n}\n", totals.per_packet / totals.batched);
 }
 
-void emit_json(const std::vector<ConfigRun>& runs, Scale scale, bool sampled_mode) {
+void emit_json(const std::vector<ConfigRun>& runs, Scale scale, bool sampled_mode,
+               const CacheDemo& cache) {
   std::vector<std::string> paths = {"BENCH_pipeline.json"};
 #ifdef PP_SOURCE_DIR
   // Also drop the trajectory file at the repository root (the working
@@ -192,7 +209,7 @@ void emit_json(const std::vector<ConfigRun>& runs, Scale scale, bool sampled_mod
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       continue;
     }
-    emit_json_to(f, runs, totals, scale, sampled_mode);
+    emit_json_to(f, runs, totals, scale, sampled_mode, cache);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -330,6 +347,37 @@ int main() {
   }
   bench::print_table("Batched execution (same simulated scenario, burst drivers):", t3);
 
+  // --- Scenario engine: profile-store cold vs warm ------------------------
+  CacheDemo cache;
+  {
+    core::Testbed tb(scale, 1);
+    core::ProfileStore store;  // in-memory: a freshly populated PROFILE_CACHE
+    core::SoloProfiler solo(tb, 1, &store);
+    core::SweepProfiler sweep(solo, 5);
+    const auto all_levels = core::SweepProfiler::default_levels(scale);
+    const std::vector<core::SynParams> levels = {all_levels.front(), all_levels.back()};
+    const auto host_t0 = std::chrono::steady_clock::now();
+    const core::SweepResult cold = sweep.sweep(core::FlowSpec::of(core::FlowType::kMon),
+                                               core::ContentionMode::kBoth, levels);
+    const auto host_t1 = std::chrono::steady_clock::now();
+    const std::uint64_t simulated_after_cold = store.stats().simulated;
+    const core::SweepResult warm = sweep.sweep(core::FlowSpec::of(core::FlowType::kMon),
+                                               core::ContentionMode::kBoth, levels);
+    const auto host_t2 = std::chrono::steady_clock::now();
+    cache.cold_host_seconds = std::chrono::duration<double>(host_t1 - host_t0).count();
+    cache.warm_host_seconds = std::chrono::duration<double>(host_t2 - host_t1).count();
+    cache.warm_simulated = store.stats().simulated - simulated_after_cold;
+    PP_CHECK(cold.levels.size() == warm.levels.size());
+    for (std::size_t i = 0; i < cold.levels.size(); ++i) {
+      PP_CHECK(cold.levels[i].drop_pct == warm.levels[i].drop_pct);
+    }
+    std::printf(
+        "Scenario engine (MON mini-sweep via ProfileStore): cold %.3fs, warm %.3fs, "
+        "%llu re-simulated on the warm pass\n\n",
+        cache.cold_host_seconds, cache.warm_host_seconds,
+        static_cast<unsigned long long>(cache.warm_simulated));
+  }
+
   bool drift_ok = true;
   if (sampled_mode) {
     TextTable t4({"configuration", "host s exact (B=32)", "host s sampled (B=32)",
@@ -347,7 +395,7 @@ int main() {
     bench::print_table("Sampled fidelity (same scenario, set-sampled tag stores):", t4);
   }
 
-  emit_json(runs, scale, sampled_mode);
+  emit_json(runs, scale, sampled_mode, cache);
 
   if (sampled_mode && !drift_ok) {
     std::fprintf(stderr,

@@ -3,12 +3,10 @@
 
 int main() {
   using namespace pp;
-  const Scale scale = scale_from_env();
-  bench::header("Table 1", "solo-run characteristics of IP, MON, FW, RE, VPN", scale);
+  bench::Engine eng(seeds_for(scale_from_env()));
+  bench::header("Table 1", "solo-run characteristics of IP, MON, FW, RE, VPN", eng.scale);
 
-  core::Testbed tb(scale, 1);
-  core::SoloProfiler profiler(tb, seeds_for(scale));
-  bench::print_table("Measured (this reproduction):", profiler.table1());
+  bench::print_table("Measured (this reproduction):", eng.solo.table1());
 
   TextTable paper({"Flow", "cycles per instruction", "L3 refs/sec (M)", "L3 hits/sec (M)",
                    "cycles per packet", "L3 refs per packet", "L3 misses per packet",
@@ -19,5 +17,6 @@ int main() {
   paper.add_numeric_row("RE", {1.18, 18.18, 5.52, 27433, 155.87, 108.51, 45.63});
   paper.add_numeric_row("VPN", {0.56, 9.45, 7.08, 8679, 25.63, 6.41, 30.71});
   bench::print_table("Paper (Dobrescu et al., Table 1), for comparison:", paper);
+  eng.print_store_stats("table1");
   return 0;
 }

@@ -3,16 +3,30 @@
 // Every bench prints the paper artifact it reproduces, runs at the scale
 // selected by REPRO_SCALE (quick | standard | full), and emits both an
 // aligned text table and a CSV block for plotting.
+//
+// The Engine bundles the scenario-engine stack (Testbed + the stateless
+// profiler/predictor/placement views over the process-global ProfileStore),
+// replacing the per-binary copy-pasted setup. Everything a bench measures
+// goes through the store, so:
+//   * independent runs of one figure fan out over SWEEP_THREADS host
+//     threads with bit-identical, serial-order aggregation, and
+//   * with PROFILE_CACHE=dir set, a repeated bench invocation re-simulates
+//     nothing and reproduces its stdout byte-identically (the CI warm-cache
+//     job asserts exactly this — which is why store statistics go to
+//     stderr, never stdout).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "base/env.hpp"
 #include "base/table.hpp"
 #include "core/placement.hpp"
 #include "core/predictor.hpp"
+#include "core/profile_store.hpp"
 #include "core/profiler.hpp"
+#include "core/scenario.hpp"
 #include "core/sweep.hpp"
 #include "core/testbed.hpp"
 
@@ -38,5 +52,76 @@ inline void print_table(const char* title, const TextTable& table) {
 /// keeps the full suite to minutes (determinism makes the variance tiny —
 /// the paper notes its 5-run variance was negligible too).
 inline int sweep_seeds(Scale scale) { return scale == Scale::kFull ? 3 : 1; }
+
+/// The scenario-engine stack every figure bench drives. Views share the
+/// process-global ProfileStore (PROFILE_CACHE-backed when the variable is
+/// set), so profiles computed for one figure are reused by the next.
+struct Engine {
+  Scale scale;
+  core::Testbed tb;
+  core::SoloProfiler solo;
+  core::SweepProfiler sweep;
+  core::ContentionPredictor predictor;
+  core::PlacementEvaluator placement;
+
+  /// The views hold references into this Engine (sweep/predictor/placement
+  /// -> solo -> tb); a copy would alias the original's members.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// `seeds` = averaging seeds per data point (0 = the sweep default).
+  explicit Engine(int seeds = 0, Scale s = scale_from_env())
+      : scale(s),
+        tb(scale, 1),
+        solo(tb, seeds > 0 ? seeds : sweep_seeds(scale)),
+        sweep(solo, 5),
+        predictor(solo, sweep),
+        placement(solo) {}
+
+  [[nodiscard]] core::ProfileStore& store() const { return solo.store(); }
+  [[nodiscard]] int threads() const { return sweep.threads(); }
+
+  /// The pairwise grid cell of Figures 2/5/8: `target` on core 0 co-running
+  /// with 5 `comp` flows on its socket, everything NUMA-local.
+  [[nodiscard]] core::Scenario pairwise_scenario(core::FlowType target, core::FlowType comp,
+                                                 std::uint64_t run_seed) const {
+    core::RunConfig cfg = tb.configure({core::FlowSpec::of(target)}, run_seed);
+    for (int i = 0; i < 5; ++i) {
+      cfg.flows.push_back(core::FlowSpec::of(comp, static_cast<std::uint64_t>(i + 2)));
+      cfg.placement.push_back(core::FlowPlacement{1 + i, -1});
+    }
+    return core::Scenario::of(tb, cfg);
+  }
+
+  /// Store-stats footer. Stderr on purpose: the CI warm-cache job diffs
+  /// stdout between a cold and a warm run and greps this line for
+  /// "simulated=0" on the warm one.
+  void print_store_stats(const char* bench) const {
+    std::fprintf(stderr, "[%s] profile store: %s\n", bench, store().stats_line().c_str());
+  }
+};
+
+/// Aggregate of one pairwise cell pooled over its seed runs.
+struct PairwiseOutcome {
+  core::FlowMetrics target;            // pooled target metrics
+  double competing_refs_per_sec = 0;   // mean of the competitors' measured refs/sec
+};
+
+[[nodiscard]] inline PairwiseOutcome pairwise_outcome(
+    const std::vector<std::shared_ptr<const core::ScenarioResult>>& runs) {
+  std::vector<core::FlowMetrics> pooled;
+  pooled.reserve(runs.size());
+  double refs_sum = 0;
+  for (const auto& r : runs) {
+    pooled.push_back((*r)[0]);
+    double refs = 0;
+    for (std::size_t i = 1; i < r->size(); ++i) refs += (*r)[i].refs_per_sec();
+    refs_sum += refs;
+  }
+  PairwiseOutcome out;
+  out.target = core::merge_metrics(pooled);
+  out.competing_refs_per_sec = refs_sum / static_cast<double>(runs.size());
+  return out;
+}
 
 }  // namespace pp::bench

@@ -10,19 +10,18 @@
 
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "core/predictor.hpp"
+#include "common.hpp"
 
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
+  bench::Engine eng(/*seeds=*/1);
+  Testbed& tb = eng.tb;
+  SoloProfiler& solo = eng.solo;
+  ContentionPredictor& predictor = eng.predictor;
   std::printf("Capacity planning with contention prediction (scale=%s)\n\n",
-              to_string(scale));
+              to_string(eng.scale));
 
-  Testbed tb(scale, 7);
-  SoloProfiler solo(tb, 1);
-  SweepProfiler sweep(solo, 5);
-  ContentionPredictor predictor(solo, sweep);
   predictor.profile(FlowType::kMon);
   predictor.profile(FlowType::kVpn);
 
@@ -70,7 +69,7 @@ int main() {
     cfg.flows.push_back(FlowSpec::of(FlowType::kVpn, static_cast<std::uint64_t>(i + 1)));
     cfg.placement.push_back(FlowPlacement{i, -1});
   }
-  const auto run = tb.run(cfg);
+  const auto run = *eng.store().get_or_run(Scenario::of(tb, cfg));
   TextTable verify({"flow", "measured drop (%)", "within SLA"});
   bool all_ok = true;
   for (std::size_t i = 0; i < run.size(); ++i) {
@@ -84,5 +83,6 @@ int main() {
   std::printf("%s\n%s\n", verify.to_text().c_str(),
               all_ok ? "Packing verified: predictions held within the error budget."
                      : "Packing violated the SLA — prediction error exceeded budget.");
+  eng.print_store_stats("capacity_planning");
   return all_ok ? 0 : 1;
 }

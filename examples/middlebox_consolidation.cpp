@@ -13,18 +13,16 @@
 
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "core/predictor.hpp"
+#include "common.hpp"
 
 int main() {
   using namespace pp;
   using namespace pp::core;
-  const Scale scale = scale_from_env();
-  std::printf("Middlebox consolidation planner (scale=%s)\n\n", to_string(scale));
-
-  Testbed tb(scale, 42);
-  SoloProfiler solo(tb, 1);
-  SweepProfiler sweep(solo, 5);
-  ContentionPredictor predictor(solo, sweep);
+  bench::Engine eng(/*seeds=*/1);
+  Testbed& tb = eng.tb;
+  SoloProfiler& solo = eng.solo;
+  ContentionPredictor& predictor = eng.predictor;
+  std::printf("Middlebox consolidation planner (scale=%s)\n\n", to_string(eng.scale));
 
   // One socket hosts six tenant flows.
   struct Tenant {
@@ -48,7 +46,7 @@ int main() {
   }
 
   std::printf("Validating against the consolidated deployment...\n\n");
-  const auto run = tb.run(cfg);
+  const auto run = *eng.store().get_or_run(Scenario::of(tb, cfg));
 
   TextTable t({"tenant", "type", "solo Mpps", "predicted drop (%)", "measured drop (%)",
                "consolidated Mpps"});
@@ -68,5 +66,6 @@ int main() {
   std::printf(
       "The operator can now size SLAs against the *predicted* consolidated\n"
       "throughput instead of over-provisioning for the unknown (Section 4).\n");
+  eng.print_store_stats("middlebox_consolidation");
   return 0;
 }

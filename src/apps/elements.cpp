@@ -249,14 +249,11 @@ std::optional<std::string> RedundancyElim::initialize(click::ElementEnv& env) {
   return std::nullopt;
 }
 
-void RedundancyElim::do_push(click::Context& cx, int port, net::PacketBuf* p) {
-  (void)port;
+void RedundancyElim::encode_one(click::Context& cx, net::PacketBuf* p,
+                                sim::StreamBurst* burst) {
   auto payload = payload_of(*p);
-  if (payload.size() < Rabin::kWindow) {
-    output(cx, 0, p);
-    return;
-  }
-  const std::vector<std::uint8_t> encoded = encoder_->encode(payload, &cx.core);
+  if (payload.size() < Rabin::kWindow) return;
+  const std::vector<std::uint8_t> encoded = encoder_->encode(payload, &cx.core, burst);
   if (rewrite_ && encoded.size() < payload.size()) {
     // Shrink the packet on the wire: rewrite payload, patch lengths and the
     // IP checksum (the far end reverses this with its mirrored store).
@@ -271,9 +268,31 @@ void RedundancyElim::do_push(click::Context& cx, int port, net::PacketBuf* p) {
       net::store_be16(&l3[24], static_cast<std::uint16_t>(net::load_be16(&l3[24]) - delta));
     }
     cx.core.compute(60);
-    cx.core.store(p->sim_addr(p->l3_offset));
+    if (burst != nullptr) {
+      burst->add_line(p->sim_addr(p->l3_offset), sim::AccessType::kWrite);
+    } else {
+      cx.core.store(p->sim_addr(p->l3_offset));
+    }
   }
+}
+
+void RedundancyElim::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  encode_one(cx, p, nullptr);
   output(cx, 0, p);
+}
+
+void RedundancyElim::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // Payload-streaming burst: the per-packet host-side encoding (store and
+  // fingerprint-table mutation order included) is unchanged, and the
+  // dependent table probes still charge per packet; only the big streaming
+  // charges — match verification/extension reads and store-append writes —
+  // are accumulated and issued as one read burst + one write burst.
+  burst_.clear();
+  for (int i = 0; i < n; ++i) encode_one(cx, ps[i], &burst_);
+  burst_.flush(cx.core);
+  output_batch(cx, 0, ps, n);
 }
 
 // ------------------------------------------------------------------- VpnEncrypt
@@ -298,15 +317,25 @@ std::optional<std::string> VpnEncrypt::initialize(click::ElementEnv& env) {
   return std::nullopt;
 }
 
-void VpnEncrypt::do_push(click::Context& cx, int port, net::PacketBuf* p) {
-  (void)port;
+void VpnEncrypt::encrypt_one(click::Context& cx, net::PacketBuf* p, sim::StreamBurst* burst,
+                             std::uint64_t* deferred_instr) {
   auto payload = payload_of(*p);
-  if (!payload.empty()) {
-    aes_->ctr_xcrypt(payload, payload, std::span<const std::uint8_t, 12>{nonce_}, counter_);
-    const std::size_t blocks = (payload.size() + Aes128::kBlockBytes - 1) / Aes128::kBlockBytes;
-    counter_ += static_cast<std::uint32_t>(blocks);
-    // Cost model: software AES ALU work plus table residency + payload I/O.
-    cx.core.compute(instr_per_byte_ * payload.size());
+  if (payload.empty()) return;
+  aes_->ctr_xcrypt(payload, payload, std::span<const std::uint8_t, 12>{nonce_}, counter_);
+  const std::size_t blocks = (payload.size() + Aes128::kBlockBytes - 1) / Aes128::kBlockBytes;
+  counter_ += static_cast<std::uint32_t>(blocks);
+  // Cost model: software AES ALU work plus table residency + payload I/O.
+  const std::uint64_t instr = instr_per_byte_ * payload.size();
+  if (burst != nullptr) {
+    *deferred_instr += instr;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      burst->add_line(tables_.at(table_cursor_), sim::AccessType::kRead);
+      table_cursor_ = (table_cursor_ + 1) % tables_.count();
+    }
+    burst->add(p->sim_addr(static_cast<std::size_t>(payload.data() - p->bytes.data())),
+               payload.size(), sim::AccessType::kWrite);
+  } else {
+    cx.core.compute(instr);
     for (std::size_t b = 0; b < blocks; ++b) {
       cx.core.load(tables_.at(table_cursor_), /*dependent=*/false);
       table_cursor_ = (table_cursor_ + 1) % tables_.count();
@@ -314,7 +343,26 @@ void VpnEncrypt::do_push(click::Context& cx, int port, net::PacketBuf* p) {
     cx.core.stream(p->sim_addr(static_cast<std::size_t>(payload.data() - p->bytes.data())),
                    payload.size(), sim::AccessType::kWrite);
   }
+}
+
+void VpnEncrypt::do_push(click::Context& cx, int port, net::PacketBuf* p) {
+  (void)port;
+  encrypt_one(cx, p, nullptr, nullptr);
   output(cx, 0, p);
+}
+
+void VpnEncrypt::do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) {
+  (void)port;
+  // Payload-streaming burst: the host-side crypto (and the CTR counter /
+  // table-cursor sequences) is identical to the per-packet path; the ALU
+  // charge is summed, and the AES-table loads plus the payload write-backs
+  // of the whole burst are issued as one read burst + one write burst.
+  burst_.clear();
+  std::uint64_t instr = 0;
+  for (int i = 0; i < n; ++i) encrypt_one(cx, ps[i], &burst_, &instr);
+  if (instr > 0) cx.core.compute(instr);
+  burst_.flush(cx.core);
+  output_batch(cx, 0, ps, n);
 }
 
 // ----------------------------------------------------------------- SynProcessor

@@ -101,14 +101,20 @@ class RedundancyElim final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
+  /// Shared packet-rewrite step of both push paths; streaming charges go to
+  /// `burst` when batching.
+  void encode_one(click::Context& cx, net::PacketBuf* p, sim::StreamBurst* burst);
+
   std::uint64_t store_mb_ = 16;
   std::uint64_t table_slots_ = 1ULL << 21;
   bool rewrite_ = true;
   std::unique_ptr<PacketStore> store_;
   std::unique_ptr<FingerprintTable> table_;
   std::unique_ptr<ReEncoder> encoder_;
+  sim::StreamBurst burst_;  // payload-streaming staging (host side)
 };
 
 class VpnEncrypt final : public click::Element {
@@ -120,14 +126,23 @@ class VpnEncrypt final : public click::Element {
 
  protected:
   void do_push(click::Context& cx, int port, net::PacketBuf* p) override;
+  void do_push_batch(click::Context& cx, int port, net::PacketBuf** ps, int n) override;
 
  private:
+  /// Shared crypto + cost model of both push paths. Per-packet
+  /// (burst == nullptr): charges immediately, in do_push's historical
+  /// order. Batched: defers the table loads / payload write-back into
+  /// `burst` and accumulates the ALU charge into `deferred_instr`.
+  void encrypt_one(click::Context& cx, net::PacketBuf* p, sim::StreamBurst* burst,
+                   std::uint64_t* deferred_instr);
+
   std::uint64_t instr_per_byte_ = 14;  // software AES cost model
   std::unique_ptr<Aes128> aes_;
   std::array<std::uint8_t, 12> nonce_{};
   std::uint32_t counter_ = 0;
   sim::Region tables_;  // simulated residency of the AES tables (4 KB)
   std::size_t table_cursor_ = 0;
+  sim::StreamBurst burst_;  // table-load + payload-write staging (host side)
 };
 
 /// Per-packet synthetic processing with an optional hidden mode switch: when

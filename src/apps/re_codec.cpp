@@ -37,7 +37,7 @@ void emit_match(std::vector<std::uint8_t>& out, std::uint64_t offset, std::size_
 }  // namespace
 
 std::vector<std::uint8_t> ReEncoder::encode(std::span<const std::uint8_t> payload,
-                                            sim::Core* core) {
+                                            sim::Core* core, sim::StreamBurst* burst) {
   std::vector<std::uint8_t> out;
   out.reserve(payload.size() + 8);
 
@@ -64,13 +64,15 @@ std::vector<std::uint8_t> ReEncoder::encode(std::span<const std::uint8_t> payloa
     const std::span<const std::uint8_t> rest = payload.subspan(a.pos);
     if (!store_.matches(cand, rest.first(std::min(rest.size(), Rabin::kWindow)))) {
       // Stale/colliding table entry.
-      if (core != nullptr) core->stream(store_.sim_addr(cand), Rabin::kWindow,
-                                        sim::AccessType::kRead);
+      if (core != nullptr) {
+        sim::stream_or_defer(*core, burst, store_.sim_addr(cand), Rabin::kWindow,
+                             sim::AccessType::kRead);
+      }
       continue;
     }
     const std::size_t len = store_.extend_match(cand, rest);
     if (core != nullptr) {
-      core->stream(store_.sim_addr(cand), len, sim::AccessType::kRead);
+      sim::stream_or_defer(*core, burst, store_.sim_addr(cand), len, sim::AccessType::kRead);
     }
     if (len < kMinMatch) continue;
     const std::size_t capped = std::min<std::size_t>(len, 0xffff);
@@ -83,7 +85,7 @@ std::vector<std::uint8_t> ReEncoder::encode(std::span<const std::uint8_t> payloa
   emit_literal(out, payload.subspan(frontier));
 
   // 3. Store the original payload and register its anchors.
-  const std::uint64_t base = store_.append(payload, core);
+  const std::uint64_t base = store_.append(payload, core, burst);
   for (const Rabin::Anchor& a : anchors) {
     table_.put(a.fp, base + a.pos, core);
   }

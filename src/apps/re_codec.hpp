@@ -48,8 +48,15 @@ class ReEncoder {
   /// Encode `payload`; appends the original payload to the store and
   /// registers its anchors. Simulated costs (fingerprinting, probes, store
   /// verification and insertion) are charged to `core` when non-null.
+  ///
+  /// `burst` (batch execution): the payload-streaming charges — match
+  /// verification/extension reads and the store-append writes — are
+  /// deferred into the burst instead of issued immediately; the dependent
+  /// fingerprint-table probes stay per-packet. Host-side results are
+  /// identical either way.
   [[nodiscard]] std::vector<std::uint8_t> encode(std::span<const std::uint8_t> payload,
-                                                 sim::Core* core = nullptr);
+                                                 sim::Core* core = nullptr,
+                                                 sim::StreamBurst* burst = nullptr);
 
   [[nodiscard]] const ReStats& stats() const { return stats_; }
 

@@ -15,19 +15,23 @@ void PacketStore::attach(sim::AddressSpace& as, int domain) {
   attached_ = true;
 }
 
-std::uint64_t PacketStore::append(std::span<const std::uint8_t> data, sim::Core* core) {
+std::uint64_t PacketStore::append(std::span<const std::uint8_t> data, sim::Core* core,
+                                  sim::StreamBurst* burst) {
   PP_CHECK(data.size() <= ring_.size());
   const std::uint64_t offset = end_;
   for (std::size_t i = 0; i < data.size(); ++i) {
     ring_[(offset + i) % ring_.size()] = data[i];
   }
   if (core != nullptr && attached_) {
-    // The ring write may wrap; charge each span separately.
+    // The ring write may wrap; charge each span separately (deferred into
+    // the burst when batching).
     const std::uint64_t start_mod = offset % ring_.size();
     const std::size_t first = std::min(data.size(), ring_.size() - start_mod);
-    core->stream(region_.base() + start_mod, first, sim::AccessType::kWrite);
+    sim::stream_or_defer(*core, burst, region_.base() + start_mod, first,
+                         sim::AccessType::kWrite);
     if (first < data.size()) {
-      core->stream(region_.base(), data.size() - first, sim::AccessType::kWrite);
+      sim::stream_or_defer(*core, burst, region_.base(), data.size() - first,
+                           sim::AccessType::kWrite);
     }
   }
   end_ += data.size();

@@ -28,8 +28,10 @@ class PacketStore {
   void attach(sim::AddressSpace& as, int domain);
 
   /// Append `data`, returning its absolute offset. If `core` is given, the
-  /// copy is charged as streaming writes to the store region.
-  std::uint64_t append(std::span<const std::uint8_t> data, sim::Core* core = nullptr);
+  /// copy is charged as streaming writes to the store region — immediately,
+  /// or deferred into `burst` when one is supplied (batch execution).
+  std::uint64_t append(std::span<const std::uint8_t> data, sim::Core* core = nullptr,
+                       sim::StreamBurst* burst = nullptr);
 
   /// True if [offset, offset+len) is still resident (not overwritten).
   [[nodiscard]] bool contains(std::uint64_t offset, std::size_t len) const;

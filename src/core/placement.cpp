@@ -7,58 +7,37 @@
 
 namespace pp::core {
 
-PlacementEvaluator::PlacementEvaluator(SoloProfiler& solo) : solo_(solo) {}
+PlacementEvaluator::PlacementEvaluator(SoloProfiler& solo, int threads)
+    : solo_(solo), threads_(threads < 1 ? 1 : threads) {}
 
-PlacementOutcome PlacementEvaluator::measure(const std::vector<FlowSpec>& flows,
-                                             const std::vector<int>& socket_of_flow) {
+Scenario PlacementEvaluator::placement_scenario(const std::vector<FlowSpec>& flows,
+                                                const std::vector<int>& socket_of_flow,
+                                                int seed_index) const {
   Testbed& tb = solo_.testbed();
   const int per_socket = tb.machine_config().cores_per_socket;
-
-  std::vector<FlowMetrics> pooled;
-  for (int s = 0; s < solo_.seeds(); ++s) {
-    RunConfig cfg;
-    cfg.seed = static_cast<std::uint64_t>(s + 1) * 15485863;
-    cfg.warmup_ms = tb.default_warmup_ms();
-    cfg.measure_ms = tb.default_measure_ms();
-    cfg.flows = flows;
-    int next_core[2] = {0, per_socket};
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      const int sock = socket_of_flow[i];
-      cfg.placement.push_back(FlowPlacement{next_core[sock]++, -1});
-    }
-    const std::vector<FlowMetrics> run = tb.run(cfg);
-    if (pooled.empty()) {
-      pooled = run;
-    } else {
-      for (std::size_t i = 0; i < run.size(); ++i) {
-        pooled[i].seconds += run[i].seconds;
-        pooled[i].delta += run[i].delta;
-      }
-    }
-  }
-
-  PlacementOutcome out;
-  out.socket_of_flow = socket_of_flow;
-  double sum = 0;
+  RunConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed_index + 1) * 15485863;
+  cfg.warmup_ms = tb.default_warmup_ms();
+  cfg.measure_ms = tb.default_measure_ms();
+  cfg.flows = flows;
+  int next_core[2] = {0, per_socket};
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    const double d = drop_pct(solo_.profile(flows[i].type), pooled[i]);
-    out.per_flow_drop.push_back(d);
-    sum += d;
+    cfg.placement.push_back(FlowPlacement{next_core[socket_of_flow[i]]++, -1});
   }
-  out.avg_drop_pct = sum / static_cast<double>(flows.size());
-  return out;
+  return Scenario::of(tb, cfg);
 }
 
-PlacementStudy PlacementEvaluator::evaluate(const std::vector<FlowSpec>& flows) {
+PlacementStudy PlacementEvaluator::evaluate(const std::vector<FlowSpec>& flows) const {
   Testbed& tb = solo_.testbed();
   const int cores = tb.machine_config().num_cores();
   const int per_socket = tb.machine_config().cores_per_socket;
   PP_CHECK(static_cast<int>(flows.size()) == cores);
+  const int seeds = solo_.seeds();
 
   // Enumerate subsets of size per_socket for socket 0; canonicalize by the
   // (sorted) type multiset pair so symmetric placements run once.
   std::set<std::vector<int>> seen;
-  PlacementStudy study;
+  std::vector<std::vector<int>> placements;
   std::vector<int> pick(flows.size(), 0);
   std::fill(pick.begin(), pick.begin() + per_socket, 1);
   std::sort(pick.begin(), pick.end());
@@ -77,7 +56,69 @@ PlacementStudy PlacementEvaluator::evaluate(const std::vector<FlowSpec>& flows) 
 
     std::vector<int> socket_of_flow(flows.size());
     for (std::size_t i = 0; i < flows.size(); ++i) socket_of_flow[i] = pick[i] != 0 ? 0 : 1;
-    const PlacementOutcome outcome = measure(flows, socket_of_flow);
+    placements.push_back(std::move(socket_of_flow));
+  } while (std::next_permutation(pick.begin(), pick.end()));
+
+  // One flat job list: per-type solo baselines first, then every
+  // (placement, seed) run. The store fans it out and single-flights any
+  // duplicates; aggregation below is strictly in enumeration order.
+  std::vector<FlowType> solo_types;
+  for (const FlowSpec& f : flows) {
+    if (std::find(solo_types.begin(), solo_types.end(), f.type) == solo_types.end()) {
+      solo_types.push_back(f.type);
+    }
+  }
+  std::vector<Scenario> jobs;
+  jobs.reserve(solo_types.size() * static_cast<std::size_t>(seeds) +
+               placements.size() * static_cast<std::size_t>(seeds));
+  for (const FlowType t : solo_types) {
+    for (const Scenario& s : solo_.plan(FlowSpec::of(t))) jobs.push_back(s);
+  }
+  const std::size_t grid_base = jobs.size();
+  for (const std::vector<int>& p : placements) {
+    for (int s = 0; s < seeds; ++s) jobs.push_back(placement_scenario(flows, p, s));
+  }
+
+  const auto runs = solo_.store().get_or_run_many(jobs, threads_);
+
+  std::vector<FlowMetrics> solo_of_type;
+  for (std::size_t t = 0; t < solo_types.size(); ++t) {
+    const std::vector<std::shared_ptr<const ScenarioResult>> slots(
+        runs.begin() + static_cast<std::ptrdiff_t>(t * static_cast<std::size_t>(seeds)),
+        runs.begin() + static_cast<std::ptrdiff_t>((t + 1) * static_cast<std::size_t>(seeds)));
+    solo_of_type.push_back(SoloProfiler::merge_plan(slots));
+  }
+  const auto solo_of = [&](FlowType t) -> const FlowMetrics& {
+    const auto it = std::find(solo_types.begin(), solo_types.end(), t);
+    return solo_of_type[static_cast<std::size_t>(it - solo_types.begin())];
+  };
+
+  PlacementStudy study;
+  for (std::size_t p = 0; p < placements.size(); ++p) {
+    std::vector<FlowMetrics> pooled;
+    for (int s = 0; s < seeds; ++s) {
+      const ScenarioResult& run =
+          *runs[grid_base + p * static_cast<std::size_t>(seeds) + static_cast<std::size_t>(s)];
+      if (pooled.empty()) {
+        pooled = run;
+      } else {
+        for (std::size_t i = 0; i < run.size(); ++i) {
+          pooled[i].seconds += run[i].seconds;
+          pooled[i].delta += run[i].delta;
+        }
+      }
+    }
+
+    PlacementOutcome outcome;
+    outcome.socket_of_flow = placements[p];
+    double sum = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const double d = drop_pct(solo_of(flows[i].type), pooled[i]);
+      outcome.per_flow_drop.push_back(d);
+      sum += d;
+    }
+    outcome.avg_drop_pct = sum / static_cast<double>(flows.size());
+
     ++study.placements_evaluated;
     if (study.placements_evaluated == 1 || outcome.avg_drop_pct < study.best.avg_drop_pct) {
       study.best = outcome;
@@ -85,8 +126,7 @@ PlacementStudy PlacementEvaluator::evaluate(const std::vector<FlowSpec>& flows) 
     if (study.placements_evaluated == 1 || outcome.avg_drop_pct > study.worst.avg_drop_pct) {
       study.worst = outcome;
     }
-  } while (std::next_permutation(pick.begin(), pick.end()));
-
+  }
   return study;
 }
 

@@ -3,10 +3,17 @@
 // across the two sockets, measure the average contention-induced drop under
 // each, and report the best and worst placements. The gap between them is
 // the maximum benefit contention-aware scheduling could deliver.
+//
+// Stateless view over the ProfileStore: the whole placement enumeration —
+// every (placement, seed) run plus the per-type solo baselines — fans out
+// over the host thread pool in one store request; aggregation walks the
+// slots in enumeration order, so the study is bit-identical at any
+// SWEEP_THREADS.
 #pragma once
 
 #include <vector>
 
+#include "core/parallel.hpp"
 #include "core/profiler.hpp"
 
 namespace pp::core {
@@ -25,18 +32,23 @@ struct PlacementStudy {
 
 class PlacementEvaluator {
  public:
-  explicit PlacementEvaluator(SoloProfiler& solo);
+  explicit PlacementEvaluator(SoloProfiler& solo, int threads = host_threads_from_env());
 
   /// `flows` must have exactly cores-many entries (12). Placements that are
   /// equivalent up to permuting flows of the same type within a socket (and
   /// swapping the sockets) are evaluated once.
-  [[nodiscard]] PlacementStudy evaluate(const std::vector<FlowSpec>& flows);
+  [[nodiscard]] PlacementStudy evaluate(const std::vector<FlowSpec>& flows) const;
+
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  [[nodiscard]] int threads() const { return threads_; }
 
  private:
-  [[nodiscard]] PlacementOutcome measure(const std::vector<FlowSpec>& flows,
-                                         const std::vector<int>& socket_of_flow);
+  [[nodiscard]] Scenario placement_scenario(const std::vector<FlowSpec>& flows,
+                                            const std::vector<int>& socket_of_flow,
+                                            int seed_index) const;
 
   SoloProfiler& solo_;
+  int threads_;
 };
 
 }  // namespace pp::core

@@ -1,6 +1,5 @@
 #include "core/predictor.hpp"
 
-#include "base/check.hpp"
 #include "base/env.hpp"
 
 namespace pp::core {
@@ -8,31 +7,30 @@ namespace pp::core {
 ContentionPredictor::ContentionPredictor(SoloProfiler& solo, SweepProfiler& sweep)
     : solo_(solo), sweep_(sweep) {}
 
-void ContentionPredictor::profile(FlowType t) {
-  if (sweeps_.contains(t)) return;
-  (void)solo_.profile(t);
-  sweeps_.emplace(t, sweep_.sweep(FlowSpec::of(t), ContentionMode::kBoth,
-                                  SweepProfiler::default_levels(solo_.testbed().scale())));
+SweepResult ContentionPredictor::sweep_result(FlowType t) const {
+  return sweep_.sweep(FlowSpec::of(t), ContentionMode::kBoth,
+                      SweepProfiler::default_levels(solo_.testbed().scale()));
 }
 
-double ContentionPredictor::solo_refs_per_sec(FlowType t) {
+void ContentionPredictor::profile(FlowType t) const { (void)sweep_result(t); }
+
+double ContentionPredictor::solo_refs_per_sec(FlowType t) const {
   return solo_.profile(t).refs_per_sec();
 }
 
-const SweepCurve& ContentionPredictor::curve(FlowType t) {
-  profile(t);
-  return sweeps_.at(t).curve;
-}
+SweepCurve ContentionPredictor::curve(FlowType t) const { return sweep_result(t).curve; }
 
-const FlowMetrics& ContentionPredictor::solo_metrics(FlowType t) { return solo_.profile(t); }
+FlowMetrics ContentionPredictor::solo_metrics(FlowType t) const { return solo_.profile(t); }
 
-double ContentionPredictor::predict(FlowType target, const std::vector<FlowType>& competitors) {
+double ContentionPredictor::predict(FlowType target,
+                                    const std::vector<FlowType>& competitors) const {
   double refs = 0;
   for (const FlowType c : competitors) refs += solo_refs_per_sec(c);
   return predict_known(target, refs);
 }
 
-double ContentionPredictor::predict_known(FlowType target, double measured_competing_refs) {
+double ContentionPredictor::predict_known(FlowType target,
+                                          double measured_competing_refs) const {
   return curve(target).drop_at(measured_competing_refs);
 }
 

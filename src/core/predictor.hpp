@@ -7,9 +7,11 @@
 // The "perfect knowledge" variant (Figure 8b) reads the curve at the
 // competitors' *measured* refs/sec in the actual mix, isolating the error
 // introduced by assuming competitors run at their solo rates.
+//
+// Stateless view: all measurements live in the ProfileStore (behind the
+// profilers), so predictors are freely copyable-per-thread and a prediction
+// after profile() costs only aggregation of memoized scenario results.
 #pragma once
-
-#include <map>
 
 #include "core/sweep.hpp"
 
@@ -20,24 +22,27 @@ class ContentionPredictor {
   ContentionPredictor(SoloProfiler& solo, SweepProfiler& sweep);
 
   /// Run offline profiling for `t` (solo profile + SYN sweep, normal
-  /// NUMA-local placement). Idempotent.
-  void profile(FlowType t);
+  /// NUMA-local placement). Idempotent: already-stored scenarios are not
+  /// re-simulated.
+  void profile(FlowType t) const;
 
-  [[nodiscard]] double solo_refs_per_sec(FlowType t);
-  [[nodiscard]] const SweepCurve& curve(FlowType t);
-  [[nodiscard]] const FlowMetrics& solo_metrics(FlowType t);
+  [[nodiscard]] double solo_refs_per_sec(FlowType t) const;
+  [[nodiscard]] SweepCurve curve(FlowType t) const;
+  [[nodiscard]] FlowMetrics solo_metrics(FlowType t) const;
 
   /// Step 3: predicted drop (percent) for `target` co-running with
   /// `competitors` (their solo refs/sec are summed).
-  [[nodiscard]] double predict(FlowType target, const std::vector<FlowType>& competitors);
+  [[nodiscard]] double predict(FlowType target,
+                               const std::vector<FlowType>& competitors) const;
 
   /// Figure 8(b): prediction given the measured competing refs/sec.
-  [[nodiscard]] double predict_known(FlowType target, double measured_competing_refs);
+  [[nodiscard]] double predict_known(FlowType target, double measured_competing_refs) const;
 
  private:
+  [[nodiscard]] SweepResult sweep_result(FlowType t) const;
+
   SoloProfiler& solo_;
   SweepProfiler& sweep_;
-  std::map<FlowType, SweepResult> sweeps_;
 };
 
 }  // namespace pp::core

@@ -1,0 +1,492 @@
+#include "core/profile_store.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.hpp"
+#include "base/strings.hpp"
+#include "core/parallel.hpp"
+
+namespace pp::core {
+
+ProfileStore::ProfileStore(std::string cache_dir) : dir_(std::move(cache_dir)) {}
+
+ProfileStore& ProfileStore::global() {
+  static ProfileStore store = [] {
+    const char* v = std::getenv("PROFILE_CACHE");
+    return ProfileStore(v == nullptr ? std::string{} : std::string{v});
+  }();
+  return store;
+}
+
+ProfileStore::Stats ProfileStore::stats() const {
+  Stats s;
+  s.simulated = simulated_.load();
+  s.memory_hits = memory_hits_.load();
+  s.disk_hits = disk_hits_.load();
+  s.coalesced = coalesced_.load();
+  return s;
+}
+
+std::string ProfileStore::stats_line() const {
+  const Stats s = stats();
+  return strformat("simulated=%llu memory_hits=%llu disk_hits=%llu coalesced=%llu",
+                   static_cast<unsigned long long>(s.simulated),
+                   static_cast<unsigned long long>(s.memory_hits),
+                   static_cast<unsigned long long>(s.disk_hits),
+                   static_cast<unsigned long long>(s.coalesced));
+}
+
+std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run(const Scenario& s) {
+  return get_or_run_keyed(s, scenario_key(s));
+}
+
+std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run_keyed(const Scenario& s,
+                                                                     const ScenarioKey& k) {
+  std::shared_ptr<Entry> e;
+  bool runner = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = map_.try_emplace(k.hex());
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      runner = true;
+    }
+    e = it->second;
+  }
+
+  if (!runner) {
+    std::unique_lock<std::mutex> lk(e->m);
+    if (e->ready) {
+      memory_hits_.fetch_add(1, std::memory_order_relaxed);
+      return e->result;
+    }
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    e->cv.wait(lk, [&] { return e->ready; });
+    return e->result;
+  }
+
+  ScenarioResult r;
+  if (!dir_.empty() && load_from_disk(s, k, r)) {
+    disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    r = run_scenario(s);
+    simulated_.fetch_add(1, std::memory_order_relaxed);
+    if (!dir_.empty()) save_to_disk(s, k, r);
+  }
+  auto result = std::make_shared<const ScenarioResult>(std::move(r));
+  {
+    std::lock_guard<std::mutex> lk(e->m);
+    e->result = result;
+    e->ready = true;
+  }
+  e->cv.notify_all();
+  return result;
+}
+
+bool ProfileStore::is_ready(const ScenarioKey& k) const {
+  std::shared_ptr<Entry> e;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = map_.find(k.hex());
+    if (it == map_.end()) return false;
+    e = it->second;
+  }
+  std::lock_guard<std::mutex> lk(e->m);
+  return e->ready;
+}
+
+std::vector<std::shared_ptr<const ScenarioResult>> ProfileStore::get_or_run_many(
+    const std::vector<Scenario>& scenarios, int threads) {
+  std::vector<std::shared_ptr<const ScenarioResult>> out(scenarios.size());
+  std::vector<ScenarioKey> keys;
+  keys.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) keys.push_back(scenario_key(s));
+  // All-hit fast path: re-aggregations of already-profiled plans (every
+  // predict() after the first, warm bench re-runs) should not spin up the
+  // thread pool just to collect memory hits.
+  bool all_ready = true;
+  for (const ScenarioKey& k : keys) {
+    if (!is_ready(k)) {
+      all_ready = false;
+      break;
+    }
+  }
+  if (all_ready) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      out[i] = get_or_run_keyed(scenarios[i], keys[i]);
+    }
+    return out;
+  }
+  parallel_for(scenarios.size(), threads,
+               [&](std::size_t i) { out[i] = get_or_run_keyed(scenarios[i], keys[i]); });
+  return out;
+}
+
+// -------------------------------------------------------------- persistence
+
+std::string ProfileStore::path_of(const ScenarioKey& k) const {
+  return dir_ + "/" + k.hex() + ".json";
+}
+
+bool ProfileStore::load_from_disk(const Scenario& s, const ScenarioKey& k,
+                                  ScenarioResult& out) const {
+  (void)s;
+  std::ifstream in(path_of(k));
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_profile_cache_json(buf.str(), k, out);
+}
+
+void ProfileStore::save_to_disk(const Scenario& s, const ScenarioKey& k,
+                                const ScenarioResult& r) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string path = path_of(k);
+  // Write-then-rename so a concurrent reader never sees a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ProfileStore: cannot write %s\n", tmp.c_str());
+      return;
+    }
+    out << profile_cache_json(s, k, r);
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::fprintf(stderr, "ProfileStore: cannot rename %s\n", tmp.c_str());
+}
+
+// ------------------------------------------------------------ serialization
+
+namespace {
+
+/// Counters <-> fixed-order array. The order is part of the schema; adding a
+/// counter requires a kScenarioSchemaVersion bump.
+constexpr std::size_t kNumCounters = 15;
+
+void counters_out(std::string& j, const sim::Counters& c) {
+  j += strformat("[%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu]",
+                 static_cast<unsigned long long>(c.instructions),
+                 static_cast<unsigned long long>(c.cycles),
+                 static_cast<unsigned long long>(c.l1_hits),
+                 static_cast<unsigned long long>(c.l1_misses),
+                 static_cast<unsigned long long>(c.l2_hits),
+                 static_cast<unsigned long long>(c.l2_misses),
+                 static_cast<unsigned long long>(c.l3_refs),
+                 static_cast<unsigned long long>(c.l3_misses),
+                 static_cast<unsigned long long>(c.xcore_hits),
+                 static_cast<unsigned long long>(c.remote_refs),
+                 static_cast<unsigned long long>(c.writebacks),
+                 static_cast<unsigned long long>(c.mc_queue_cycles),
+                 static_cast<unsigned long long>(c.qpi_queue_cycles),
+                 static_cast<unsigned long long>(c.packets),
+                 static_cast<unsigned long long>(c.drops));
+}
+
+bool counters_in(const std::vector<std::uint64_t>& v, sim::Counters& c) {
+  if (v.size() != kNumCounters) return false;
+  c.instructions = v[0];
+  c.cycles = v[1];
+  c.l1_hits = v[2];
+  c.l1_misses = v[3];
+  c.l2_hits = v[4];
+  c.l2_misses = v[5];
+  c.l3_refs = v[6];
+  c.l3_misses = v[7];
+  c.xcore_hits = v[8];
+  c.remote_refs = v[9];
+  c.writebacks = v[10];
+  c.mc_queue_cycles = v[11];
+  c.qpi_queue_cycles = v[12];
+  c.packets = v[13];
+  c.drops = v[14];
+  return true;
+}
+
+/// Strict parser for the subset profile_cache_json emits: objects with
+/// string keys, arrays, strings without escapes, and unsigned decimal
+/// integers. Anything else is a parse failure (treated as a cache miss).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool fail() const { return fail_; }
+
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() {
+    ws();
+    if (pos_ >= s_.size()) {
+      fail_ = true;
+      return '\0';
+    }
+    return s_[pos_];
+  }
+  bool expect(char c) {
+    if (peek() != c) {
+      fail_ = true;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  [[nodiscard]] std::string string() {
+    std::string out;
+    if (!expect('"')) return out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {  // not emitted by the writer; reject
+        fail_ = true;
+        return out;
+      }
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) fail_ = true;
+    else ++pos_;  // closing quote
+    return out;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    ws();
+    if (pos_ >= s_.size() || s_[pos_] < '0' || s_[pos_] > '9') {
+      fail_ = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      const std::uint64_t d = static_cast<std::uint64_t>(s_[pos_] - '0');
+      if (v > (~std::uint64_t{0} - d) / 10) {  // would overflow: corrupt file
+        fail_ = true;
+        return 0;
+      }
+      v = v * 10 + d;
+      ++pos_;
+    }
+    return v;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> u64_array() {
+    std::vector<std::uint64_t> out;
+    if (!expect('[')) return out;
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(u64());
+      if (fail_) return out;
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return out;
+    }
+  }
+  /// Skip any value of the emitted subset (for keys we ignore).
+  void skip_value() {
+    const char c = peek();
+    if (fail_) return;
+    if (c == '"') {
+      (void)string();
+    } else if (c >= '0' && c <= '9') {
+      (void)u64();
+    } else if (c == '[') {
+      ++pos_;
+      if (peek() == ']') {
+        ++pos_;
+        return;
+      }
+      for (;;) {
+        skip_value();
+        if (fail_) return;
+        const char d = peek();
+        if (d == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return;
+      }
+    } else if (c == '{') {
+      ++pos_;
+      if (peek() == '}') {
+        ++pos_;
+        return;
+      }
+      for (;;) {
+        (void)string();
+        expect(':');
+        skip_value();
+        if (fail_) return;
+        const char d = peek();
+        if (d == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return;
+      }
+    } else {
+      fail_ = true;
+    }
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+}  // namespace
+
+std::string profile_cache_json(const Scenario& s, const ScenarioKey& k,
+                               const ScenarioResult& r) {
+  std::string j;
+  j += "{\n";
+  j += strformat("  \"schema\": %d,\n", kScenarioSchemaVersion);
+  j += "  \"key\": \"" + k.hex() + "\",\n";
+  j += "  \"scenario\": \"" + describe(s) + "\",\n";
+  j += "  \"flows\": [\n";
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const FlowMetrics& m = r[i];
+    j += strformat("    {\"type\": %u, \"core\": %d,\n",
+                   static_cast<unsigned>(static_cast<std::uint8_t>(m.type)), m.core);
+    // seconds_bits is authoritative (exact double round-trip); the decimal
+    // rendering is informational only.
+    j += strformat("     \"seconds_bits\": %llu, \"seconds\": \"%.9f\",\n",
+                   static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(m.seconds)),
+                   m.seconds);
+    j += "     \"counters\": ";
+    counters_out(j, m.delta);
+    j += ",\n     \"elements\": [\n";
+    for (std::size_t e = 0; e < m.elements.size(); ++e) {
+      const ElementStat& st = m.elements[e];
+      j += "      {\"name\": \"" + st.name + "\", \"class\": \"" + st.cls +
+           "\", \"counters\": ";
+      counters_out(j, st.delta);
+      j += e + 1 < m.elements.size() ? "},\n" : "}\n";
+    }
+    j += "     ]";
+    j += i + 1 < r.size() ? "},\n" : "}\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect,
+                              ScenarioResult& out) {
+  out.clear();
+  Parser p(text);
+  if (!p.expect('{')) return false;
+  bool schema_ok = false;
+  bool key_ok = false;
+  bool flows_seen = false;
+  for (;;) {
+    const std::string field = p.string();
+    if (!p.expect(':')) return false;
+    if (field == "schema") {
+      schema_ok = p.u64() == static_cast<std::uint64_t>(kScenarioSchemaVersion);
+      if (!schema_ok) return false;  // stale format: miss, will be rewritten
+    } else if (field == "key") {
+      key_ok = p.string() == expect.hex();
+      if (!key_ok) return false;
+    } else if (field == "flows") {
+      flows_seen = true;
+      if (!p.expect('[')) return false;
+      if (p.peek() == ']') {
+        return false;  // a run always yields at least one flow
+      }
+      for (;;) {
+        FlowMetrics m;
+        if (!p.expect('{')) return false;
+        for (;;) {
+          const std::string f = p.string();
+          if (!p.expect(':')) return false;
+          if (f == "type") {
+            m.type = static_cast<FlowType>(p.u64());
+          } else if (f == "core") {
+            m.core = static_cast<int>(p.u64());
+          } else if (f == "seconds_bits") {
+            m.seconds = std::bit_cast<double>(p.u64());
+          } else if (f == "counters") {
+            if (!counters_in(p.u64_array(), m.delta)) return false;
+          } else if (f == "elements") {
+            if (!p.expect('[')) return false;
+            if (p.peek() == ']') {
+              p.expect(']');
+            } else {
+              for (;;) {
+                ElementStat st;
+                if (!p.expect('{')) return false;
+                for (;;) {
+                  const std::string ef = p.string();
+                  if (!p.expect(':')) return false;
+                  if (ef == "name") {
+                    st.name = p.string();
+                  } else if (ef == "class") {
+                    st.cls = p.string();
+                  } else if (ef == "counters") {
+                    if (!counters_in(p.u64_array(), st.delta)) return false;
+                  } else {
+                    p.skip_value();
+                  }
+                  if (p.fail()) return false;
+                  if (p.peek() == ',') {
+                    p.expect(',');
+                    continue;
+                  }
+                  if (!p.expect('}')) return false;
+                  break;
+                }
+                m.elements.push_back(std::move(st));
+                if (p.peek() == ',') {
+                  p.expect(',');
+                  continue;
+                }
+                if (!p.expect(']')) return false;
+                break;
+              }
+            }
+          } else {
+            p.skip_value();
+          }
+          if (p.fail()) return false;
+          if (p.peek() == ',') {
+            p.expect(',');
+            continue;
+          }
+          if (!p.expect('}')) return false;
+          break;
+        }
+        out.push_back(std::move(m));
+        if (p.peek() == ',') {
+          p.expect(',');
+          continue;
+        }
+        if (!p.expect(']')) return false;
+        break;
+      }
+    } else {
+      p.skip_value();
+    }
+    if (p.fail()) return false;
+    if (p.peek() == ',') {
+      p.expect(',');
+      continue;
+    }
+    if (!p.expect('}')) return false;
+    break;
+  }
+  return schema_ok && key_ok && flows_seen && !p.fail();
+}
+
+}  // namespace pp::core

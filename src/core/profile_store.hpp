@@ -1,0 +1,101 @@
+// Content-addressed, thread-safe store of scenario results.
+//
+// The store is the platform's memo table for offline profiling: every
+// experiment the profiling/prediction stack needs is phrased as a Scenario
+// (core/scenario.hpp), keyed by content, and executed at most once —
+//
+//   * in memory: concurrent get_or_run calls for the same key coalesce
+//     (single-flight: the first caller simulates, the rest block on its
+//     result), so fan-outs over parallel_for never duplicate work;
+//   * on disk (opt-in): when constructed with a cache directory (the
+//     PROFILE_CACHE environment variable for the global store), results
+//     persist as one versioned JSON file per key and are reloaded
+//     bit-identically — doubles round-trip by bit pattern — so a repeated
+//     bench run re-simulates nothing. Files with a stale
+//     kScenarioSchemaVersion are ignored and rewritten.
+//
+// Concurrency guarantees and the persistence format are documented in
+// docs/scenario_engine.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace pp::core {
+
+class ProfileStore {
+ public:
+  struct Stats {
+    std::uint64_t simulated = 0;    // scenarios actually run on this process
+    std::uint64_t memory_hits = 0;  // served from the in-memory table
+    std::uint64_t disk_hits = 0;    // loaded from the cache directory
+    std::uint64_t coalesced = 0;    // waited on a concurrent identical run
+  };
+
+  /// `cache_dir` empty = in-memory only (the tier-1 test default).
+  explicit ProfileStore(std::string cache_dir = {});
+
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
+
+  /// Process-wide store; its cache directory comes from PROFILE_CACHE
+  /// (unset/empty = no persistence). All profiler views default to it.
+  [[nodiscard]] static ProfileStore& global();
+
+  /// The result for `s`, simulating it at most once per key across all
+  /// threads and (with a cache dir) across processes. The returned pointer
+  /// is immutable and shared; it stays valid for the store's lifetime.
+  [[nodiscard]] std::shared_ptr<const ScenarioResult> get_or_run(const Scenario& s);
+
+  /// Fan a scenario list out over up to `threads` host threads (results in
+  /// input order). Duplicate keys in the list coalesce via single-flight.
+  [[nodiscard]] std::vector<std::shared_ptr<const ScenarioResult>> get_or_run_many(
+      const std::vector<Scenario>& scenarios, int threads);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& cache_dir() const { return dir_; }
+
+  /// One-line "simulated=N memory_hits=N disk_hits=N coalesced=N" summary
+  /// (bench binaries print it to stderr so stdout stays byte-comparable).
+  [[nodiscard]] std::string stats_line() const;
+
+ private:
+  struct Entry {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    std::shared_ptr<const ScenarioResult> result;
+  };
+
+  [[nodiscard]] std::shared_ptr<const ScenarioResult> get_or_run_keyed(const Scenario& s,
+                                                                       const ScenarioKey& k);
+  [[nodiscard]] bool is_ready(const ScenarioKey& k) const;
+  [[nodiscard]] std::string path_of(const ScenarioKey& k) const;
+  [[nodiscard]] bool load_from_disk(const Scenario& s, const ScenarioKey& k,
+                                    ScenarioResult& out) const;
+  void save_to_disk(const Scenario& s, const ScenarioKey& k, const ScenarioResult& r) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;  // guards map_
+  std::unordered_map<std::string, std::shared_ptr<Entry>> map_;  // key hex -> entry
+  std::atomic<std::uint64_t> simulated_{0};
+  std::atomic<std::uint64_t> memory_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+/// Serialize / parse one result file (exposed for tests; the JSON subset is
+/// fixed: objects, arrays, strings, unsigned decimal integers).
+[[nodiscard]] std::string profile_cache_json(const Scenario& s, const ScenarioKey& k,
+                                             const ScenarioResult& r);
+[[nodiscard]] bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect,
+                                            ScenarioResult& out);
+
+}  // namespace pp::core

@@ -1,6 +1,7 @@
 #include "core/profiler.hpp"
 
 #include "base/check.hpp"
+#include "core/parallel.hpp"
 
 namespace pp::core {
 
@@ -25,32 +26,41 @@ double drop_pct(const FlowMetrics& solo, const FlowMetrics& measured) {
   return s <= 0 ? 0.0 : (s - c) / s * 100.0;
 }
 
-SoloProfiler::SoloProfiler(Testbed& tb, int seeds) : tb_(tb), seeds_(seeds) {
+SoloProfiler::SoloProfiler(Testbed& tb, int seeds, ProfileStore* store)
+    : tb_(tb), seeds_(seeds), store_(store != nullptr ? store : &ProfileStore::global()) {
   PP_CHECK(seeds >= 1);
 }
 
-FlowMetrics SoloProfiler::profile_spec(const FlowSpec& spec) {
-  std::vector<FlowMetrics> runs;
-  runs.reserve(static_cast<std::size_t>(seeds_));
+std::vector<Scenario> SoloProfiler::plan(const FlowSpec& spec) const {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(seeds_));
   for (int s = 0; s < seeds_; ++s) {
-    RunConfig cfg = tb_.configure({spec}, static_cast<std::uint64_t>(s + 1) * 7919);
-    runs.push_back(tb_.run(cfg)[0]);
+    const RunConfig cfg = tb_.configure({spec}, static_cast<std::uint64_t>(s + 1) * 7919);
+    out.push_back(Scenario::of(tb_, cfg));
   }
+  return out;
+}
+
+FlowMetrics SoloProfiler::merge_plan(
+    const std::vector<std::shared_ptr<const ScenarioResult>>& results) {
+  std::vector<FlowMetrics> runs;
+  runs.reserve(results.size());
+  for (const auto& r : results) runs.push_back((*r)[0]);
   return merge_metrics(runs);
 }
 
-const FlowMetrics& SoloProfiler::profile(FlowType t) {
-  if (const auto it = cache_.find(t); it != cache_.end()) return it->second;
-  const FlowMetrics m = profile_spec(FlowSpec::of(t));
-  return cache_.emplace(t, m).first->second;
+FlowMetrics SoloProfiler::profile_spec(const FlowSpec& spec) const {
+  return merge_plan(store_->get_or_run_many(plan(spec), host_threads_from_env()));
 }
 
-TextTable SoloProfiler::table1() {
+FlowMetrics SoloProfiler::profile(FlowType t) const { return profile_spec(FlowSpec::of(t)); }
+
+TextTable SoloProfiler::table1() const {
   TextTable t({"Flow", "cycles per instruction", "L3 refs/sec (M)", "L3 hits/sec (M)",
                "cycles per packet", "L3 refs per packet", "L3 misses per packet",
                "L2 hits per packet"});
   for (const FlowType ft : kRealisticTypes) {
-    const FlowMetrics& m = profile(ft);
+    const FlowMetrics m = profile(ft);
     t.add_numeric_row(to_string(ft),
                       {m.cpi(), m.refs_per_sec() / 1e6, m.hits_per_sec() / 1e6,
                        m.cycles_per_packet(), m.refs_per_packet(), m.misses_per_packet(),

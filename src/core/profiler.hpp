@@ -2,14 +2,17 @@
 // characteristics the paper reports — cycles/instruction, L3 refs & hits per
 // second, cycles / L3 refs / L3 misses / L2 hits per packet.
 //
-// Profiles are cached per type and averaged over several seeds (the paper
-// averages 5 independent runs).
+// Since PR 3 the profiler is a stateless view over the ProfileStore: it
+// plans one scenario per averaging seed (the paper averages 5 independent
+// runs), lets the store run-or-recall them, and merges the pooled counters.
+// There is no hidden per-instance cache, so any number of profilers — on any
+// number of host threads — share one memo table and stay coherent.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "base/table.hpp"
+#include "core/profile_store.hpp"
 #include "core/testbed.hpp"
 
 namespace pp::core {
@@ -23,24 +26,37 @@ namespace pp::core {
 
 class SoloProfiler {
  public:
-  SoloProfiler(Testbed& tb, int seeds);
+  /// `store` defaults to the process-global ProfileStore (which honors
+  /// PROFILE_CACHE); tests inject their own for isolation.
+  SoloProfiler(Testbed& tb, int seeds, ProfileStore* store = nullptr);
 
-  /// Cached solo profile of a flow type (realistic types and SYN_MAX).
-  [[nodiscard]] const FlowMetrics& profile(FlowType t);
+  /// The scenarios behind profile_spec, in seed order. Callers that batch
+  /// several profiles fan these into one ProfileStore::get_or_run_many.
+  [[nodiscard]] std::vector<Scenario> plan(const FlowSpec& spec) const;
 
-  /// Solo profile of an arbitrary spec (not cached).
-  [[nodiscard]] FlowMetrics profile_spec(const FlowSpec& spec);
+  /// Merge the planned scenarios' results (first flow of each) in seed
+  /// order; the counterpart of plan().
+  [[nodiscard]] static FlowMetrics merge_plan(
+      const std::vector<std::shared_ptr<const ScenarioResult>>& results);
+
+  /// Seed-averaged solo profile of a flow type; memoized by content in the
+  /// store, not in this object.
+  [[nodiscard]] FlowMetrics profile(FlowType t) const;
+
+  /// Seed-averaged solo profile of an arbitrary spec.
+  [[nodiscard]] FlowMetrics profile_spec(const FlowSpec& spec) const;
 
   /// Table 1 rows for the realistic types.
-  [[nodiscard]] TextTable table1();
+  [[nodiscard]] TextTable table1() const;
 
   [[nodiscard]] int seeds() const { return seeds_; }
-  [[nodiscard]] Testbed& testbed() { return tb_; }
+  [[nodiscard]] Testbed& testbed() const { return tb_; }
+  [[nodiscard]] ProfileStore& store() const { return *store_; }
 
  private:
   Testbed& tb_;
   int seeds_;
-  std::map<FlowType, FlowMetrics> cache_;
+  ProfileStore* store_;
 };
 
 }  // namespace pp::core

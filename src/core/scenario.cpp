@@ -1,0 +1,295 @@
+#include "core/scenario.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+
+#include "base/check.hpp"
+#include "base/hash.hpp"
+#include "base/strings.hpp"
+#include "click/elements_io.hpp"
+#include "click/router.hpp"
+
+namespace pp::core {
+
+Scenario Scenario::of(const Testbed& tb, const RunConfig& cfg) {
+  Scenario s;
+  s.machine = tb.machine_config();
+  s.sizes = tb.sizes();
+  s.flows = cfg.flows;
+  s.placement = cfg.placement;
+  s.warmup_ms = cfg.warmup_ms;
+  s.measure_ms = cfg.measure_ms;
+  s.seed = cfg.seed;
+  return s;
+}
+
+// ------------------------------------------------------------------- hashing
+
+namespace {
+
+/// Canonical byte-stream hasher: two independently seeded FNV-1a streams
+/// folded through mix64 at the end. Field order is part of the schema.
+class KeyHasher {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8U;
+    }
+  }
+  void u32(std::uint32_t v) { u64(v); }
+  void i32(int v) { u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] ScenarioKey key() const {
+    // Cross-mix so the two halves do not share the single-stream collision
+    // structure of plain FNV.
+    ScenarioKey k;
+    k.hi = mix64(a_ ^ mix64(b_));
+    k.lo = mix64(b_ + 0x9e3779b97f4a7c15ULL) ^ mix64(a_ + 0x94d049bb133111ebULL);
+    return k;
+  }
+
+ private:
+  void byte(std::uint8_t b) {
+    a_ = (a_ ^ b) * 0x100000001b3ULL;
+    b_ = (b_ ^ b) * 0x00000100000001b3ULL ^ 0x9e3779b97f4a7c15ULL;
+    b_ = b_ * 0x100000001b3ULL;
+  }
+
+  std::uint64_t a_ = 0xcbf29ce484222325ULL;
+  std::uint64_t b_ = 0x84222325cbf29ce4ULL;
+};
+
+void hash_geometry(KeyHasher& h, const sim::CacheGeometry& g) {
+  h.u32(g.size_bytes);
+  h.u32(g.ways);
+  h.u32(g.line_bytes);
+}
+
+void hash_machine(KeyHasher& h, const sim::MachineConfig& m) {
+  h.i32(m.sockets);
+  h.i32(m.cores_per_socket);
+  h.f64(m.ghz);
+  h.i32(m.compute_ipc);
+  hash_geometry(h, m.l1);
+  hash_geometry(h, m.l2);
+  hash_geometry(h, m.l3);
+  h.u64(m.l2_latency);
+  h.u64(m.l3_latency);
+  h.u64(m.dram_extra);
+  h.u64(m.snoop_extra);
+  h.u64(m.qpi_latency);
+  h.i32(m.mc_channels);
+  h.u64(m.mc_service);
+  h.i32(m.qpi_lanes);
+  h.u64(m.qpi_service);
+  h.i32(m.mlp);
+  h.u64(static_cast<std::uint64_t>(m.fidelity));
+  h.u32(m.sample_period);
+  h.u64(m.sample_seed);
+}
+
+void hash_sizes(KeyHasher& h, const WorkloadSizes& z) {
+  h.u64(z.prefixes);
+  h.u64(z.flow_buckets);
+  h.u64(z.flow_pool);
+  h.u64(z.rules);
+  h.u64(z.re_store_mb);
+  h.u64(z.re_table_slots);
+  h.u32(z.small_packet);
+  h.u32(z.re_packet);
+  h.u32(z.vpn_packet);
+}
+
+}  // namespace
+
+ScenarioKey scenario_key(const Scenario& s) {
+  KeyHasher h;
+  h.i32(kScenarioSchemaVersion);
+  hash_machine(h, s.machine);
+  hash_sizes(h, s.sizes);
+  h.u64(s.flows.size());
+  for (const FlowSpec& f : s.flows) {
+    h.u64(static_cast<std::uint64_t>(f.type));
+    h.u64(f.syn.reads);
+    h.u64(f.syn.instr);
+    h.u64(f.syn.table_mb);
+    h.u64(f.seed);
+  }
+  h.u64(s.placement.size());
+  for (const FlowPlacement& p : s.placement) {
+    h.i32(p.core);
+    h.i32(p.data_domain);
+  }
+  h.f64(s.warmup_ms);
+  h.f64(s.measure_ms);
+  h.u64(s.seed);
+  return h.key();
+}
+
+std::string ScenarioKey::hex() const { return strformat("%016llx%016llx",
+                                                        static_cast<unsigned long long>(hi),
+                                                        static_cast<unsigned long long>(lo)); }
+
+std::string describe(const Scenario& s) {
+  std::string out;
+  FlowType last = FlowType::kIp;
+  int run = 0;
+  const auto flush = [&] {
+    if (run == 0) return;
+    if (!out.empty()) out += '+';
+    out += strformat("%dx%s", run, to_string(last));
+  };
+  for (const FlowSpec& f : s.flows) {
+    if (run > 0 && f.type == last) {
+      ++run;
+      continue;
+    }
+    flush();
+    last = f.type;
+    run = 1;
+  }
+  flush();
+  out += strformat(" seed=%llu %s", static_cast<unsigned long long>(s.seed),
+                   to_string(s.machine.fidelity));
+  return out;
+}
+
+// ------------------------------------------------------------------- running
+
+namespace {
+
+struct Snapshot {
+  sim::Cycles now = 0;
+  sim::Counters core;
+  std::vector<sim::Counters> elements;
+  sim::Counters pool;
+};
+
+Snapshot snap(sim::Machine& m, int core, const click::Router& router) {
+  Snapshot s;
+  s.now = m.core(core).now();
+  s.core = m.core(core).counters();
+  for (const auto& e : router.elements()) s.elements.push_back(e->stats());
+  for (const auto& e : router.elements()) {
+    if (auto* fd = dynamic_cast<click::FromDevice*>(e.get()); fd != nullptr && fd->pool()) {
+      s.pool = fd->pool()->stats();
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& s) { return run_scenario_with_windows(s, 0.0, {}); }
+
+ScenarioResult run_scenario_with_windows(const Scenario& cfg, double window_ms,
+                                         const WindowHook& hook) {
+  PP_CHECK(!cfg.flows.empty());
+  PP_CHECK(cfg.flows.size() == cfg.placement.size());
+
+  sim::Machine machine(cfg.machine);
+  std::vector<std::unique_ptr<click::Router>> routers;
+  std::vector<FlowHandle> handles;
+  routers.reserve(cfg.flows.size());
+
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    const FlowSpec& spec = cfg.flows[i];
+    const FlowPlacement& pl = cfg.placement[i];
+    PP_CHECK(pl.core >= 0 && pl.core < machine.num_cores());
+    const int domain =
+        pl.data_domain >= 0 ? pl.data_domain : machine.memory().socket_of(pl.core);
+    const std::uint64_t flow_seed = hash_combine(cfg.seed, spec.seed + i * 1315423911ULL);
+    auto router = std::make_unique<click::Router>(machine, pl.core, domain, flow_seed);
+    // The effective seed must reach the traffic generators so that repeated
+    // runs with different cfg.seed are genuinely independent (the paper
+    // averages 5 independent runs per data point).
+    FlowSpec seeded = spec;
+    seeded.seed = flow_seed;
+    if (auto err = build_flow(*router, seeded, cfg.sizes, default_registry()); err.has_value()) {
+      PP_CHECK(false && "build_flow failed");
+    }
+    if (auto err = router->initialize(); err.has_value()) {
+      std::fprintf(stderr, "router init failed: %s\n", err->c_str());
+      PP_CHECK(false);
+    }
+    if (auto err = router->install_tasks(); err.has_value()) {
+      std::fprintf(stderr, "task install failed: %s\n", err->c_str());
+      PP_CHECK(false);
+    }
+    handles.push_back(FlowHandle{static_cast<int>(i), pl.core, spec.type, router.get()});
+    routers.push_back(std::move(router));
+  }
+
+  // Warm long-lived structures (tries, tables, rules) so the measurement
+  // window sees the steady state, then align clocks so all flows start
+  // together. Reverse order: flow 0 (the target in sweep/pairwise setups)
+  // warms last, so it starts at or above its equilibrium cache share —
+  // convergence from above happens at the *competitors'* insertion rate,
+  // which is fast, whereas recovering from below happens at the target's
+  // own miss rate, which for cache-friendly flows takes far longer than a
+  // simulable warmup window.
+  for (std::size_t i = routers.size(); i-- > 0;) {
+    click::Context cx{machine.core(cfg.placement[i].core)};
+    for (const auto& e : routers[i]->elements()) e->prewarm(cx);
+  }
+  const sim::Cycles start = machine.max_time();
+  machine.align_clocks(start);
+  // The serial prewarm pass issues traffic at unrealistic timestamps and a
+  // compulsory-miss-only access mix; let neither its queueing backlog nor
+  // its calibration signal leak into the measured window.
+  machine.memory().clear_link_backlogs();
+  machine.memory().reset_sample_calibration();
+
+  const sim::Cycles warm = start + cfg.machine.ms_to_cycles(cfg.warmup_ms);
+  const sim::Cycles measure = cfg.machine.ms_to_cycles(cfg.measure_ms);
+  machine.run_until(warm);
+
+  std::vector<Snapshot> begin;
+  begin.reserve(cfg.flows.size());
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    begin.push_back(snap(machine, cfg.placement[i].core, *routers[i]));
+  }
+
+  if (window_ms > 0 && hook) {
+    const sim::Cycles window = cfg.machine.ms_to_cycles(window_ms);
+    for (sim::Cycles t = warm; t < warm + measure;) {
+      t += window;
+      if (t > warm + measure) t = warm + measure;
+      machine.run_until(t);
+      hook(machine, handles);
+    }
+  } else {
+    machine.run_until(warm + measure);
+  }
+
+  ScenarioResult out;
+  out.reserve(cfg.flows.size());
+  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
+    const Snapshot end = snap(machine, cfg.placement[i].core, *routers[i]);
+    FlowMetrics m;
+    m.type = cfg.flows[i].type;
+    m.core = cfg.placement[i].core;
+    m.seconds = static_cast<double>(end.now - begin[i].now) / cfg.machine.hz();
+    m.delta = end.core - begin[i].core;
+    const auto& elems = routers[i]->elements();
+    for (std::size_t e = 0; e < elems.size(); ++e) {
+      ElementStat st;
+      st.name = elems[e]->name();
+      st.cls = std::string(elems[e]->class_name());
+      st.delta = end.elements[e] - begin[i].elements[e];
+      m.elements.push_back(std::move(st));
+    }
+    ElementStat pool;
+    pool.name = "skb_recycle";
+    pool.cls = "BufferPool";
+    pool.delta = end.pool - begin[i].pool;
+    m.elements.push_back(std::move(pool));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace pp::core

@@ -73,81 +73,103 @@ std::vector<SynParams> SweepProfiler::default_levels(Scale s) {
   return {{1, 3000, 12}, {1, 600, 12}, {32, 0, 12}};
 }
 
-SweepResult SweepProfiler::sweep(const FlowSpec& target, ContentionMode mode,
-                                 const std::vector<SynParams>& levels) {
+Scenario SweepProfiler::level_scenario(const FlowSpec& target, ContentionMode mode,
+                                       const SynParams& level, int seed_index) const {
   Testbed& tb = solo_.testbed();
-  const FlowMetrics solo = solo_.profile_spec(target);
+  RunConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(seed_index + 1) * 104729;
+  cfg.warmup_ms = tb.default_warmup_ms();
+  cfg.measure_ms = tb.default_measure_ms();
+  cfg.flows.push_back(target);
+  cfg.placement.push_back(FlowPlacement{0, 0});
+  for (int c = 0; c < competitors_; ++c) {
+    cfg.flows.push_back(FlowSpec::syn_flow(level, static_cast<std::uint64_t>(c + 2)));
+    FlowPlacement pl;
+    switch (mode) {
+      case ContentionMode::kBoth:
+        pl.core = 1 + c;       // target's socket
+        pl.data_domain = -1;   // local (socket 0)
+        break;
+      case ContentionMode::kCacheOnly:
+        pl.core = 1 + c;       // target's socket -> shares L3
+        pl.data_domain = 1;    // data remote -> other memory controller
+        break;
+      case ContentionMode::kMemCtrlOnly:
+        pl.core = 6 + c;       // other socket -> different L3
+        pl.data_domain = 0;    // data in target's domain -> same controller
+        break;
+    }
+    cfg.placement.push_back(pl);
+  }
+  return Scenario::of(tb, cfg);
+}
 
-  SweepResult result;
-  result.target = target.type;
-  result.mode = mode;
+SweepResult SweepProfiler::sweep(const FlowSpec& target, ContentionMode mode,
+                                 const std::vector<SynParams>& levels) const {
+  return sweep_many({target}, mode, levels)[0];
+}
 
-  // Every (level, seed) pair is an independent machine; lay the configs out
-  // up front and fan the runs out over the host thread pool. Each job writes
-  // its own slot, and aggregation below walks the slots in serial order, so
-  // the result is bit-identical whatever threads_ is.
+std::vector<SweepResult> SweepProfiler::sweep_many(const std::vector<FlowSpec>& targets,
+                                                   ContentionMode mode,
+                                                   const std::vector<SynParams>& levels) const {
+  // Lay every scenario of every target — solo baselines first, then the
+  // (level, seed) grid — into one flat job list. Each job writes its own
+  // pre-assigned slot in the store fan-out, and aggregation below walks the
+  // slots in serial order, so the result is bit-identical whatever
+  // threads_ is and however many sweeps share the store concurrently.
   const int seeds = solo_.seeds();
-  const std::size_t jobs = levels.size() * static_cast<std::size_t>(seeds);
-  std::vector<RunConfig> cfgs;
-  cfgs.reserve(jobs);
-  for (const SynParams& level : levels) {
-    for (int s = 0; s < seeds; ++s) {
-      RunConfig cfg;
-      cfg.seed = static_cast<std::uint64_t>(s + 1) * 104729;
-      cfg.warmup_ms = tb.default_warmup_ms();
-      cfg.measure_ms = tb.default_measure_ms();
-      cfg.flows.push_back(target);
-      cfg.placement.push_back(FlowPlacement{0, 0});
-      for (int c = 0; c < competitors_; ++c) {
-        cfg.flows.push_back(FlowSpec::syn_flow(level, static_cast<std::uint64_t>(c + 2)));
-        FlowPlacement pl;
-        switch (mode) {
-          case ContentionMode::kBoth:
-            pl.core = 1 + c;       // target's socket
-            pl.data_domain = -1;   // local (socket 0)
-            break;
-          case ContentionMode::kCacheOnly:
-            pl.core = 1 + c;       // target's socket -> shares L3
-            pl.data_domain = 1;    // data remote -> other memory controller
-            break;
-          case ContentionMode::kMemCtrlOnly:
-            pl.core = 6 + c;       // other socket -> different L3
-            pl.data_domain = 0;    // data in target's domain -> same controller
-            break;
-        }
-        cfg.placement.push_back(pl);
+  const std::size_t per_target =
+      static_cast<std::size_t>(seeds) * (1 + levels.size());  // solo + grid
+  std::vector<Scenario> jobs;
+  jobs.reserve(per_target * targets.size());
+  for (const FlowSpec& target : targets) {
+    for (const Scenario& s : solo_.plan(target)) jobs.push_back(s);
+    for (const SynParams& level : levels) {
+      for (int s = 0; s < seeds; ++s) {
+        jobs.push_back(level_scenario(target, mode, level, s));
       }
-      cfgs.push_back(std::move(cfg));
     }
   }
 
-  std::vector<std::vector<FlowMetrics>> runs(jobs);
-  parallel_for(jobs, threads_, [&](std::size_t j) { runs[j] = tb.run(cfgs[j]); });
+  const auto runs = solo_.store().get_or_run_many(jobs, threads_);
 
-  for (std::size_t l = 0; l < levels.size(); ++l) {
-    std::vector<FlowMetrics> target_runs;
-    double comp_refs_sum = 0;
-    for (int s = 0; s < seeds; ++s) {
-      const std::vector<FlowMetrics>& run = runs[l * static_cast<std::size_t>(seeds) +
-                                                 static_cast<std::size_t>(s)];
-      target_runs.push_back(run[0]);
-      double refs = 0;
-      for (std::size_t i = 1; i < run.size(); ++i) refs += run[i].refs_per_sec();
-      comp_refs_sum += refs;
+  std::vector<SweepResult> out;
+  out.reserve(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const std::size_t base = t * per_target;
+    const std::vector<std::shared_ptr<const ScenarioResult>> solo_runs(
+        runs.begin() + static_cast<std::ptrdiff_t>(base),
+        runs.begin() + static_cast<std::ptrdiff_t>(base + static_cast<std::size_t>(seeds)));
+    const FlowMetrics solo = SoloProfiler::merge_plan(solo_runs);
+
+    SweepResult result;
+    result.target = targets[t].type;
+    result.mode = mode;
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      std::vector<FlowMetrics> target_runs;
+      double comp_refs_sum = 0;
+      for (int s = 0; s < seeds; ++s) {
+        const ScenarioResult& run =
+            *runs[base + static_cast<std::size_t>(seeds) * (1 + l) + static_cast<std::size_t>(s)];
+        target_runs.push_back(run[0]);
+        double refs = 0;
+        for (std::size_t i = 1; i < run.size(); ++i) refs += run[i].refs_per_sec();
+        comp_refs_sum += refs;
+      }
+      SweepLevel lvl;
+      lvl.syn = levels[l];
+      lvl.target = merge_metrics(target_runs);
+      lvl.competing_refs_per_sec = comp_refs_sum / seeds;
+      lvl.drop_pct = drop_pct(solo, lvl.target);
+      result.levels.push_back(std::move(lvl));
     }
-    SweepLevel out;
-    out.syn = levels[l];
-    out.target = merge_metrics(target_runs);
-    out.competing_refs_per_sec = comp_refs_sum / seeds;
-    out.drop_pct = drop_pct(solo, out.target);
-    result.levels.push_back(std::move(out));
+    for (const SweepLevel& l : result.levels) {
+      result.curve.add(l.competing_refs_per_sec, l.drop_pct);
+    }
+    result.curve.finalize();
+    out.push_back(std::move(result));
   }
-
-  for (const SweepLevel& l : result.levels) {
-    result.curve.add(l.competing_refs_per_sec, l.drop_pct);
-  }
-  result.curve.finalize();
-  return result;
+  return out;
 }
 
 }  // namespace pp::core

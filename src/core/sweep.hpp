@@ -7,6 +7,14 @@
 // (competitors on the target's socket, their data remote), memory-
 // controller-only (competitors on the other socket, their data in the
 // target's domain), and both (the system's normal NUMA-local placement).
+//
+// The profiler is a stateless view over the ProfileStore: a sweep is planned
+// as one scenario per (target, level, seed) — plus the target's solo
+// scenarios — and the whole plan fans out over the host thread pool in a
+// single store request. Aggregation walks the slots in serial order, so the
+// output is bit-identical for any SWEEP_THREADS, and concurrent sweeps
+// sharing one SoloProfiler/store are safe (the store single-flights
+// duplicate scenarios instead of racing a hidden cache).
 #pragma once
 
 #include <vector>
@@ -70,15 +78,28 @@ class SweepProfiler {
   /// fine-grained.
   [[nodiscard]] static std::vector<SynParams> default_levels(Scale s);
 
-  /// Sweep the ramp. The (level, seed) runs are fully independent machines
-  /// and execute on up to `threads()` host threads; results are aggregated
-  /// in serial order, so the output is bit-identical for any thread count.
+  /// The scenario for one (target, level, seed) sweep point (exposed so
+  /// bench drivers can compose bigger store requests).
+  [[nodiscard]] Scenario level_scenario(const FlowSpec& target, ContentionMode mode,
+                                        const SynParams& level, int seed_index) const;
+
+  /// Sweep the ramp for one target. Every (level, seed) run is an
+  /// independent machine executing on up to `threads()` host threads.
   [[nodiscard]] SweepResult sweep(const FlowSpec& target, ContentionMode mode,
-                                  const std::vector<SynParams>& levels);
+                                  const std::vector<SynParams>& levels) const;
+
+  /// Sweep several targets at once: all targets' (level, seed) runs — and
+  /// their solo baselines — fan out over one host thread pool (this is how
+  /// bench_fig4/5 run the per-type sweeps of one figure concurrently).
+  /// Results are in target order, bit-identical to calling sweep() serially.
+  [[nodiscard]] std::vector<SweepResult> sweep_many(
+      const std::vector<FlowSpec>& targets, ContentionMode mode,
+      const std::vector<SynParams>& levels) const;
 
   /// Host-parallelism override (tests pin this to compare thread counts).
   void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
   [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] SoloProfiler& solo() const { return solo_; }
 
  private:
   SoloProfiler& solo_;

@@ -3,10 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "apps/elements.hpp"
 #include "base/check.hpp"
-#include "base/hash.hpp"
-#include "click/elements_io.hpp"
+#include "core/scenario.hpp"
 
 namespace pp::core {
 
@@ -63,139 +61,13 @@ RunConfig Testbed::configure(std::vector<FlowSpec> flows, std::uint64_t seed) co
   return cfg;
 }
 
-namespace {
-
-struct Snapshot {
-  sim::Cycles now = 0;
-  sim::Counters core;
-  std::vector<sim::Counters> elements;
-  sim::Counters pool;
-};
-
-Snapshot snap(sim::Machine& m, int core, const click::Router& router) {
-  Snapshot s;
-  s.now = m.core(core).now();
-  s.core = m.core(core).counters();
-  for (const auto& e : router.elements()) s.elements.push_back(e->stats());
-  for (const auto& e : router.elements()) {
-    if (auto* fd = dynamic_cast<click::FromDevice*>(e.get()); fd != nullptr && fd->pool()) {
-      s.pool = fd->pool()->stats();
-    }
-  }
-  return s;
-}
-
-}  // namespace
-
 std::vector<FlowMetrics> Testbed::run(const RunConfig& cfg) const {
-  return run_with_windows(cfg, 0.0, {});
+  return run_scenario(Scenario::of(*this, cfg));
 }
 
 std::vector<FlowMetrics> Testbed::run_with_windows(const RunConfig& cfg, double window_ms,
                                                    const WindowHook& hook) const {
-  PP_CHECK(!cfg.flows.empty());
-  PP_CHECK(cfg.flows.size() == cfg.placement.size());
-
-  sim::Machine machine(mcfg_);
-  std::vector<std::unique_ptr<click::Router>> routers;
-  std::vector<FlowHandle> handles;
-  routers.reserve(cfg.flows.size());
-
-  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
-    const FlowSpec& spec = cfg.flows[i];
-    const FlowPlacement& pl = cfg.placement[i];
-    PP_CHECK(pl.core >= 0 && pl.core < machine.num_cores());
-    const int domain =
-        pl.data_domain >= 0 ? pl.data_domain : machine.memory().socket_of(pl.core);
-    const std::uint64_t flow_seed = hash_combine(cfg.seed, spec.seed + i * 1315423911ULL);
-    auto router = std::make_unique<click::Router>(machine, pl.core, domain, flow_seed);
-    // The effective seed must reach the traffic generators so that repeated
-    // runs with different cfg.seed are genuinely independent (the paper
-    // averages 5 independent runs per data point).
-    FlowSpec seeded = spec;
-    seeded.seed = flow_seed;
-    if (auto err = build_flow(*router, seeded, sizes_, default_registry()); err.has_value()) {
-      PP_CHECK(false && "build_flow failed");
-    }
-    if (auto err = router->initialize(); err.has_value()) {
-      std::fprintf(stderr, "router init failed: %s\n", err->c_str());
-      PP_CHECK(false);
-    }
-    if (auto err = router->install_tasks(); err.has_value()) {
-      std::fprintf(stderr, "task install failed: %s\n", err->c_str());
-      PP_CHECK(false);
-    }
-    handles.push_back(FlowHandle{static_cast<int>(i), pl.core, spec.type, router.get()});
-    routers.push_back(std::move(router));
-  }
-
-  // Warm long-lived structures (tries, tables, rules) so the measurement
-  // window sees the steady state, then align clocks so all flows start
-  // together. Reverse order: flow 0 (the target in sweep/pairwise setups)
-  // warms last, so it starts at or above its equilibrium cache share —
-  // convergence from above happens at the *competitors'* insertion rate,
-  // which is fast, whereas recovering from below happens at the target's
-  // own miss rate, which for cache-friendly flows takes far longer than a
-  // simulable warmup window.
-  for (std::size_t i = routers.size(); i-- > 0;) {
-    click::Context cx{machine.core(cfg.placement[i].core)};
-    for (const auto& e : routers[i]->elements()) e->prewarm(cx);
-  }
-  const sim::Cycles start = machine.max_time();
-  machine.align_clocks(start);
-  // The serial prewarm pass issues traffic at unrealistic timestamps and a
-  // compulsory-miss-only access mix; let neither its queueing backlog nor
-  // its calibration signal leak into the measured window.
-  machine.memory().clear_link_backlogs();
-  machine.memory().reset_sample_calibration();
-
-  const sim::Cycles warm = start + mcfg_.ms_to_cycles(cfg.warmup_ms);
-  const sim::Cycles measure = mcfg_.ms_to_cycles(cfg.measure_ms);
-  machine.run_until(warm);
-
-  std::vector<Snapshot> begin;
-  begin.reserve(cfg.flows.size());
-  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
-    begin.push_back(snap(machine, cfg.placement[i].core, *routers[i]));
-  }
-
-  if (window_ms > 0 && hook) {
-    const sim::Cycles window = mcfg_.ms_to_cycles(window_ms);
-    for (sim::Cycles t = warm; t < warm + measure;) {
-      t += window;
-      if (t > warm + measure) t = warm + measure;
-      machine.run_until(t);
-      hook(machine, handles);
-    }
-  } else {
-    machine.run_until(warm + measure);
-  }
-
-  std::vector<FlowMetrics> out;
-  out.reserve(cfg.flows.size());
-  for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
-    const Snapshot end = snap(machine, cfg.placement[i].core, *routers[i]);
-    FlowMetrics m;
-    m.type = cfg.flows[i].type;
-    m.core = cfg.placement[i].core;
-    m.seconds = static_cast<double>(end.now - begin[i].now) / mcfg_.hz();
-    m.delta = end.core - begin[i].core;
-    const auto& elems = routers[i]->elements();
-    for (std::size_t e = 0; e < elems.size(); ++e) {
-      ElementStat st;
-      st.name = elems[e]->name();
-      st.cls = std::string(elems[e]->class_name());
-      st.delta = end.elements[e] - begin[i].elements[e];
-      m.elements.push_back(std::move(st));
-    }
-    ElementStat pool;
-    pool.name = "skb_recycle";
-    pool.cls = "BufferPool";
-    pool.delta = end.pool - begin[i].pool;
-    m.elements.push_back(std::move(pool));
-    out.push_back(std::move(m));
-  }
-  return out;
+  return run_scenario_with_windows(Scenario::of(*this, cfg), window_ms, hook);
 }
 
 FlowMetrics Testbed::run_solo(const FlowSpec& spec) const {

@@ -94,6 +94,7 @@ class Testbed {
 
   [[nodiscard]] const WorkloadSizes& sizes() const { return sizes_; }
   [[nodiscard]] WorkloadSizes& sizes() { return sizes_; }
+  [[nodiscard]] const sim::MachineConfig& machine_config() const { return mcfg_; }
   [[nodiscard]] sim::MachineConfig& machine_config() { return mcfg_; }
   [[nodiscard]] Scale scale() const { return scale_; }
 

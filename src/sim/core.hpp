@@ -10,6 +10,8 @@
 // would overlap them.
 #pragma once
 
+#include <vector>
+
 #include "sim/address_space.hpp"
 #include "sim/counters.hpp"
 #include "sim/memory_system.hpp"
@@ -210,6 +212,53 @@ class Core {
   Counters ctr_;
   Counters* attr_ = nullptr;
 };
+
+/// Deferred streaming touches for a burst of packets (payload-heavy batch
+/// elements: RE store appends/verifies, VPN payload writes). Elements
+/// accumulate the same line addresses their per-packet path would stream,
+/// then flush them as two independent access_many bursts — reads first,
+/// then writes — so the counter bookkeeping is applied once per burst.
+class StreamBurst {
+ public:
+  /// Every line of [base, base+bytes), like Core::stream.
+  void add(Addr base, std::size_t bytes, AccessType t) {
+    if (bytes == 0) return;
+    std::vector<Addr>& v = t == AccessType::kRead ? reads_ : writes_;
+    const Addr first = line_of(base);
+    const Addr last = line_of(base + bytes - 1);
+    for (Addr line = first; line <= last; ++line) v.push_back(line << kLineShift);
+  }
+  /// A single (already line-resident) address, like Core::load/store.
+  void add_line(Addr a, AccessType t) {
+    (t == AccessType::kRead ? reads_ : writes_).push_back(a);
+  }
+
+  void flush(Core& core) {
+    core.access_many(reads_.data(), reads_.size(), AccessType::kRead, /*dependent=*/false);
+    core.access_many(writes_.data(), writes_.size(), AccessType::kWrite, /*dependent=*/false);
+    clear();
+  }
+  void clear() {
+    reads_.clear();
+    writes_.clear();
+  }
+
+ private:
+  std::vector<Addr> reads_;
+  std::vector<Addr> writes_;
+};
+
+/// Charge a streaming touch immediately, or defer it into `burst` when one
+/// is active — the single branch point every batch-aware payload element
+/// shares, so burst semantics cannot diverge between call sites.
+inline void stream_or_defer(Core& core, StreamBurst* burst, Addr base, std::size_t bytes,
+                            AccessType t) {
+  if (burst != nullptr) {
+    burst->add(base, bytes, t);
+  } else {
+    core.stream(base, bytes, t);
+  }
+}
 
 /// Touch every line of a region once (independent loads) so it starts warm
 /// in the cache hierarchy — used by Element::prewarm implementations.

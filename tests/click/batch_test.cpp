@@ -53,9 +53,7 @@ std::string ip_chain(const std::string& batch_arg) {
   )", batch_arg.c_str());
 }
 
-TEST(BatchExecution, BatchOneIsBitIdenticalToUnbatched) {
-  const sim::Counters plain = run_chain(ip_chain(""));
-  const sim::Counters batch1 = run_chain(ip_chain(", BATCH 1"));
+void expect_bit_identical(const sim::Counters& plain, const sim::Counters& batch1) {
   EXPECT_EQ(plain.packets, batch1.packets);
   EXPECT_EQ(plain.cycles, batch1.cycles);
   EXPECT_EQ(plain.instructions, batch1.instructions);
@@ -66,22 +64,32 @@ TEST(BatchExecution, BatchOneIsBitIdenticalToUnbatched) {
   EXPECT_EQ(plain.drops, batch1.drops);
 }
 
-TEST(BatchExecution, BatchedRunAgreesWithinNoise) {
-  const sim::Counters one = run_chain(ip_chain(", BATCH 1"), 3.0);
-  const sim::Counters batched = run_chain(ip_chain(", BATCH 16"), 3.0);
+/// Batched runs drift from per-packet only by burst-coalescing physics:
+/// throughput and L3 refs/packet must agree within the given tolerances.
+void expect_batched_within_noise(const sim::Counters& one, const sim::Counters& batched,
+                                 double pps_tol, double refs_tol) {
   ASSERT_GT(one.packets, 0U);
   ASSERT_GT(batched.packets, 0U);
   const double pps_delta =
       std::abs(static_cast<double>(batched.packets) - static_cast<double>(one.packets)) /
       static_cast<double>(one.packets);
-  EXPECT_LT(pps_delta, 0.02) << "batched throughput drifted: " << one.packets << " vs "
-                             << batched.packets;
+  EXPECT_LT(pps_delta, pps_tol) << "batched throughput drifted: " << one.packets << " vs "
+                                << batched.packets;
   const double refs_pp_one =
       static_cast<double>(one.l3_refs) / static_cast<double>(one.packets);
   const double refs_pp_batched =
       static_cast<double>(batched.l3_refs) / static_cast<double>(batched.packets);
-  EXPECT_LT(std::abs(refs_pp_batched - refs_pp_one) / refs_pp_one, 0.02)
+  EXPECT_LT(std::abs(refs_pp_batched - refs_pp_one) / refs_pp_one, refs_tol)
       << "L3 refs/packet drifted: " << refs_pp_one << " vs " << refs_pp_batched;
+}
+
+TEST(BatchExecution, BatchOneIsBitIdenticalToUnbatched) {
+  expect_bit_identical(run_chain(ip_chain("")), run_chain(ip_chain(", BATCH 1")));
+}
+
+TEST(BatchExecution, BatchedRunAgreesWithinNoise) {
+  expect_batched_within_noise(run_chain(ip_chain(", BATCH 1"), 3.0),
+                              run_chain(ip_chain(", BATCH 16"), 3.0), 0.02, 0.02);
 }
 
 std::string fw_chain(const std::string& batch_arg) {
@@ -102,44 +110,75 @@ std::string fw_chain(const std::string& batch_arg) {
 TEST(BatchExecution, FlowStatsFirewallBatchOneIsBitIdentical) {
   // BATCH=1 never enters the batch hooks, so the new FlowStatistics /
   // SeqFirewall overrides must leave it bit-identical to the plain path.
-  const sim::Counters plain = run_chain(fw_chain(""), 1.0, /*low_dst_traffic=*/true);
-  const sim::Counters batch1 = run_chain(fw_chain(", BATCH 1"), 1.0, /*low_dst_traffic=*/true);
-  EXPECT_EQ(plain.packets, batch1.packets);
-  EXPECT_EQ(plain.cycles, batch1.cycles);
-  EXPECT_EQ(plain.instructions, batch1.instructions);
-  EXPECT_EQ(plain.l1_hits, batch1.l1_hits);
-  EXPECT_EQ(plain.l2_hits, batch1.l2_hits);
-  EXPECT_EQ(plain.l3_refs, batch1.l3_refs);
-  EXPECT_EQ(plain.l3_misses, batch1.l3_misses);
-  EXPECT_EQ(plain.drops, batch1.drops);
+  expect_bit_identical(run_chain(fw_chain(""), 1.0, /*low_dst_traffic=*/true),
+                       run_chain(fw_chain(", BATCH 1"), 1.0, /*low_dst_traffic=*/true));
 }
 
 TEST(BatchExecution, FlowStatsFirewallBatchedAgreesWithinNoise) {
   const sim::Counters one = run_chain(fw_chain(", BATCH 1"), 3.0, /*low_dst_traffic=*/true);
   const sim::Counters batched =
       run_chain(fw_chain(", BATCH 16"), 3.0, /*low_dst_traffic=*/true);
-  ASSERT_GT(one.packets, 0U);
-  ASSERT_GT(batched.packets, 0U);
+  // 3% refs tolerance (vs 2% on the IP chain): with random traffic the flow
+  // table runs near its load-factor cap, and issuing the burst's entry
+  // stores after all probe loads genuinely costs a few more private-cache
+  // misses per burst — batching physics, like the pipelined-queue delta in
+  // docs/batching.md.
+  expect_batched_within_noise(one, batched, 0.02, 0.03);
   ASSERT_GT(one.drops, 0U);  // the firewall must be dropping something
-  const double pps_delta =
-      std::abs(static_cast<double>(batched.packets) - static_cast<double>(one.packets)) /
-      static_cast<double>(one.packets);
-  EXPECT_LT(pps_delta, 0.02) << one.packets << " vs " << batched.packets;
   const double drop_delta =
       std::abs(static_cast<double>(batched.drops) - static_cast<double>(one.drops)) /
       static_cast<double>(one.drops);
   EXPECT_LT(drop_delta, 0.03) << one.drops << " vs " << batched.drops;
-  const double refs_pp_one =
-      static_cast<double>(one.l3_refs) / static_cast<double>(one.packets);
-  const double refs_pp_batched =
-      static_cast<double>(batched.l3_refs) / static_cast<double>(batched.packets);
-  // 3% here (vs 2% on the IP chain): with random traffic the flow table
-  // runs near its load-factor cap, and issuing the burst's entry stores
-  // after all probe loads genuinely costs a few more private-cache misses
-  // per burst — batching physics, like the pipelined-queue delta in
-  // docs/batching.md.
-  EXPECT_LT(std::abs(refs_pp_batched - refs_pp_one) / refs_pp_one, 0.03)
-      << refs_pp_one << " vs " << refs_pp_batched;
+}
+
+std::string re_chain(const std::string& batch_arg) {
+  // MON + RedundancyElim over content traffic with real redundancy, so the
+  // encoder exercises table hits, store verification reads and packet
+  // rewrites (the payload-streaming burst paths).
+  return strformat(R"(
+    src :: FromDevice(CONTENT, BYTES 1500, SEED 7, RED 0.5%s);
+    chk :: CheckIPHeader;
+    lkp :: RadixIPLookup(PREFIXES 20000, SEED 3);
+    sts :: FlowStatistics(BUCKETS 32768);
+    re :: RedundancyElim(STORE_MB 8, TABLE_SLOTS 524288);
+    ttl :: DecIPTTL;
+    out :: ToDevice;
+    src -> chk -> lkp -> sts -> re -> ttl -> out;
+  )", batch_arg.c_str());
+}
+
+std::string vpn_chain(const std::string& batch_arg) {
+  // MON + VpnEncrypt: AES-table loads and payload write-back streaming.
+  return strformat(R"(
+    src :: FromDevice(FLOWPOOL, BYTES 1024, SEED 7, POOL 20000%s);
+    chk :: CheckIPHeader;
+    lkp :: RadixIPLookup(PREFIXES 20000, SEED 3);
+    sts :: FlowStatistics(BUCKETS 32768);
+    vpn :: VpnEncrypt;
+    ttl :: DecIPTTL;
+    out :: ToDevice;
+    src -> chk -> lkp -> sts -> vpn -> ttl -> out;
+  )", batch_arg.c_str());
+}
+
+TEST(BatchExecution, RedundancyElimBatchOneIsBitIdentical) {
+  // BATCH=1 never enters the batch hooks, so the RedundancyElim override
+  // (deferred payload-streaming bursts) must leave it bit-identical.
+  expect_bit_identical(run_chain(re_chain(""), 1.0), run_chain(re_chain(", BATCH 1"), 1.0));
+}
+
+TEST(BatchExecution, VpnEncryptBatchOneIsBitIdentical) {
+  expect_bit_identical(run_chain(vpn_chain(""), 1.0), run_chain(vpn_chain(", BATCH 1"), 1.0));
+}
+
+TEST(BatchExecution, RedundancyElimBatchedAgreesWithinNoise) {
+  expect_batched_within_noise(run_chain(re_chain(", BATCH 1"), 3.0),
+                              run_chain(re_chain(", BATCH 16"), 3.0), 0.03, 0.03);
+}
+
+TEST(BatchExecution, VpnEncryptBatchedAgreesWithinNoise) {
+  expect_batched_within_noise(run_chain(vpn_chain(", BATCH 1"), 3.0),
+                              run_chain(vpn_chain(", BATCH 16"), 3.0), 0.03, 0.03);
 }
 
 TEST(BatchExecution, PipelinedBatchDeliversPackets) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "core/parallel.hpp"
@@ -40,13 +41,17 @@ TEST(ParallelSweep, ThreadCountInvariance) {
   const std::vector<SynParams> levels = {{1, 2000, 12}, {32, 0, 12}};
 
   Testbed tb(Scale::kQuick, 1);
-  SoloProfiler solo(tb, 1);
-
-  SweepProfiler serial(solo, 3);
+  // Isolated stores so the parallel pass genuinely re-simulates instead of
+  // reading the serial pass's memoized results.
+  ProfileStore store_a;
+  SoloProfiler solo_a(tb, 1, &store_a);
+  SweepProfiler serial(solo_a, 3);
   serial.set_threads(1);
   const SweepResult a = serial.sweep(FlowSpec::of(FlowType::kIp), ContentionMode::kBoth, levels);
 
-  SweepProfiler parallel4(solo, 3);
+  ProfileStore store_b;
+  SoloProfiler solo_b(tb, 1, &store_b);
+  SweepProfiler parallel4(solo_b, 3);
   parallel4.set_threads(4);
   const SweepResult b =
       parallel4.sweep(FlowSpec::of(FlowType::kIp), ContentionMode::kBoth, levels);
@@ -64,6 +69,55 @@ TEST(ParallelSweep, ThreadCountInvariance) {
   }
 }
 
+// Regression for the pre-scenario-engine hazard (ROADMAP): two sweeps
+// sharing one SoloProfiler raced its hidden std::map cache when they
+// overlapped. The views are stateless now and the shared ProfileStore
+// single-flights duplicate scenarios, so two concurrent sweeps — each
+// itself fanned out over SWEEP_THREADS > 1 — must reproduce the serial
+// result bit-identically and simulate every scenario exactly once.
+TEST(ParallelSweep, ConcurrentSweepsSharingOneSoloProfilerAreSafe) {
+  const std::vector<SynParams> levels = {{1, 2000, 12}, {32, 0, 12}};
+  Testbed tb(Scale::kQuick, 1);
+
+  ProfileStore serial_store;
+  SoloProfiler serial_solo(tb, 1, &serial_store);
+  SweepProfiler serial(serial_solo, 3);
+  serial.set_threads(1);
+  const SweepResult ref =
+      serial.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
+  const std::uint64_t serial_simulated = serial_store.stats().simulated;
+
+  ProfileStore store;
+  SoloProfiler solo(tb, 1, &store);
+  SweepProfiler shared(solo, 3);
+  shared.set_threads(2);  // SWEEP_THREADS > 1 inside each sweep
+  SweepResult a;
+  SweepResult b;
+  std::thread t1([&] {
+    a = shared.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
+  });
+  std::thread t2([&] {
+    b = shared.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
+  });
+  t1.join();
+  t2.join();
+
+  // Identical scenarios coalesced instead of racing: one simulation each.
+  EXPECT_EQ(store.stats().simulated, serial_simulated);
+  for (const SweepResult* r : {&a, &b}) {
+    ASSERT_EQ(r->levels.size(), ref.levels.size());
+    for (std::size_t i = 0; i < ref.levels.size(); ++i) {
+      EXPECT_EQ(r->levels[i].drop_pct, ref.levels[i].drop_pct) << i;
+      EXPECT_EQ(r->levels[i].competing_refs_per_sec, ref.levels[i].competing_refs_per_sec)
+          << i;
+      EXPECT_EQ(r->levels[i].target.delta.cycles, ref.levels[i].target.delta.cycles) << i;
+      EXPECT_EQ(r->levels[i].target.delta.l3_refs, ref.levels[i].target.delta.l3_refs) << i;
+      EXPECT_EQ(r->levels[i].target.delta.l3_misses, ref.levels[i].target.delta.l3_misses)
+          << i;
+    }
+  }
+}
+
 // The same property must hold in sampled fidelity: the model RNG streams
 // are per-machine, so host parallelism cannot perturb them.
 TEST(ParallelSweep, ThreadCountInvarianceSampled) {
@@ -71,13 +125,15 @@ TEST(ParallelSweep, ThreadCountInvarianceSampled) {
 
   Testbed tb(Scale::kQuick, 1);
   tb.machine_config().fidelity = sim::SimFidelity::kSampled;
-  SoloProfiler solo(tb, 1);
-
-  SweepProfiler serial(solo, 2);
+  ProfileStore store_a;
+  SoloProfiler solo_a(tb, 1, &store_a);
+  SweepProfiler serial(solo_a, 2);
   serial.set_threads(1);
   const SweepResult a = serial.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
 
-  SweepProfiler parallel3(solo, 2);
+  ProfileStore store_b;
+  SoloProfiler solo_b(tb, 1, &store_b);
+  SweepProfiler parallel3(solo_b, 2);
   parallel3.set_threads(3);
   const SweepResult b =
       parallel3.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);

@@ -48,10 +48,19 @@ TEST_F(PredictorTest, InsensitiveTargetPredictsSmallDrop) {
 
 TEST_F(PredictorTest, ProfileIsIdempotent) {
   pred_.profile(FlowType::kVpn);
-  const auto& curve1 = pred_.curve(FlowType::kVpn);
+  const auto simulated_after_first = solo_.store().stats().simulated;
+  const SweepCurve curve1 = pred_.curve(FlowType::kVpn);
   pred_.profile(FlowType::kVpn);
-  const auto& curve2 = pred_.curve(FlowType::kVpn);
-  EXPECT_EQ(&curve1, &curve2);  // cached, not re-measured
+  const SweepCurve curve2 = pred_.curve(FlowType::kVpn);
+  // Re-profiling aggregates memoized scenario results; nothing re-simulates
+  // and the curve is reproduced bit-identically.
+  EXPECT_EQ(solo_.store().stats().simulated, simulated_after_first);
+  ASSERT_EQ(curve1.points().size(), curve2.points().size());
+  for (std::size_t i = 0; i < curve1.points().size(); ++i) {
+    EXPECT_EQ(curve1.points()[i].competing_refs_per_sec,
+              curve2.points()[i].competing_refs_per_sec);
+    EXPECT_EQ(curve1.points()[i].drop_pct, curve2.points()[i].drop_pct);
+  }
 }
 
 // End-to-end prediction accuracy on one mix (quick-scale smoke version of

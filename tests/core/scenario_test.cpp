@@ -1,0 +1,138 @@
+// The scenario value type and its content-addressed key: keys are a pure
+// function of scenario content (machine config, sizes, flows, placement,
+// windows, seed — nothing else), stable across processes and builds while
+// kScenarioSchemaVersion stands, and sensitive to every field.
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp::core {
+namespace {
+
+Scenario base_scenario() {
+  Testbed tb(Scale::kQuick, 1);
+  RunConfig cfg = tb.configure({FlowSpec::of(FlowType::kIp)});
+  return Scenario::of(tb, cfg);
+}
+
+TEST(ScenarioKey, PureFunctionOfContent) {
+  const Scenario a = base_scenario();
+  const Scenario b = base_scenario();  // independently built, same content
+  EXPECT_EQ(scenario_key(a), scenario_key(b));
+  EXPECT_EQ(scenario_key(a).hex(), scenario_key(b).hex());
+}
+
+TEST(ScenarioKey, EveryFieldContributes) {
+  const Scenario base = base_scenario();
+  const ScenarioKey k = scenario_key(base);
+
+  Scenario s = base;
+  s.seed += 1;
+  EXPECT_NE(scenario_key(s), k) << "seed";
+
+  s = base;
+  s.measure_ms += 0.5;
+  EXPECT_NE(scenario_key(s), k) << "measure window";
+
+  s = base;
+  s.warmup_ms += 0.5;
+  EXPECT_NE(scenario_key(s), k) << "warmup window";
+
+  s = base;
+  s.machine.fidelity = sim::SimFidelity::kSampled;
+  EXPECT_NE(scenario_key(s), k) << "fidelity";
+
+  s = base;
+  s.machine.sample_seed += 1;
+  EXPECT_NE(scenario_key(s), k) << "sample seed";
+
+  s = base;
+  s.machine.l3.size_bytes *= 2;
+  EXPECT_NE(scenario_key(s), k) << "cache geometry";
+
+  s = base;
+  s.sizes.prefixes += 1;
+  EXPECT_NE(scenario_key(s), k) << "workload sizes";
+
+  s = base;
+  s.flows[0].seed += 1;
+  EXPECT_NE(scenario_key(s), k) << "flow seed";
+
+  s = base;
+  s.flows[0].type = FlowType::kMon;
+  EXPECT_NE(scenario_key(s), k) << "flow type";
+
+  s = base;
+  s.flows.push_back(FlowSpec::of(FlowType::kSyn));
+  s.placement.push_back(FlowPlacement{1, -1});
+  EXPECT_NE(scenario_key(s), k) << "flow count";
+
+  s = base;
+  s.placement[0].core = 3;
+  EXPECT_NE(scenario_key(s), k) << "placement core";
+
+  s = base;
+  s.placement[0].data_domain = 1;
+  EXPECT_NE(scenario_key(s), k) << "placement domain";
+}
+
+// Golden key: locks the canonical serialization across runs and builds. If
+// this breaks, the key schema changed — bump kScenarioSchemaVersion (which
+// legitimately moves this value exactly once) and update the constant.
+TEST(ScenarioKey, GoldenValueStableAcrossRuns) {
+  Scenario s;  // all defaults: paper machine, standard sizes
+  s.flows.push_back(FlowSpec::of(FlowType::kMon, 7));
+  s.placement.push_back(FlowPlacement{0, -1});
+  s.warmup_ms = 2.0;
+  s.measure_ms = 3.0;
+  s.seed = 42;
+  EXPECT_EQ(scenario_key(s).hex(), "d2866f806365cb488f0924adf8154220");
+}
+
+TEST(ScenarioKey, HexIs32LowercaseDigits) {
+  const std::string h = scenario_key(base_scenario()).hex();
+  ASSERT_EQ(h.size(), 32U);
+  for (const char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(Scenario, DescribeSummarizesFlowMix) {
+  Scenario s = base_scenario();
+  s.flows = {FlowSpec::of(FlowType::kMon), FlowSpec::of(FlowType::kMon),
+             FlowSpec::of(FlowType::kSyn)};
+  s.placement = {FlowPlacement{0, -1}, FlowPlacement{1, -1}, FlowPlacement{2, -1}};
+  s.seed = 9;
+  EXPECT_EQ(describe(s), "2xMON+1xSYN seed=9 exact");
+}
+
+TEST(Scenario, RunIsDeterministic) {
+  Scenario s = base_scenario();
+  s.warmup_ms = 0.2;
+  s.measure_ms = 0.4;
+  const ScenarioResult a = run_scenario(s);
+  const ScenarioResult b = run_scenario(s);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].delta.packets, b[0].delta.packets);
+  EXPECT_EQ(a[0].delta.cycles, b[0].delta.cycles);
+  EXPECT_EQ(a[0].delta.l3_refs, b[0].delta.l3_refs);
+  EXPECT_EQ(a[0].seconds, b[0].seconds);
+}
+
+// Testbed::run is a thin wrapper over the scenario engine; both paths must
+// agree bit-for-bit (locked so future refactors keep the delegation exact).
+TEST(Scenario, TestbedRunDelegatesToScenario) {
+  Testbed tb(Scale::kQuick, 1);
+  RunConfig cfg = tb.configure({FlowSpec::of(FlowType::kIp)});
+  cfg.warmup_ms = 0.2;
+  cfg.measure_ms = 0.4;
+  const std::vector<FlowMetrics> via_tb = tb.run(cfg);
+  const ScenarioResult via_scenario = run_scenario(Scenario::of(tb, cfg));
+  ASSERT_EQ(via_tb.size(), via_scenario.size());
+  EXPECT_EQ(via_tb[0].delta.packets, via_scenario[0].delta.packets);
+  EXPECT_EQ(via_tb[0].delta.cycles, via_scenario[0].delta.cycles);
+  EXPECT_EQ(via_tb[0].seconds, via_scenario[0].seconds);
+}
+
+}  // namespace
+}  // namespace pp::core
