@@ -278,7 +278,16 @@ void RedundancyElim::encode_one(click::Context& cx, net::PacketBuf* p,
 
 void RedundancyElim::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   (void)port;
-  encode_one(cx, p, nullptr);
+  if (cx.core.memory().payload_model_active()) {
+    // SimFidelity::kStreamed: stage the per-packet streaming charges into
+    // the same burst the batch path uses, so the stream model serves the
+    // payload traffic at any batch size.
+    burst_.clear();
+    encode_one(cx, p, &burst_);
+    burst_.flush(cx.core);
+  } else {
+    encode_one(cx, p, nullptr);
+  }
   output(cx, 0, p);
 }
 
@@ -347,7 +356,16 @@ void VpnEncrypt::encrypt_one(click::Context& cx, net::PacketBuf* p, sim::StreamB
 
 void VpnEncrypt::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   (void)port;
-  encrypt_one(cx, p, nullptr, nullptr);
+  if (cx.core.memory().payload_model_active()) {
+    // SimFidelity::kStreamed: see RedundancyElim::do_push.
+    burst_.clear();
+    std::uint64_t instr = 0;
+    encrypt_one(cx, p, &burst_, &instr);
+    if (instr > 0) cx.core.compute(instr);
+    burst_.flush(cx.core);
+  } else {
+    encrypt_one(cx, p, nullptr, nullptr);
+  }
   output(cx, 0, p);
 }
 
@@ -410,8 +428,10 @@ void SynProcessor::do_push(click::Context& cx, int port, net::PacketBuf* p) {
   for (std::uint64_t i = 0; i < reads; ++i) {
     addr_scratch_[i] = table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count())));
   }
-  cx.core.access_many(addr_scratch_.data(), reads, sim::AccessType::kRead,
-                      /*dependent=*/false);
+  // stream_burst == access_many(..., dependent=false) outside the streamed
+  // tier; under SIM_FIDELITY=streamed these independent uniform probes are
+  // served by the per-burst stream model (no per-line recency to lose).
+  cx.core.stream_burst(addr_scratch_.data(), reads, sim::AccessType::kRead);
   output(cx, 0, p);
 }
 
@@ -440,8 +460,7 @@ void SynProcessor::do_push_batch(click::Context& cx, int port, net::PacketBuf** 
           table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count()))));
     }
   }
-  cx.core.access_many(addr_scratch_.data(), addr_scratch_.size(), sim::AccessType::kRead,
-                      /*dependent=*/false);
+  cx.core.stream_burst(addr_scratch_.data(), addr_scratch_.size(), sim::AccessType::kRead);
   output_batch(cx, 0, ps, n);
 }
 
@@ -474,8 +493,8 @@ void SynSource::run_once(click::Context& cx) {
   for (std::uint64_t i = 0; i < reads_; ++i) {
     addr_scratch_[i] = table_.at(rng_.bounded(static_cast<std::uint32_t>(table_.count())));
   }
-  cx.core.access_many(addr_scratch_.data(), reads_, sim::AccessType::kRead,
-                      /*dependent=*/false);
+  // See SynProcessor::do_push for why this is stream_burst.
+  cx.core.stream_burst(addr_scratch_.data(), reads_, sim::AccessType::kRead);
   cx.core.count_packet();  // one work unit ("batch") for throughput accounting
 }
 

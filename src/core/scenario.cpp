@@ -88,6 +88,7 @@ void hash_machine(KeyHasher& h, const sim::MachineConfig& m) {
   h.i32(m.mlp);
   h.u64(static_cast<std::uint64_t>(m.fidelity));
   h.u32(m.sample_period);
+  h.u32(m.sample_period_max);
   h.u64(m.sample_seed);
 }
 
@@ -117,6 +118,7 @@ ScenarioKey scenario_key(const Scenario& s) {
     h.u64(f.syn.instr);
     h.u64(f.syn.table_mb);
     h.u64(f.seed);
+    h.i32(f.batch);
   }
   h.u64(s.placement.size());
   for (const FlowPlacement& p : s.placement) {

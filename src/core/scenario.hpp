@@ -53,7 +53,9 @@ struct ScenarioKey {
 /// Version of the scenario-key schema AND the persisted result format. Bump
 /// whenever the simulator's observable behavior, the key derivation, or the
 /// JSON layout changes; stale cache files are then ignored and rewritten.
-inline constexpr int kScenarioSchemaVersion = 1;
+/// v2: SimFidelity::kStreamed + adaptive sampling period
+/// (MachineConfig::sample_period_max) + FlowSpec::batch entered the key.
+inline constexpr int kScenarioSchemaVersion = 2;
 
 [[nodiscard]] ScenarioKey scenario_key(const Scenario& s);
 

@@ -18,10 +18,18 @@
 namespace pp::core {
 
 /// Simulation fidelity requested via the SIM_FIDELITY environment variable
-/// ("sampled" selects sim::SimFidelity::kSampled; anything else, including
-/// unset, is the exact default). The Testbed applies this to its machine
-/// config so every bench/driver honors it without plumbing.
+/// ("sampled" selects sim::SimFidelity::kSampled, "streamed" the
+/// payload-streaming tier sim::SimFidelity::kStreamed; anything else,
+/// including unset, is the exact default). The Testbed applies this to its
+/// machine config so every bench/driver honors it without plumbing.
 [[nodiscard]] sim::SimFidelity fidelity_from_env();
+
+/// Adaptive sampling-period ceiling (MachineConfig::sample_period_max) from
+/// the SIM_SAMPLE_PERIOD_MAX environment variable. Defaults: the base
+/// period (widening off) for exact/sampled fidelity, 16 for the streamed
+/// tier. Invalid values are ignored.
+[[nodiscard]] std::uint32_t sample_period_max_from_env(sim::SimFidelity fidelity,
+                                                       std::uint32_t sample_period);
 
 /// Where a flow runs and where its data lives. data_domain = -1 means
 /// NUMA-local (the paper's normal rule, Section 2.2); the Figure 3

@@ -49,11 +49,16 @@ WorkloadSizes WorkloadSizes::for_scale(Scale s) {
   return z;
 }
 
-std::string flow_config_text(FlowType t, const WorkloadSizes& z, std::uint64_t seed) {
+std::string flow_config_text(FlowType t, const WorkloadSizes& z, std::uint64_t seed,
+                             int batch) {
+  // batch == 1 emits the historical text byte-for-byte (BATCH 1 is the
+  // parser default), so existing goldens and cache keys derived from the
+  // text are unaffected.
+  const std::string batch_arg = batch > 1 ? strformat(", BATCH %d", batch) : std::string();
   const std::string src64 =
-      strformat("FromDevice(FLOWPOOL, BYTES %u, POOL %llu, SEED %llu)", z.small_packet,
+      strformat("FromDevice(FLOWPOOL, BYTES %u, POOL %llu, SEED %llu%s)", z.small_packet,
                 static_cast<unsigned long long>(z.flow_pool),
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed), batch_arg.c_str());
   const std::string lookup = strformat("RadixIPLookup(PREFIXES %llu, SEED %llu)",
                                        static_cast<unsigned long long>(z.prefixes),
                                        static_cast<unsigned long long>(seed ^ 0xA5A5));
@@ -64,8 +69,8 @@ std::string flow_config_text(FlowType t, const WorkloadSizes& z, std::uint64_t s
     case FlowType::kIp:
       // The paper's IP input: fully random destinations.
       return strformat(
-                 "src :: FromDevice(RANDOM, BYTES %u, SEED %llu);\n", z.small_packet,
-                 static_cast<unsigned long long>(seed)) +
+                 "src :: FromDevice(RANDOM, BYTES %u, SEED %llu%s);\n", z.small_packet,
+                 static_cast<unsigned long long>(seed), batch_arg.c_str()) +
              "check :: CheckIPHeader;\n"
              "lookup :: " + lookup + ";\n"
              "ttl :: DecIPTTL;\n"
@@ -92,8 +97,9 @@ std::string flow_config_text(FlowType t, const WorkloadSizes& z, std::uint64_t s
              "src -> check -> lookup -> stats -> fw -> ttl -> out;\n"
              "fw [1] -> Discard;\n";
     case FlowType::kRe:
-      return strformat("src :: FromDevice(CONTENT, BYTES %u, SEED %llu, RED 0.0);\n",
-                       z.re_packet, static_cast<unsigned long long>(seed)) +
+      return strformat("src :: FromDevice(CONTENT, BYTES %u, SEED %llu, RED 0.0%s);\n",
+                       z.re_packet, static_cast<unsigned long long>(seed),
+                       batch_arg.c_str()) +
              "check :: CheckIPHeader;\n"
              "lookup :: " + lookup + ";\n"
              "stats :: " + stats + ";\n" +
@@ -104,9 +110,9 @@ std::string flow_config_text(FlowType t, const WorkloadSizes& z, std::uint64_t s
              "out :: ToDevice;\n"
              "src -> check -> lookup -> stats -> re -> ttl -> out;\n";
     case FlowType::kVpn:
-      return strformat("src :: FromDevice(FLOWPOOL, BYTES %u, POOL %llu, SEED %llu);\n",
+      return strformat("src :: FromDevice(FLOWPOOL, BYTES %u, POOL %llu, SEED %llu%s);\n",
                        z.vpn_packet, static_cast<unsigned long long>(z.flow_pool),
-                       static_cast<unsigned long long>(seed)) +
+                       static_cast<unsigned long long>(seed), batch_arg.c_str()) +
              "check :: CheckIPHeader;\n"
              "lookup :: " + lookup + ";\n"
              "stats :: " + stats + ";\n"
@@ -132,7 +138,8 @@ std::optional<std::string> build_flow(click::Router& router, const FlowSpec& spe
                 strformat("TABLE_MB %llu", static_cast<unsigned long long>(p.table_mb))});
     return std::nullopt;
   }
-  return click::parse_config(flow_config_text(spec.type, z, spec.seed), registry, router);
+  return click::parse_config(flow_config_text(spec.type, z, spec.seed, spec.batch), registry,
+                             router);
 }
 
 const click::Registry& default_registry() {

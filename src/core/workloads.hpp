@@ -53,11 +53,15 @@ struct WorkloadSizes {
   [[nodiscard]] static WorkloadSizes for_scale(Scale s);
 };
 
-/// One flow to run: its type, optional synthetic override, and input seed.
+/// One flow to run: its type, optional synthetic override, input seed, and
+/// driver burst size.
 struct FlowSpec {
   FlowType type = FlowType::kIp;
   SynParams syn;  // used by kSyn/kSynMax
   std::uint64_t seed = 1;
+  /// FromDevice burst size (BATCH driver arg; 1 = per-packet execution,
+  /// bit-identical to the pre-batching platform). Ignored by kSyn/kSynMax.
+  int batch = 1;
 
   [[nodiscard]] static FlowSpec of(FlowType t, std::uint64_t seed = 1) {
     FlowSpec s;
@@ -81,9 +85,11 @@ struct FlowSpec {
                                                     const click::Registry& registry);
 
 /// The same chain, as configuration-language text (exercised by tests and
-/// the quickstart example to demonstrate the DSL path).
+/// the quickstart example to demonstrate the DSL path). `batch` > 1 adds a
+/// BATCH driver arg to the source; the default emits the historical text
+/// unchanged.
 [[nodiscard]] std::string flow_config_text(FlowType t, const WorkloadSizes& sizes,
-                                           std::uint64_t seed);
+                                           std::uint64_t seed, int batch = 1);
 
 /// A registry with all standard + application elements registered.
 [[nodiscard]] const click::Registry& default_registry();

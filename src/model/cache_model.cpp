@@ -57,7 +57,8 @@ void SetSampleEstimator::rebuild(Cell& c) {
   c.since_rebuild = 0;
 }
 
-void SetSampleEstimator::observe(int core, std::uint32_t bucket, int level, bool xcore) {
+void SetSampleEstimator::observe(int core, std::uint32_t bucket, int level, bool xcore,
+                                 bool widen_eligible) {
   Cell& c = cell(core, bucket);
   c.n[static_cast<std::size_t>(level)] += 1;
   if (xcore) c.xcore += 1;
@@ -70,6 +71,76 @@ void SetSampleEstimator::observe(int core, std::uint32_t bucket, int level, bool
     if (c.rebuild_interval < kRebuildEvery) c.rebuild_interval *= 2;
     rebuild(c);
   }
+  if (max_shift_ != 0 && widen_eligible && level != kL1Hit) {
+    BucketConf& b = conf_[bucket];
+    b.n[static_cast<std::size_t>(level - 1)] += 1;
+    if (b.n[0] + b.n[1] + b.n[2] >= kConfDecayAt) {
+      for (std::uint64_t& v : b.n) v = (v + 1) / 2;
+    }
+    if (++b.since_eval >= kConfEvalEvery) {
+      b.since_eval = 0;
+      evaluate_confidence(b);
+    }
+  }
+}
+
+void SetSampleEstimator::enable_adaptive(std::uint32_t max_shift) { max_shift_ = max_shift; }
+
+void SetSampleEstimator::evaluate_confidence(BucketConf& b) {
+  const std::uint64_t n = b.n[0] + b.n[1] + b.n[2];
+  if (n < kConfMinObs) return;
+  // Current split in 16-bit fixed point, and drift vs the reference
+  // recorded when the bucket last widened.
+  std::uint16_t p16[3];
+  for (int i = 0; i < 3; ++i) {
+    p16[i] = static_cast<std::uint16_t>((b.n[static_cast<std::size_t>(i)] << 16U) / n);
+  }
+  if (!b.has_ref) {
+    // First confident window: record the baseline the stability streak is
+    // measured against.
+    b.has_ref = true;
+    b.streak = 0;
+    for (int i = 0; i < 3; ++i) b.ref[i] = p16[i];
+    return;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t d = p16[i] > b.ref[i] ? std::uint32_t{p16[i]} - b.ref[i]
+                                              : std::uint32_t{b.ref[i]} - p16[i];
+    if (d > kDriftTol16) {
+      // Phase change (a cold-start ramp, a competitor ramping): the split
+      // the bucket converged on no longer holds. Deliberately HOLD the
+      // current period rather than narrowing: re-tracking residue classes
+      // whose sets went stale after widening would replay a
+      // compulsory-miss refill storm that poisons both the latency account
+      // and the calibration (measured as an oscillating 2-3x miss
+      // inflation). The per-(core, bucket) cells keep re-calibrating
+      // online from the still-tracked sample — the same mechanism that
+      // tracks phase changes at the base period — and the refreshed
+      // reference demands a full new stability streak before any further
+      // widening.
+      for (int j = 0; j < 3; ++j) b.ref[j] = p16[j];
+      b.streak = 0;
+      drift_events_ += 1;
+      return;
+    }
+  }
+  if (b.shift >= max_shift_) return;
+  // Widen only when every level probability carries a tight CI:
+  // 2 * sqrt(p(1-p)/n) < kCiTol  <=>  4 * ni * (n - ni) * kCiTolInvSq < n^3.
+  const std::uint64_t n3 = n * n * n;
+  for (const std::uint64_t ni : b.n) {
+    if (4 * ni * (n - ni) * kCiTolInvSq >= n3) return;
+  }
+  // ... and only after the split has held stable AND confident for
+  // kStableStreak consecutive evaluation windows. A monotone ramp whose
+  // per-window steps stay under kDriftTol (a slowly warming structure)
+  // accumulates drift events instead of a streak, so transients never
+  // widen; only a genuinely converged phase does.
+  if (++b.streak < kStableStreak) return;
+  b.shift += 1;
+  b.streak = 0;
+  widen_events_ += 1;
+  for (int i = 0; i < 3; ++i) b.ref[i] = p16[i];
 }
 
 void SetSampleEstimator::reset_counts() {
@@ -77,6 +148,7 @@ void SetSampleEstimator::reset_counts() {
     c = Cell{};
     rebuild(c);
   }
+  for (BucketConf& b : conf_) b = BucketConf{};
 }
 
 void SetSampleEstimator::observe_writeback(int core, std::uint32_t bucket) {

@@ -85,8 +85,12 @@ class SetSampleEstimator {
   SetSampleEstimator(int cores, std::uint64_t seed);
 
   /// Record the outcome of one exactly-replayed access by `core` to a line
-  /// in `bucket` (see bucket_of).
-  void observe(int core, std::uint32_t bucket, int level, bool xcore);
+  /// in `bucket` (see bucket_of). `widen_eligible` marks observations from
+  /// allocations large enough for adaptive widening (MemorySystem applies
+  /// the size gate); ineligible observations calibrate the cell but never
+  /// feed the widening confidence.
+  void observe(int core, std::uint32_t bucket, int level, bool xcore,
+               bool widen_eligible = true);
 
   /// Record a dirty writeback caused by a replayed demand miss of `core`.
   void observe_writeback(int core, std::uint32_t bucket);
@@ -106,11 +110,49 @@ class SetSampleEstimator {
   /// Drop all calibration back to the prior (keeps the RNG streams). Used
   /// between artificial phases — the serial prewarm pass streams every
   /// structure once, which is a pure compulsory-miss signal that badly
-  /// misrepresents steady state.
+  /// misrepresents steady state. Adaptive-period confidence resets too:
+  /// widened allocations fall back to the base period and re-converge.
   void reset_counts();
 
   /// Current estimate of P(level) for a (core, bucket) cell (tests).
   [[nodiscard]] double level_probability(int core, std::uint32_t bucket, int level) const;
+
+  // --- adaptive sampling period (MachineConfig::sample_period_max) --------
+  //
+  // Calibration confidence is tracked per *allocation* (bucket), aggregated
+  // across cores: the replayed-residue decision must be a pure function of
+  // the line address at any instant — per-core decisions would let one core
+  // replay a shared-L3 set that another core models — so the widening state
+  // cannot live in the per-(core, bucket) cells that serve the draws. A
+  // bucket widens one step (its effective period doubles, up to
+  // base << max_shift) each time every level probability of its aggregated
+  // tracked split carries a tight confidence interval (Wald half-width
+  // < kCiTol at >= kConfMinObs decayed observations) AND the split has held
+  // stable (within kDriftTol absolute) since the reference recorded at the
+  // last widening. Widening is monotone between calibration resets: a
+  // detected drift (a competitor ramping up, a phase change) holds the
+  // period and rebases the reference instead of narrowing, because
+  // re-tracking residue classes whose sets went stale would replay a
+  // compulsory-miss refill storm (measured: oscillating 2-3x miss
+  // inflation). The per-cell online calibration carries phase tracking, as
+  // it does at the base period. All arithmetic is integer fixed-point:
+  // bit-reproducible.
+
+  /// Enable widening up to `max_shift` doublings (0 = disabled, the default).
+  void enable_adaptive(std::uint32_t max_shift);
+
+  /// Extra period doublings currently granted to `bucket` (0 when adaptive
+  /// widening is disabled or the bucket has not converged).
+  [[nodiscard]] std::uint32_t period_shift(std::uint32_t bucket) const {
+    return conf_[bucket].shift;
+  }
+
+  /// Lifetime adaptive transitions (diagnostic/test use): period widenings
+  /// granted, and confident-window drift detections (which hold the period
+  /// and rebase the stability reference; see evaluate_confidence for why
+  /// drift never narrows mid-run).
+  [[nodiscard]] std::uint64_t widen_events() const { return widen_events_; }
+  [[nodiscard]] std::uint64_t drift_events() const { return drift_events_; }
 
   static constexpr std::uint32_t kBuckets = 128;
 
@@ -143,13 +185,42 @@ class SetSampleEstimator {
     std::uint64_t t_wb = 0;
   };
 
+  /// Confidence state of one bucket's cross-core aggregated tracked split.
+  struct BucketConf {
+    std::uint64_t n[3] = {0, 0, 0};  // L2 hit / L3 hit / miss tracked counts
+    std::uint32_t since_eval = 0;
+    std::uint32_t shift = 0;         // extra period doublings granted
+    std::uint32_t streak = 0;        // consecutive stable+confident windows
+    bool has_ref = false;
+    std::uint16_t ref[3] = {0, 0, 0};  // split at last stability rebase, 16-bit fixed point
+  };
+
+  /// Confidence-window tuning. kConfDecayAt bounds the window (so the CI
+  /// follows phase changes), kCiTol is the Wald half-width every level must
+  /// beat to widen (z = 2), kDriftTol the absolute drift that narrows.
+  static constexpr std::uint64_t kConfDecayAt = 1ULL << 12;
+  static constexpr std::uint32_t kConfEvalEvery = 256;
+  static constexpr std::uint64_t kConfMinObs = 512;
+  // kCiTol = 0.025: require 4 * p(1-p) / n < kCiTol^2, in integers:
+  // 4 * ni * (n - ni) * kCiTolInvSq < n^3  with kCiTolInvSq = 1/0.025^2.
+  static constexpr std::uint64_t kCiTolInvSq = 1600;
+  // 0.05 in 16-bit fixed point: drift beyond this HOLDS the period and
+  // rebases the stability reference (never narrows; see evaluate_confidence).
+  static constexpr std::uint32_t kDriftTol16 = 3277;
+  static constexpr std::uint32_t kStableStreak = 4;   // windows before each widening
+
   void rebuild(Cell& c);
+  void evaluate_confidence(BucketConf& b);
   [[nodiscard]] Cell& cell(int core, std::uint32_t bucket) {
     return cells_[static_cast<std::size_t>(core) * kBuckets + bucket];
   }
 
   std::vector<Cell> cells_;  // cores * kBuckets
   std::vector<Pcg32> rng_;   // one independent stream per core
+  std::vector<BucketConf> conf_ = std::vector<BucketConf>(kBuckets);
+  std::uint32_t max_shift_ = 0;  // 0 = adaptive widening disabled
+  std::uint64_t widen_events_ = 0;
+  std::uint64_t drift_events_ = 0;
 };
 
 }  // namespace pp::model

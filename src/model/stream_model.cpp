@@ -1,0 +1,86 @@
+#include "model/stream_model.hpp"
+
+#include "base/check.hpp"
+
+namespace pp::model {
+
+StreamModel::StreamModel(int cores, std::uint64_t seed) {
+  PP_CHECK(cores >= 1);
+  cells_.resize(static_cast<std::size_t>(cores) * kBuckets);
+  for (Cell& c : cells_) rebuild(c);
+  // Distinct stream family from SetSampleEstimator's (which seeds directly
+  // from `seed`): the two models must not replay each other's draws.
+  std::uint64_t s = seed ^ 0x94d049bb133111ebULL;
+  rng_.reserve(static_cast<std::size_t>(cores));
+  for (int i = 0; i < cores; ++i) {
+    const std::uint64_t a = splitmix64(s);
+    const std::uint64_t b = splitmix64(s);
+    rng_.emplace_back(a, b);
+  }
+}
+
+void StreamModel::rebuild(Cell& c) {
+  const std::uint64_t total = c.n[0] + c.n[1] + c.n[2] + c.n[3];
+  c.t[0] = (c.n[kL1Hit] << 32U) / total;
+  c.t[1] = ((c.n[kL1Hit] + c.n[kL2Hit]) << 32U) / total;
+  c.t[2] = ((c.n[kL1Hit] + c.n[kL2Hit] + c.n[kL3Hit]) << 32U) / total;
+  c.t_xcore = c.n[kL3Hit] > 0 ? (c.xcore << 32U) / c.n[kL3Hit] : 0;
+  c.t_wb = c.n[kMiss] > 0 ? (c.wb << 32U) / c.n[kMiss] : 0;
+  c.since_rebuild = 0;
+}
+
+void StreamModel::observe(int core, std::uint32_t bucket, int level, bool xcore) {
+  Cell& c = cell(core, bucket);
+  c.n[static_cast<std::size_t>(level)] += 1;
+  if (xcore) c.xcore += 1;
+  if (c.n[0] + c.n[1] + c.n[2] + c.n[3] >= kDecayAt) {
+    for (std::uint64_t& v : c.n) v = (v + 1) / 2;
+    c.xcore = (c.xcore + 1) / 2;
+    c.wb = (c.wb + 1) / 2;
+  }
+  if (++c.since_rebuild >= c.rebuild_interval) {
+    if (c.rebuild_interval < kRebuildEvery) c.rebuild_interval *= 2;
+    rebuild(c);
+  }
+}
+
+void StreamModel::observe_writeback(int core, std::uint32_t bucket) {
+  Cell& c = cell(core, bucket);
+  if (c.wb < c.n[kMiss]) c.wb += 1;  // a writeback accompanies a miss
+}
+
+StreamModel::Split StreamModel::split(int core, std::uint32_t bucket, std::uint64_t k) {
+  Split s;
+  if (k == 0) return s;
+  Cell& c = cell(core, bucket);
+  Pcg32& rng = rng_[static_cast<std::size_t>(core)];
+  // Systematic sampling: cumulative expected counts k*T[i]/2^32, each
+  // floor-rounded with the same uniform offset u, preserve ordering and
+  // total and are unbiased over bursts.
+  const std::uint64_t u = rng.next();
+  const std::uint64_t c1 = (k * c.t[0] + u) >> 32U;
+  const std::uint64_t c2 = (k * c.t[1] + u) >> 32U;
+  const std::uint64_t c3 = (k * c.t[2] + u) >> 32U;
+  s.l1 = c1;
+  s.l2 = c2 - c1;
+  s.l3 = c3 - c2;
+  s.miss = k - c3;
+  if (s.l3 > 0) s.xcore = (s.l3 * c.t_xcore + static_cast<std::uint64_t>(rng.next())) >> 32U;
+  if (s.miss > 0) s.wb = (s.miss * c.t_wb + static_cast<std::uint64_t>(rng.next())) >> 32U;
+  return s;
+}
+
+void StreamModel::reset_counts() {
+  for (Cell& c : cells_) {
+    c = Cell{};
+    rebuild(c);
+  }
+}
+
+double StreamModel::level_probability(int core, std::uint32_t bucket, int level) const {
+  const Cell& c = cells_[static_cast<std::size_t>(core) * kBuckets + bucket];
+  const double total = static_cast<double>(c.n[0] + c.n[1] + c.n[2] + c.n[3]);
+  return static_cast<double>(c.n[static_cast<std::size_t>(level)]) / total;
+}
+
+}  // namespace pp::model

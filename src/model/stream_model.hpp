@@ -1,0 +1,104 @@
+// Statistical model of payload-streaming bursts (SimFidelity::kStreamed).
+//
+// Payload traffic — RE store appends and match verification, AES table
+// residency and payload write-back — is issued by the apps as
+// sim::StreamBurst bursts of independent line touches over a handful of
+// allocations. Under kStreamed the memory system replays only the tracked
+// residue class (and every pinned line) of such a burst exactly, and serves
+// the rest *per burst*: one calibrated level-split draw per (allocation,
+// burst) group instead of one tag-store walk per line.
+//
+// Unlike SetSampleEstimator (which backs the per-access sampled path and
+// never sees L1 outcomes because the L1 replays exactly for every access),
+// the stream model owns the full split including the L1: skipping the
+// per-line L1 replay is exactly where the streamed tier's speedup comes
+// from, and streaming traffic is the one access class for which that is
+// statistically safe — payload lines are touched once and carry no per-line
+// recency worth replaying (the structural argument that forced exact L1
+// replay in the sampled tier does not apply).
+//
+// Determinism: cells are plain counters; draws use systematic sampling —
+// cumulative expected counts floor-rounded against a single per-burst
+// uniform offset — so a fixed sample_seed reproduces every burst split
+// bit-identically, and the rounding error per burst is < 1 line per level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace pp::model {
+
+class StreamModel {
+ public:
+  /// Outcome levels of one streamed line, in hierarchy order.
+  enum Level : int { kL1Hit = 0, kL2Hit = 1, kL3Hit = 2, kMiss = 3 };
+
+  /// Level-split of one modeled burst group of k lines:
+  /// l1 + l2 + l3 + miss == k, xcore <= l3, wb <= miss.
+  struct Split {
+    std::uint64_t l1 = 0;
+    std::uint64_t l2 = 0;
+    std::uint64_t l3 = 0;
+    std::uint64_t miss = 0;
+    std::uint64_t xcore = 0;  // L3 hits served by a dirty sibling line
+    std::uint64_t wb = 0;     // misses whose eviction posts a writeback
+  };
+
+  StreamModel(int cores, std::uint64_t seed);
+
+  /// Record the outcome of one exactly-replayed streamed line (a tracked
+  /// residue-class line of a burst) by `core` in `bucket`.
+  void observe(int core, std::uint32_t bucket, int level, bool xcore);
+
+  /// Record a dirty writeback caused by a replayed streamed miss of `core`
+  /// (fed from the eviction path, like SetSampleEstimator's).
+  void observe_writeback(int core, std::uint32_t bucket);
+
+  /// Draw the level split for `k` modeled lines of one burst group.
+  [[nodiscard]] Split split(int core, std::uint32_t bucket, std::uint64_t k);
+
+  /// Drop calibration back to the prior (keeps the RNG streams); called with
+  /// the link-backlog/estimator resets after the artificial prewarm phase.
+  void reset_counts();
+
+  /// Current estimate of P(level) for a (core, bucket) cell (tests).
+  [[nodiscard]] double level_probability(int core, std::uint32_t bucket, int level) const;
+
+  /// Shares SetSampleEstimator's bucket space (one cell per allocation).
+  static constexpr std::uint32_t kBuckets = 128;
+
+ private:
+  /// ~1k-observation decay window and adaptive threshold-rebuild cadence,
+  /// mirroring SetSampleEstimator: the model follows phase changes instead
+  /// of averaging the run, and the first draws already reflect the first
+  /// replayed burst lines.
+  static constexpr std::uint64_t kDecayAt = 1ULL << 10;
+  static constexpr std::uint32_t kRebuildEvery = 64;
+
+  struct Cell {
+    // Outcome counts over all four levels, seeded with a minimal uniform
+    // prior that washes out after a handful of tracked lines.
+    std::uint64_t n[4] = {1, 1, 1, 1};
+    std::uint64_t xcore = 0;  // among kL3Hit outcomes
+    std::uint64_t wb = 0;     // among kMiss outcomes
+    std::uint32_t since_rebuild = 0;
+    std::uint32_t rebuild_interval = 1;
+    // Cumulative level thresholds scaled to 2^32: T[0] = P(L1),
+    // T[1] = P(L1)+P(L2), T[2] = P(L1)+P(L2)+P(L3).
+    std::uint64_t t[3] = {0, 0, 0};
+    std::uint64_t t_xcore = 0;
+    std::uint64_t t_wb = 0;
+  };
+
+  void rebuild(Cell& c);
+  [[nodiscard]] Cell& cell(int core, std::uint32_t bucket) {
+    return cells_[static_cast<std::size_t>(core) * kBuckets + bucket];
+  }
+
+  std::vector<Cell> cells_;  // cores * kBuckets
+  std::vector<Pcg32> rng_;   // one independent stream per core
+};
+
+}  // namespace pp::model

@@ -24,7 +24,7 @@ Addr AddressSpace::alloc(std::size_t bytes, int domain, std::size_t align) {
   // Record the allocation boundary (sorted by start line; domains allocate
   // interleaved, so insert in place). Allocation count per machine is tens,
   // so the linear insert is irrelevant.
-  AllocMark mark{line_of(addr), next_alloc_id_++};
+  AllocMark mark{line_of(addr), line_of(addr + bytes - 1), next_alloc_id_++};
   auto it = allocs_.begin();
   while (it != allocs_.end() && it->start_line < mark.start_line) ++it;
   allocs_.insert(it, mark);
@@ -53,6 +53,9 @@ AddressSpace::LineClass AddressSpace::classify_line(Addr line, std::uint32_t mod
   if (lo > 0) {
     c.first = allocs_[lo - 1].start_line;
     c.bucket = allocs_[lo - 1].id % modulo;
+    if (line <= allocs_[lo - 1].end_line) {
+      c.alloc_lines = allocs_[lo - 1].end_line - allocs_[lo - 1].start_line + 1;
+    }
   }
   c.pinned = is_pinned_line(line);
   return c;

@@ -73,6 +73,11 @@ class AddressSpace {
     Addr last = 0;
     std::uint32_t bucket = 0;
     bool pinned = false;
+    /// True size of the owning allocation in lines (0 when the line falls
+    /// outside every allocation's actual bytes). NOT the memo span above:
+    /// `last` extends to the next allocation (or the end of the address
+    /// space), which only bounds the memoization range.
+    std::uint64_t alloc_lines = 0;
   };
   [[nodiscard]] LineClass classify_line(Addr line, std::uint32_t modulo) const;
 
@@ -87,6 +92,7 @@ class AddressSpace {
 
   struct AllocMark {
     Addr start_line = 0;
+    Addr end_line = 0;     // last line of the allocation's own bytes (incl.)
     std::uint32_t id = 0;  // allocation counter at alloc() time
   };
 

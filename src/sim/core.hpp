@@ -93,6 +93,29 @@ class Core {
     finish_burst(b, n);
   }
 
+  /// A burst of independent payload-streaming touches (StreamBurst::flush).
+  /// Identical to `access_many(addrs, n, t, /*dependent=*/false)` except
+  /// under SimFidelity::kStreamed, where the burst is served by the
+  /// calibrated per-burst stream model (see MemorySystem::stream_burst)
+  /// instead of per-line replay.
+  void stream_burst(const Addr* addrs, std::size_t n, AccessType t) {
+    if (n == 0) return;
+    if (!ms_->payload_model_active()) {
+      access_many(addrs, n, t, /*dependent=*/false);
+      return;
+    }
+    const MemorySystem::StreamOutcome out = ms_->stream_burst(id_, addrs, n, t, now_);
+    now_ += out.cycles;
+    ctr_.cycles += out.cycles;
+    ctr_.instructions += n;
+    out.delta.apply(ctr_);
+    if (attr_ != nullptr) {
+      attr_->cycles += out.cycles;
+      attr_->instructions += n;
+      out.delta.apply(*attr_);
+    }
+  }
+
   /// Touch every line of [base, base+bytes); sequential buffer walks
   /// (packet payload, rule arrays) are independent accesses by default
   /// (hardware prefetchers and OoO execution overlap them).
@@ -234,8 +257,8 @@ class StreamBurst {
   }
 
   void flush(Core& core) {
-    core.access_many(reads_.data(), reads_.size(), AccessType::kRead, /*dependent=*/false);
-    core.access_many(writes_.data(), writes_.size(), AccessType::kWrite, /*dependent=*/false);
+    core.stream_burst(reads_.data(), reads_.size(), AccessType::kRead);
+    core.stream_burst(writes_.data(), writes_.size(), AccessType::kWrite);
     clear();
   }
   void clear() {

@@ -18,7 +18,7 @@ MemorySystem::MemorySystem(const MachineConfig& cfg) : cfg_(cfg) {
     qpi_.push_back(std::make_unique<QueuedLink>(cfg_.qpi_lanes, cfg_.qpi_service));
   }
 
-  if (cfg_.fidelity == SimFidelity::kSampled) {
+  if (cfg_.fidelity != SimFidelity::kExact) {
     const std::uint32_t p = cfg_.sample_period;
     PP_CHECK(p >= 2 && p <= 64 && (p & (p - 1)) == 0);
     // The residue bits must be set-index bits at every level so that a set
@@ -27,8 +27,24 @@ MemorySystem::MemorySystem(const MachineConfig& cfg) : cfg_(cfg) {
     sampling_ = true;
     l3_sets_ = cfg_.l3.num_sets();
     sample_mask_ = p - 1;
-    tracked_residues_ = 1ULL << (cfg_.sample_seed % p);
+    tracked_residue_ = cfg_.sample_seed % p;
+    tracked_residues_ = 1ULL << tracked_residue_;
     est_ = std::make_unique<model::SetSampleEstimator>(cores, cfg_.sample_seed);
+    const std::uint32_t pmax = cfg_.sample_period_max;
+    if (pmax > p) {
+      // Adaptive widening: the ceiling must be a valid period itself, and
+      // its residue bits must still be set-index bits at every level.
+      PP_CHECK(pmax <= 64 && (pmax & (pmax - 1)) == 0);
+      PP_CHECK(pmax <= cfg_.l1.num_sets() && pmax <= cfg_.l2.num_sets() &&
+               pmax <= cfg_.l3.num_sets());
+      adaptive_ = true;
+      std::uint32_t shift = 0;
+      while ((p << shift) < pmax) ++shift;
+      est_->enable_adaptive(shift);
+    }
+    if (cfg_.fidelity == SimFidelity::kStreamed) {
+      stream_ = std::make_unique<model::StreamModel>(cores, cfg_.sample_seed);
+    }
     pending_binv_.assign(static_cast<std::size_t>(cores), 0);
     class_memo_.assign(static_cast<std::size_t>(cores), AddressSpace::LineClass{});
     std::uint64_t s = cfg_.sample_seed ^ 0x9e3779b97f4a7c15ULL;
@@ -60,42 +76,46 @@ QueuedLink& MemorySystem::qpi(int from_socket, int to_socket) {
                static_cast<std::size_t>(to_socket)];
 }
 
+AddressSpace::LineClass& MemorySystem::classify(int core, Addr line) {
+  const std::uint64_t ver =
+      pins_->pin_version() + (static_cast<std::uint64_t>(pins_->alloc_count()) << 32);
+  if (ver != memo_version_) {
+    memo_version_ = ver;
+    for (AddressSpace::LineClass& m : class_memo_) m = AddressSpace::LineClass{};
+  }
+  AddressSpace::LineClass& m = class_memo_[static_cast<std::size_t>(core)];
+  if (line < m.first || line > m.last) {
+    m = pins_->classify_line(line, model::SetSampleEstimator::kBuckets);
+  }
+  return m;
+}
+
 MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type, Cycles now) {
   if (!sampling_) return access_exact(core, addr, type, now, /*calibrate=*/false);
 
   const Addr line = line_of(addr);
-  const bool in_residue = ((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0;
 
-  // Per-core memoized line classification: consecutive accesses almost
-  // always stay within one structure, so the alloc/pin binary searches are
-  // paid only on structure changes.
   bool pinned = false;
+  bool eligible = true;
   std::uint32_t bucket = 0;
   if (pins_ != nullptr) {
-    const std::uint64_t ver =
-        pins_->pin_version() + (static_cast<std::uint64_t>(pins_->alloc_count()) << 32);
-    if (ver != memo_version_) {
-      memo_version_ = ver;
-      for (AddressSpace::LineClass& m : class_memo_) m = AddressSpace::LineClass{};
-    }
-    AddressSpace::LineClass& m = class_memo_[static_cast<std::size_t>(core)];
-    if (line < m.first || line > m.last) {
-      m = pins_->classify_line(line, model::SetSampleEstimator::kBuckets);
-    }
+    const AddressSpace::LineClass& m = classify(core, line);
     pinned = m.pinned;
+    eligible = widen_eligible(m);
     bucket = m.bucket;
   } else {
     bucket = model::SetSampleEstimator::bucket_of(line);
   }
+  const bool tracked = tracked_line(line, bucket, eligible);
 
-  if (!in_residue && !pinned) return model_access(core, line, type, now, bucket);
+  if (!tracked && !pinned) return model_access(core, line, type, now, bucket);
 
   // Calibration sample = the residue class MINUS the pinned ranges: exactly
   // a 1/period unbiased sample of the population the model serves. Pinned
   // lines are replayed at full weight and have their own (descriptor/pool,
   // L1-heavy) access mix — letting them into the estimator would swamp the
   // sampled structures sharing their buckets.
-  if (!in_residue) return access_exact(core, addr, type, now, /*calibrate=*/false);
+  if (!tracked) return access_exact(core, addr, type, now, /*calibrate=*/false);
   const bool calibrate = !pinned;
   const Outcome out = access_exact(core, addr, type, now, calibrate);
   // Only L1-missing outcomes calibrate: the model replays the L1 exactly
@@ -105,7 +125,7 @@ MemorySystem::Outcome MemorySystem::access(int core, Addr addr, AccessType type,
     const int level = d.l2_hit != 0    ? model::SetSampleEstimator::kL2Hit
                       : d.l3_miss != 0 ? model::SetSampleEstimator::kMiss
                                        : model::SetSampleEstimator::kL3Hit;
-    est_->observe(core, bucket, level, d.xcore_hit != 0);
+    est_->observe(core, bucket, level, d.xcore_hit != 0, eligible);
   }
   return out;
 }
@@ -177,31 +197,10 @@ MemorySystem::Outcome MemorySystem::model_access(int core, Addr line, AccessType
       lat += md;
       out.latency = lat;
       if (s.writeback) writeback(line, now);
-      // The fill this miss implies would evict this set's LRU line. The
-      // only real occupants of an un-replayed set are pinned lines; without
-      // this pressure they would never lose L3 residency to competitors in
-      // sampled mode (exact co-runs show DMA buffers being re-fetched under
-      // contention, and that must survive sampling). Victim-is-occupied is
-      // approximated as occupancy/ways; a just-touched line is spared (it
-      // would not be the LRU once the un-replayed occupants are counted).
-      // The set bitmap skips all of this for the vast majority of sets no
-      // pinned line maps to.
-      if (pin_set_map_hit(line)) {
-        Cache& l3c = l3(socket);
-        const std::uint32_t occ = l3c.set_occupancy(line);
-        if (occ > 0) {
-          const std::uint64_t thresh =
-              (static_cast<std::uint64_t>(occ) << 32U) / l3c.ways();
-          if (static_cast<std::uint64_t>(model_rng_[static_cast<std::size_t>(core)].next()) <
-              thresh) {
-            const Cache::Eviction ev = l3c.evict_lru(line, kPinEvictIdleOps);
-            if (ev.valid) {
-              bool dirty = ev.dirty;
-              if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
-              if (dirty) writeback(ev.tag, now);
-            }
-          }
-        }
+      if (adaptive_ && (line & sample_mask_) == tracked_residue_) {
+        modeled_live_set_fill(core, line, is_write, now);
+      } else {
+        modeled_miss_pressure(core, line, now);
       }
       break;
     }
@@ -219,6 +218,171 @@ MemorySystem::Outcome MemorySystem::model_access(int core, Addr line, AccessType
     if (const int w2 = l2c.find(l1_ev.tag); w2 >= 0) l2c.mark_dirty(l1_ev.tag, w2);
   }
   return out;
+}
+
+MemorySystem::StreamOutcome MemorySystem::stream_burst(int core, const Addr* addrs,
+                                                       std::size_t n, AccessType type,
+                                                       Cycles now) {
+  PP_CHECK(stream_ != nullptr);
+  StreamOutcome out;
+  const Cycles mlp = static_cast<Cycles>(cfg_.mlp);
+  // Independent-access latency overlap, mirroring Core's dependent=false
+  // handling: a nonzero stall divides by the MLP, floored at one cycle.
+  const auto ovl = [mlp](Cycles lat) -> Cycles {
+    if (lat == 0) return 0;
+    const Cycles l = lat / mlp;
+    return l == 0 ? 1 : l;
+  };
+
+  std::uint32_t group_bucket = 0;
+  const auto flush_group = [&] {
+    const std::uint64_t k = stream_group_.size();
+    if (k == 0) return;
+    const model::StreamModel::Split s = stream_->split(core, group_bucket, k);
+    out.delta.l1_hit += s.l1;
+    out.delta.l1_miss += k - s.l1;
+    out.delta.l2_hit += s.l2;
+    out.delta.l2_miss += s.l3 + s.miss;
+    out.delta.l3_ref += s.l3 + s.miss;
+    out.delta.l3_miss += s.miss;
+    out.delta.xcore_hit += s.xcore;
+    out.cycles += s.l1;  // L1 hits: the 1-cycle issue slot only
+    out.cycles += s.l2 * (1 + ovl(cfg_.l2_latency));
+    out.cycles += (s.l3 - s.xcore) * (1 + ovl(cfg_.l3_latency));
+    out.cycles += s.xcore * (1 + ovl(cfg_.l3_latency + cfg_.snoop_extra));
+    // Statistical classification, structural bandwidth: every modeled miss
+    // queues on the real controller (and QPI for remote domains) and exerts
+    // the pinned-set eviction pressure, using evenly spaced representative
+    // lines of the group so the pressure lands on the sets the burst
+    // actually spans.
+    const int socket = socket_of(core);
+    for (std::uint64_t i = 0; i < s.miss; ++i) {
+      // Each miss queues at the clock as advanced so far — exactly as the
+      // per-line replay would stamp it. Stamping the whole group at one
+      // instant would pile the train onto the link's backlog and charge
+      // quadratic queueing the real access stream never sees.
+      const Cycles t = now + out.cycles;
+      const Addr line = stream_group_[static_cast<std::size_t>((i * k) / s.miss)];
+      const int domain = domain_of(line << kLineShift);
+      Cycles lat = cfg_.l3_latency + cfg_.dram_extra;
+      if (domain != socket) {
+        out.delta.remote_ref += 1;
+        const Cycles qd = qpi(socket, domain).request(line, t);
+        out.delta.qpi_queue += qd;
+        lat += cfg_.qpi_latency + qd;
+      }
+      const Cycles md = controller(domain).request(line, t);
+      out.delta.mc_queue += md;
+      lat += md;
+      out.cycles += 1 + ovl(lat);
+      if (adaptive_ && (line & sample_mask_) == tracked_residue_) {
+        modeled_live_set_fill(core, line, type == AccessType::kWrite, t);
+      } else {
+        modeled_miss_pressure(core, line, t);
+      }
+    }
+    for (std::uint64_t i = 0; i < s.wb; ++i) {
+      writeback(stream_group_[static_cast<std::size_t>((i * k) / s.wb)], now + out.cycles);
+    }
+    stream_group_.clear();
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Addr line = line_of(addrs[i]);
+    bool pinned = false;
+    bool eligible = true;
+    std::uint32_t bucket = 0;
+    if (pins_ != nullptr) {
+      const AddressSpace::LineClass& m = classify(core, line);
+      pinned = m.pinned;
+      eligible = widen_eligible(m);
+      bucket = m.bucket;
+    } else {
+      bucket = model::SetSampleEstimator::bucket_of(line);
+    }
+    if (!pinned && !tracked_line(line, bucket, eligible)) {
+      if (!stream_group_.empty() && bucket != group_bucket) flush_group();
+      group_bucket = bucket;
+      stream_group_.push_back(line);
+      continue;
+    }
+    // Pinned or tracked: full replay through the ordinary access path (the
+    // tracked outcome calibrates the per-access estimator there, and the
+    // stream model here).
+    flush_group();
+    const bool calibrate_stream = !pinned;
+    stream_calib_ = calibrate_stream;
+    const Outcome o = access(core, addrs[i], type, now + out.cycles);
+    stream_calib_ = false;
+    out.cycles += 1 + ovl(o.latency);
+    out.delta.add(o.delta);
+    if (calibrate_stream) {
+      const int level = o.delta.l1_hit != 0   ? model::StreamModel::kL1Hit
+                        : o.delta.l2_hit != 0 ? model::StreamModel::kL2Hit
+                        : o.delta.l3_miss != 0
+                            ? model::StreamModel::kMiss
+                            : model::StreamModel::kL3Hit;
+      stream_->observe(core, bucket, level, o.delta.xcore_hit != 0);
+    }
+  }
+  flush_group();
+  return out;
+}
+
+void MemorySystem::modeled_live_set_fill(int core, Addr line, bool is_write, Cycles now) {
+  // Only reachable under adaptive widening: a modeled line in the base
+  // residue class belongs to an allocation that widened past the base
+  // period, so its set is still replayed exactly for every allocation (and
+  // pin) tracking this residue at a narrower effective period. Fill the set
+  // for real — find-touch or insert-with-eviction, exactly as the exact
+  // path would — so those tracked lines feel true capacity competition
+  // from this allocation's modeled misses. (The pinned-set LRU-pressure
+  // draw is wrong here: it bypasses insertion order and LRU protection and
+  // measurably over-evicts tracked lines, inflating their calibrated miss
+  // rate by an order of magnitude.)
+  const int socket = socket_of(core);
+  Cache& l3c = l3(socket);
+  const auto core_bit =
+      static_cast<std::uint16_t>(1U << static_cast<unsigned>(core_index_in_socket(core)));
+  if (const int w = l3c.find(line); w >= 0) {
+    l3c.touch_lru(line, w);
+    l3c.add_core(line, w, core_bit);
+    if (is_write) l3c.mark_dirty(line, w);
+    return;
+  }
+  const Cache::Eviction ev = l3c.insert(line, is_write, core_bit);
+  if (ev.valid) {
+    bool dirty = ev.dirty;
+    if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
+    if (dirty) writeback(ev.tag, now);
+  }
+}
+
+void MemorySystem::modeled_miss_pressure(int core, Addr line, Cycles now) {
+  // The fill this miss implies would evict this set's LRU line. The
+  // only real occupants of an un-replayed set are pinned lines; without
+  // this pressure they would never lose L3 residency to competitors in
+  // sampled mode (exact co-runs show DMA buffers being re-fetched under
+  // contention, and that must survive sampling). Victim-is-occupied is
+  // approximated as occupancy/ways; a just-touched line is spared (it
+  // would not be the LRU once the un-replayed occupants are counted).
+  // The set bitmap skips all of this for the vast majority of sets no
+  // pinned line maps to.
+  if (!pin_set_map_hit(line)) return;
+  const int socket = socket_of(core);
+  Cache& l3c = l3(socket);
+  const std::uint32_t occ = l3c.set_occupancy(line);
+  if (occ == 0) return;
+  const std::uint64_t thresh = (static_cast<std::uint64_t>(occ) << 32U) / l3c.ways();
+  if (static_cast<std::uint64_t>(model_rng_[static_cast<std::size_t>(core)].next()) >= thresh) {
+    return;
+  }
+  const Cache::Eviction ev = l3c.evict_lru(line, kPinEvictIdleOps);
+  if (ev.valid) {
+    bool dirty = ev.dirty;
+    if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
+    if (dirty) writeback(ev.tag, now);
+  }
 }
 
 MemorySystem::Outcome MemorySystem::access_exact(int core, Addr addr, AccessType type,
@@ -297,7 +461,11 @@ MemorySystem::Outcome MemorySystem::access_exact(int core, Addr addr, AccessType
     if (ev.core_mask != 0) dirty |= back_invalidate(socket, ev.tag, ev.core_mask);
     if (dirty) {
       writeback(ev.tag, now);
-      if (calibrate) est_->observe_writeback(core, bucket_of(line));
+      if (calibrate) {
+        const std::uint32_t wb_bucket = bucket_of(line);
+        est_->observe_writeback(core, wb_bucket);
+        if (stream_calib_) stream_->observe_writeback(core, wb_bucket);
+      }
     }
   }
   install_private(core, line, is_write);
@@ -334,19 +502,44 @@ void MemorySystem::install_private(int core, Addr line, bool dirty) {
 bool MemorySystem::back_invalidate(int socket, Addr line, std::uint16_t core_mask) {
   bool dirty = false;
   const int base = socket * cfg_.cores_per_socket;
-  // A stripped L1 copy of a calibration-class line stands for sample_period
-  // population lines losing their copies the same way; the modeled lines
-  // among them pay that debt as demoted L1 hits (see model_access). Pinned
-  // lines replay at full weight and carry no debt.
-  const bool scale_debt =
-      sampling_ && ((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0 &&
-      !(pins_ != nullptr && pins_->is_pinned_line(line));
+  // A stripped L1 copy of a calibration-class line stands for the effective
+  // sampling period's worth of population lines losing their copies the
+  // same way; the modeled lines among them pay that debt as demoted L1 hits
+  // (see model_access). Pinned lines replay at full weight and carry no
+  // debt. Under adaptive widening the debt scales with the allocation's
+  // current effective period; a stale line (base residue but outside the
+  // widened class — replayed before its allocation widened) stands only for
+  // itself, so it carries no scaled debt either.
+  std::uint32_t debt_add = 0;
+  if (sampling_ && ((tracked_residues_ >> (line & sample_mask_)) & 1ULL) != 0 &&
+      !(pins_ != nullptr && pins_->is_pinned_line(line))) {
+    debt_add = sample_mask_;  // period - 1 modeled/untracked equivalents
+    if (adaptive_) {
+      // Mirror tracked_line's eligibility gate: only size-eligible
+      // allocations carry a widened period, so an ineligible line sharing
+      // a (widened) bucket keeps the base-period debt.
+      std::uint32_t shift = 0;
+      if (pins_ != nullptr) {
+        const AddressSpace::LineClass m =
+            pins_->classify_line(line, model::SetSampleEstimator::kBuckets);
+        if (widen_eligible(m)) shift = est_->period_shift(m.bucket);
+      } else {
+        shift = est_->period_shift(model::SetSampleEstimator::bucket_of(line));
+      }
+      if (shift > 0) {
+        const Addr eff_mask = ((static_cast<Addr>(sample_mask_) + 1) << shift) - 1;
+        debt_add = (line & eff_mask) == tracked_residue_
+                       ? (((sample_mask_ + 1) << shift) - 1)
+                       : 0;
+      }
+    }
+  }
   for (int i = 0; i < cfg_.cores_per_socket; ++i) {
     if ((core_mask & (1U << static_cast<unsigned>(i))) == 0) continue;
     const int core = base + i;
-    if (scale_debt && l1(core).find(line) >= 0) {
+    if (debt_add != 0 && l1(core).find(line) >= 0) {
       std::uint32_t& debt = pending_binv_[static_cast<std::size_t>(core)];
-      debt += sample_mask_;  // period - 1 modeled/untracked equivalents
+      debt += debt_add;
       if (debt > kMaxBinvDebt) debt = kMaxBinvDebt;
     }
     dirty |= l1(core).invalidate(line);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "model/cache_model.hpp"
+#include "model/stream_model.hpp"
 #include "sim/address_space.hpp"
 #include "sim/cache.hpp"
 #include "sim/counters.hpp"
@@ -43,6 +44,29 @@ class MemorySystem {
   /// sets are served by the calibrated statistical model instead of the tag
   /// stores (memory-controller/QPI queueing stays structural either way).
   [[nodiscard]] Outcome access(int core, Addr addr, AccessType type, Cycles now);
+
+  /// One payload-streaming burst (SimFidelity::kStreamed only; callers check
+  /// payload_model_active first): total charged cycles — per-line issue slots
+  /// plus MLP-overlapped stalls, mirroring Core::access_many with
+  /// dependent=false — and the summed counter deltas.
+  struct StreamOutcome {
+    Cycles cycles = 0;
+    AccessDeltaSum delta;
+  };
+
+  /// Serve a burst of independent streaming line touches. Pinned lines and
+  /// the tracked residue class replay exactly (the tracked outcomes
+  /// calibrate both the per-access estimator and the stream model); every
+  /// other line is grouped per allocation and served by one
+  /// model::StreamModel level-split draw per group, with modeled misses
+  /// still queueing on the real controller/QPI links and still exerting
+  /// pinned-set eviction pressure.
+  [[nodiscard]] StreamOutcome stream_burst(int core, const Addr* addrs, std::size_t n,
+                                           AccessType type, Cycles now);
+
+  /// True when payload-streaming bursts should route through stream_burst
+  /// (i.e. fidelity is kStreamed).
+  [[nodiscard]] bool payload_model_active() const { return stream_ != nullptr; }
 
   /// Sampled-mode wiring: consult `as` for the pinned hot-line ranges
   /// (descriptor rings, buffer pools, queue index lines) that keep full
@@ -118,10 +142,12 @@ class MemorySystem {
   /// Drop the sampled-mode calibration back to its prior (no-op in kExact
   /// mode). Called alongside clear_link_backlogs for the same reason: the
   /// serial prewarm pass is an artificial phase — a pure compulsory-miss
-  /// stream — that must not anchor the steady-state estimate.
+  /// stream — that must not anchor the steady-state estimate. The adaptive
+  /// period confidence and the stream model reset with it.
   void reset_sample_calibration() {
     if (est_ == nullptr) return;
     est_->reset_counts();
+    if (stream_ != nullptr) stream_->reset_counts();
     for (std::uint32_t& d : pending_binv_) d = 0;
   }
 
@@ -158,12 +184,64 @@ class MemorySystem {
   std::vector<std::unique_ptr<QueuedLink>> mc_;
   std::vector<std::unique_ptr<QueuedLink>> qpi_;  // sockets*sockets, from-major
 
+  /// Memoized per-core line classification shared by access() and
+  /// stream_burst(): consecutive accesses almost always stay within one
+  /// structure, so the alloc/pin binary searches are paid only on structure
+  /// changes.
+  [[nodiscard]] AddressSpace::LineClass& classify(int core, Addr line);
+
+  /// True when `line`'s allocation is large enough for adaptive widening
+  /// (ROADMAP's "very large tables"): small structures — rule arrays, AES
+  /// tables, modest tries — keep the base period, where their thin residue
+  /// sample is already the accuracy floor. Unit-test memory systems without
+  /// a bound AddressSpace have no allocation metadata and stay eligible.
+  [[nodiscard]] static bool widen_eligible(const AddressSpace::LineClass& m) {
+    return m.alloc_lines >= kMinWidenLines;
+  }
+
+  /// True when `line` keeps full tag-store replay right now: base residue
+  /// class membership, narrowed by the adaptive period of its allocation
+  /// when widening is enabled and the allocation is size-eligible. Excludes
+  /// the pin exemption (callers test pinned-ness separately from the
+  /// memoized classification).
+  [[nodiscard]] bool tracked_line(Addr line, std::uint32_t bucket, bool eligible) const {
+    if (((tracked_residues_ >> (line & sample_mask_)) & 1ULL) == 0) return false;
+    if (!adaptive_ || !eligible) return true;
+    const std::uint32_t shift = est_->period_shift(bucket);
+    if (shift == 0) return true;
+    const Addr eff_mask = ((static_cast<Addr>(sample_mask_) + 1) << shift) - 1;
+    return (line & eff_mask) == tracked_residue_;
+  }
+
+  /// Adaptive-widening size gate: 4 MB of lines.
+  static constexpr Addr kMinWidenLines = (4ULL << 20) >> kLineShift;
+
+  /// The implied fill of a modeled miss evicts its L3 set's LRU line with
+  /// probability occupancy/ways (pinned-set pressure; see model_access).
+  void modeled_miss_pressure(int core, Addr line, Cycles now);
+
+  /// Adaptive-widening variant for modeled misses whose set is still
+  /// replayed for narrower-period allocations: a real find-touch/insert so
+  /// tracked lines feel true capacity competition (see the implementation
+  /// comment for why the LRU-pressure draw is wrong there).
+  void modeled_live_set_fill(int core, Addr line, bool is_write, Cycles now);
+
   // --- SimFidelity::kSampled state (inert in kExact mode) -----------------
   bool sampling_ = false;
+  bool adaptive_ = false;                  // sample_period_max > sample_period
   std::uint32_t sample_mask_ = 0;          // sample_period - 1
+  Addr tracked_residue_ = 0;               // sample_seed % sample_period
   std::uint64_t tracked_residues_ = ~0ULL; // bitmap over line residues
   const AddressSpace* pins_ = nullptr;
   std::unique_ptr<model::SetSampleEstimator> est_;
+  // --- SimFidelity::kStreamed state (kSampled state plus this) ------------
+  std::unique_ptr<model::StreamModel> stream_;
+  /// Scratch for stream_burst's per-allocation grouping (modeled lines of
+  /// the group currently being accumulated).
+  std::vector<Addr> stream_group_;
+  /// True while stream_burst replays a calibration line through the access
+  /// path, so the eviction writeback observation reaches the stream model.
+  bool stream_calib_ = false;
   /// Per-core back-invalidation debt: each stripped L1 copy of a
   /// calibration-class line adds period-1 demotions owed by that core's
   /// modeled L1 hits (capped — debt beyond a window's worth of hits would

@@ -44,10 +44,19 @@ enum class AccessType : std::uint8_t { kRead, kWrite };
 ///              by a statistical per-level hit-rate model calibrated online
 ///              from the replayed sets. Memory-controller and QPI queueing
 ///              stay structural in both modes. See docs/simulation_modes.md.
-enum class SimFidelity : std::uint8_t { kExact, kSampled };
+///   kStreamed — everything kSampled does, plus payload-streaming bursts
+///              (sim::StreamBurst: RE store append/verify, AES table +
+///              payload I/O) are served by a per-burst statistical stream
+///              model (model::StreamModel) instead of per-line replay.
+///              Calibration lines (the tracked residue class) and pinned
+///              lines still replay exactly, and modeled misses still queue
+///              on the real controller/QPI links.
+enum class SimFidelity : std::uint8_t { kExact, kSampled, kStreamed };
 
 [[nodiscard]] constexpr const char* to_string(SimFidelity f) noexcept {
-  return f == SimFidelity::kSampled ? "sampled" : "exact";
+  return f == SimFidelity::kStreamed ? "streamed"
+         : f == SimFidelity::kSampled ? "sampled"
+                                      : "exact";
 }
 
 /// Geometry of one cache level.
@@ -114,6 +123,17 @@ struct MachineConfig {
   /// sample_period. 8 balances host speed against near-capacity accuracy
   /// (the paper's saturated-cache regime is where a thin sample wobbles).
   std::uint32_t sample_period = 8;
+
+  /// Adaptive-period ceiling. When > sample_period, allocations whose
+  /// estimator cells have converged (tight confidence interval on the
+  /// tracked L2/L3/memory split, see model::SetSampleEstimator) widen their
+  /// replayed residue class from sample_period up to this period, halving
+  /// their exact-replay share per step. Pinned hot sets and the L1 replay
+  /// stay exact regardless; a drifting split narrows the allocation back to
+  /// sample_period. Must be a power of two in [sample_period, 64]. The
+  /// default (== sample_period) disables widening, keeping the default
+  /// kSampled tier bit-identical to fixed-period sampling.
+  std::uint32_t sample_period_max = 8;
 
   /// Seed for the sampled-mode model: selects the replayed residue class
   /// and the per-core RNG streams of the statistical estimator. Results in

@@ -2,16 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
+
 namespace pp::core {
 namespace {
 
 class PredictorTest : public ::testing::Test {
  protected:
-  PredictorTest() : tb_(Scale::kQuick, 1), solo_(tb_, 1), sweep_(solo_, 5), pred_(solo_, sweep_) {}
+  PredictorTest() : tb_(rig_.tb), solo_(rig_.solo), sweep_(rig_.sweep), pred_(solo_, sweep_) {}
 
-  Testbed tb_;
-  SoloProfiler solo_;
-  SweepProfiler sweep_;
+  pp::test::ProfilerRig rig_;
+  Testbed& tb_;
+  SoloProfiler& solo_;
+  SweepProfiler& sweep_;
   ContentionPredictor pred_;
 };
 

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "common/fixtures.hpp"
 #include "core/profiler.hpp"
 #include "core/sweep.hpp"
 #include "core/testbed.hpp"
@@ -13,11 +14,7 @@
 namespace pp::core {
 namespace {
 
-Testbed sampled_testbed() {
-  Testbed tb(Scale::kQuick, 1);
-  tb.machine_config().fidelity = sim::SimFidelity::kSampled;
-  return tb;
-}
+Testbed sampled_testbed() { return pp::test::quick_testbed(sim::SimFidelity::kSampled); }
 
 TEST(SampledFidelity, DefaultIsExact) {
   sim::MachineConfig cfg;
@@ -51,7 +48,7 @@ TEST(SampledFidelity, SampleSeedChangesTheDraws) {
 }
 
 TEST(SampledFidelity, SoloProfilesCloseToExact) {
-  Testbed exact(Scale::kQuick, 1);
+  Testbed exact = pp::test::quick_testbed();
   Testbed sampled = sampled_testbed();
   for (const FlowType t : {FlowType::kIp, FlowType::kMon, FlowType::kFw}) {
     const FlowMetrics e = exact.run_solo(FlowSpec::of(t));
@@ -67,17 +64,13 @@ TEST(SampledFidelity, SoloProfilesCloseToExact) {
 TEST(SampledFidelity, Figure4ShapeWithinTolerance) {
   const std::vector<SynParams> levels = {{1, 3000, 12}, {8, 100, 12}, {32, 0, 12}};
 
-  Testbed exact_tb(Scale::kQuick, 1);
-  SoloProfiler exact_solo(exact_tb, 1);
-  SweepProfiler exact_sweep(exact_solo, 5);
+  pp::test::ProfilerRig exact_rig;
   const SweepResult exact =
-      exact_sweep.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
+      exact_rig.sweep.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
 
-  Testbed samp_tb = sampled_testbed();
-  SoloProfiler samp_solo(samp_tb, 1);
-  SweepProfiler samp_sweep(samp_solo, 5);
+  pp::test::ProfilerRig samp_rig(sim::SimFidelity::kSampled);
   const SweepResult samp =
-      samp_sweep.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
+      samp_rig.sweep.sweep(FlowSpec::of(FlowType::kMon), ContentionMode::kBoth, levels);
 
   ASSERT_EQ(exact.levels.size(), samp.levels.size());
   for (std::size_t i = 0; i < exact.levels.size(); ++i) {

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
+
 namespace pp::core {
 namespace {
 
 Scenario base_scenario() {
-  Testbed tb(Scale::kQuick, 1);
+  Testbed tb = pp::test::quick_testbed();
   RunConfig cfg = tb.configure({FlowSpec::of(FlowType::kIp)});
   return Scenario::of(tb, cfg);
 }
@@ -45,6 +47,14 @@ TEST(ScenarioKey, EveryFieldContributes) {
   s = base;
   s.machine.sample_seed += 1;
   EXPECT_NE(scenario_key(s), k) << "sample seed";
+
+  s = base;
+  s.machine.sample_period_max = 32;
+  EXPECT_NE(scenario_key(s), k) << "adaptive period ceiling";
+
+  s = base;
+  s.flows[0].batch = 16;
+  EXPECT_NE(scenario_key(s), k) << "flow batch";
 
   s = base;
   s.machine.l3.size_bytes *= 2;
@@ -86,7 +96,7 @@ TEST(ScenarioKey, GoldenValueStableAcrossRuns) {
   s.warmup_ms = 2.0;
   s.measure_ms = 3.0;
   s.seed = 42;
-  EXPECT_EQ(scenario_key(s).hex(), "d2866f806365cb488f0924adf8154220");
+  EXPECT_EQ(scenario_key(s).hex(), "72e1c6287d0f456f69906be4285fbae1");
 }
 
 TEST(ScenarioKey, HexIs32LowercaseDigits) {
@@ -113,16 +123,13 @@ TEST(Scenario, RunIsDeterministic) {
   const ScenarioResult a = run_scenario(s);
   const ScenarioResult b = run_scenario(s);
   ASSERT_EQ(a.size(), b.size());
-  EXPECT_EQ(a[0].delta.packets, b[0].delta.packets);
-  EXPECT_EQ(a[0].delta.cycles, b[0].delta.cycles);
-  EXPECT_EQ(a[0].delta.l3_refs, b[0].delta.l3_refs);
-  EXPECT_EQ(a[0].seconds, b[0].seconds);
+  pp::test::expect_metrics_equal(a[0], b[0], "repeat run");
 }
 
 // Testbed::run is a thin wrapper over the scenario engine; both paths must
 // agree bit-for-bit (locked so future refactors keep the delegation exact).
 TEST(Scenario, TestbedRunDelegatesToScenario) {
-  Testbed tb(Scale::kQuick, 1);
+  Testbed tb = pp::test::quick_testbed();
   RunConfig cfg = tb.configure({FlowSpec::of(FlowType::kIp)});
   cfg.warmup_ms = 0.2;
   cfg.measure_ms = 0.4;

@@ -2,23 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fixtures.hpp"
 #include "core/profiler.hpp"
 
 namespace pp::core {
 namespace {
 
-// Short windows keep these integration tests fast.
-RunConfig fast(Testbed& tb, std::vector<FlowSpec> flows) {
-  RunConfig cfg = RunConfig::simple(std::move(flows), 1);
-  (void)tb;
-  cfg.warmup_ms = 0.3;
-  cfg.measure_ms = 0.7;
-  return cfg;
-}
+using pp::test::fast_run;
+using pp::test::quick_testbed;
 
 TEST(Testbed, SoloRunProducesCoherentMetrics) {
-  Testbed tb(Scale::kQuick, 1);
-  RunConfig cfg = fast(tb, {FlowSpec::of(FlowType::kIp)});
+  Testbed tb = quick_testbed();
+  RunConfig cfg = fast_run({FlowSpec::of(FlowType::kIp)});
   const auto r = tb.run(cfg);
   ASSERT_EQ(r.size(), 1U);
   const FlowMetrics& m = r[0];
@@ -31,25 +26,25 @@ TEST(Testbed, SoloRunProducesCoherentMetrics) {
 }
 
 TEST(Testbed, DeterministicForSameSeed) {
-  Testbed tb(Scale::kQuick, 1);
-  const auto a = tb.run(fast(tb, {FlowSpec::of(FlowType::kMon)}));
-  const auto b = tb.run(fast(tb, {FlowSpec::of(FlowType::kMon)}));
+  Testbed tb = quick_testbed();
+  const auto a = tb.run(fast_run({FlowSpec::of(FlowType::kMon)}));
+  const auto b = tb.run(fast_run({FlowSpec::of(FlowType::kMon)}));
   EXPECT_EQ(a[0].delta.packets, b[0].delta.packets);
   EXPECT_EQ(a[0].delta.cycles, b[0].delta.cycles);
   EXPECT_EQ(a[0].delta.l3_refs, b[0].delta.l3_refs);
 }
 
 TEST(Testbed, DifferentSeedsDiffer) {
-  Testbed tb(Scale::kQuick, 1);
-  RunConfig a = fast(tb, {FlowSpec::of(FlowType::kIp)});
-  RunConfig b = fast(tb, {FlowSpec::of(FlowType::kIp)});
+  Testbed tb = quick_testbed();
+  RunConfig a = fast_run({FlowSpec::of(FlowType::kIp)});
+  RunConfig b = fast_run({FlowSpec::of(FlowType::kIp)});
   b.seed = 999;
   EXPECT_NE(tb.run(a)[0].delta.l3_refs, tb.run(b)[0].delta.l3_refs);
 }
 
 TEST(Testbed, PlacementPutsFlowsOnRequestedCores) {
-  Testbed tb(Scale::kQuick, 1);
-  RunConfig cfg = fast(tb, {FlowSpec::of(FlowType::kIp), FlowSpec::of(FlowType::kIp)});
+  Testbed tb = quick_testbed();
+  RunConfig cfg = fast_run({FlowSpec::of(FlowType::kIp), FlowSpec::of(FlowType::kIp)});
   cfg.placement[1].core = 7;  // other socket
   const auto r = tb.run(cfg);
   EXPECT_EQ(r[0].core, 0);
@@ -58,9 +53,9 @@ TEST(Testbed, PlacementPutsFlowsOnRequestedCores) {
 }
 
 TEST(Testbed, RemoteDataDomainShowsRemoteRefs) {
-  Testbed tb(Scale::kQuick, 1);
-  RunConfig local = fast(tb, {FlowSpec::of(FlowType::kIp)});
-  RunConfig remote = fast(tb, {FlowSpec::of(FlowType::kIp)});
+  Testbed tb = quick_testbed();
+  RunConfig local = fast_run({FlowSpec::of(FlowType::kIp)});
+  RunConfig remote = fast_run({FlowSpec::of(FlowType::kIp)});
   remote.placement[0].data_domain = 1;  // data on the far socket
   const auto lr = tb.run(local);
   const auto rr = tb.run(remote);
@@ -71,16 +66,16 @@ TEST(Testbed, RemoteDataDomainShowsRemoteRefs) {
 }
 
 TEST(Testbed, CoRunnersInterleaveOnOneSocket) {
-  Testbed tb(Scale::kQuick, 1);
+  Testbed tb = quick_testbed();
   std::vector<FlowSpec> flows;
   for (int i = 0; i < 6; ++i) flows.push_back(FlowSpec::of(FlowType::kIp, i + 1));
-  const auto r = tb.run(fast(tb, std::move(flows)));
+  const auto r = tb.run(fast_run(std::move(flows)));
   for (const auto& m : r) EXPECT_GT(m.delta.packets, 50U);
 }
 
 TEST(Testbed, ElementStatsIncludeSkbRecycle) {
-  Testbed tb(Scale::kQuick, 1);
-  const auto r = tb.run(fast(tb, {FlowSpec::of(FlowType::kIp)}));
+  Testbed tb = quick_testbed();
+  const auto r = tb.run(fast_run({FlowSpec::of(FlowType::kIp)}));
   bool found = false;
   for (const auto& e : r[0].elements) {
     if (e.name == "skb_recycle") {
@@ -92,8 +87,8 @@ TEST(Testbed, ElementStatsIncludeSkbRecycle) {
 }
 
 TEST(Testbed, WindowHookFiresDuringMeasurement) {
-  Testbed tb(Scale::kQuick, 1);
-  RunConfig cfg = fast(tb, {FlowSpec::of(FlowType::kIp)});
+  Testbed tb = quick_testbed();
+  RunConfig cfg = fast_run({FlowSpec::of(FlowType::kIp)});
   int calls = 0;
   const auto r = tb.run_with_windows(cfg, 0.1, [&](sim::Machine&, const std::vector<FlowHandle>& h) {
     ++calls;
@@ -105,8 +100,8 @@ TEST(Testbed, WindowHookFiresDuringMeasurement) {
 }
 
 TEST(MergeMetrics, PoolsCountsAndSeconds) {
-  Testbed tb(Scale::kQuick, 1);
-  const auto a = tb.run(fast(tb, {FlowSpec::of(FlowType::kIp)}));
+  Testbed tb = quick_testbed();
+  const auto a = tb.run(fast_run({FlowSpec::of(FlowType::kIp)}));
   const FlowMetrics merged = merge_metrics({a[0], a[0]});
   EXPECT_EQ(merged.delta.packets, 2 * a[0].delta.packets);
   EXPECT_DOUBLE_EQ(merged.seconds, 2 * a[0].seconds);

@@ -7,19 +7,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fixtures.hpp"
 #include "sim/address_space.hpp"
 #include "sim/memory_system.hpp"
 
 namespace pp::sim {
 namespace {
 
-MachineConfig sampled_config(std::uint64_t seed = 0) {
-  MachineConfig cfg;
-  cfg.fidelity = SimFidelity::kSampled;
-  cfg.sample_period = 16;
-  cfg.sample_seed = seed;  // seed 0 -> tracked residue 0
-  return cfg;
-}
+// seed 0 -> tracked residue 0
+MachineConfig sampled_config(std::uint64_t seed = 0) { return pp::test::sampled_machine(seed); }
 
 Addr addr_of_line(Addr line) { return line << kLineShift; }
 
