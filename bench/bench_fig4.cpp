@@ -1,58 +1,9 @@
-// Figure 4: the effect of contention for different resources. Each realistic
-// flow type co-runs with 5 SYN flows of ramping aggressiveness under the
-// three Figure 3 placements:
-//   (a) cache-only      — competitors on the target's socket, data remote;
-//   (b) memctrl-only    — competitors on the other socket, data local to the
-//                         target's domain;
-//   (c) both            — normal NUMA-local placement.
-//
-// The five per-type sweeps of each placement fan out over SWEEP_THREADS
-// host threads through the ProfileStore (sweep_many); with PROFILE_CACHE
-// set, a repeated invocation re-simulates nothing and reproduces this
-// stdout byte-identically (the CI warm-cache job asserts both).
-#include "common.hpp"
+// Figure 4 bench binary — a thin main over the shared artifact runner
+// (bench/figures.hpp), which `ppctl run` drives identically from a spec
+// file with "artifact": "fig4".
+#include "figures.hpp"
 
 int main() {
-  using namespace pp;
-  using namespace pp::core;
-  bench::Engine eng;
-  bench::header("Figure 4", "drop vs competing L3 refs/sec, per contended resource",
-                eng.scale);
-
-  const auto levels = SweepProfiler::default_levels(eng.scale);
-  std::vector<FlowSpec> targets;
-  for (const FlowType t : kRealisticTypes) targets.push_back(FlowSpec::of(t));
-
-  const struct {
-    ContentionMode mode;
-    const char* figure;
-  } parts[] = {
-      {ContentionMode::kCacheOnly, "Figure 4(a): contention for the L3 cache only"},
-      {ContentionMode::kMemCtrlOnly, "Figure 4(b): contention for the memory controller only"},
-      {ContentionMode::kBoth, "Figure 4(c): contention for both resources"},
-  };
-
-  for (const auto& part : parts) {
-    SeriesChart chart("competing L3 refs/sec (M)", {"IP", "MON", "FW", "RE", "VPN"});
-    // All five per-type sweeps of this placement run concurrently; levels
-    // align by index, x = mean competing refs.
-    const std::vector<SweepResult> results = eng.sweep.sweep_many(targets, part.mode, levels);
-    for (std::size_t level = 0; level < levels.size(); ++level) {
-      double x = 0;
-      std::vector<double> ys;
-      for (const SweepResult& r : results) {
-        x += r.levels[level].competing_refs_per_sec / 1e6;
-        ys.push_back(r.levels[level].drop_pct);
-      }
-      chart.add_point(x / static_cast<double>(results.size()), ys);
-    }
-    bench::print_chart(part.figure, chart);
-  }
-
-  std::printf(
-      "Paper's qualitative result to compare against: the cache dominates\n"
-      "(MON up to ~32%% in 4(a)) while the controller alone stays small\n"
-      "(MON <= 6%% in 4(b)); 4(c) is essentially 4(a) plus a few points.\n");
-  eng.print_store_stats("fig4");
-  return 0;
+  pp::bench::Engine eng;
+  return pp::bench::run_fig4(eng);
 }

@@ -1,22 +1,9 @@
-// Table 1: characteristics of each packet-processing type during a solo run.
-#include "common.hpp"
+// Table 1 bench binary — a thin main over the shared artifact runner
+// (bench/figures.hpp), which `ppctl run` drives identically from a spec
+// file with "artifact": "table1".
+#include "figures.hpp"
 
 int main() {
-  using namespace pp;
-  bench::Engine eng(seeds_for(scale_from_env()));
-  bench::header("Table 1", "solo-run characteristics of IP, MON, FW, RE, VPN", eng.scale);
-
-  bench::print_table("Measured (this reproduction):", eng.solo.table1());
-
-  TextTable paper({"Flow", "cycles per instruction", "L3 refs/sec (M)", "L3 hits/sec (M)",
-                   "cycles per packet", "L3 refs per packet", "L3 misses per packet",
-                   "L2 hits per packet"});
-  paper.add_numeric_row("IP", {1.33, 25.85, 20.21, 1813, 14.64, 3.19, 18.58});
-  paper.add_numeric_row("MON", {1.43, 27.26, 21.32, 2278, 19.40, 4.23, 19.58});
-  paper.add_numeric_row("FW", {1.63, 2.71, 2.13, 23907, 20.22, 4.29, 56.10});
-  paper.add_numeric_row("RE", {1.18, 18.18, 5.52, 27433, 155.87, 108.51, 45.63});
-  paper.add_numeric_row("VPN", {0.56, 9.45, 7.08, 8679, 25.63, 6.41, 30.71});
-  bench::print_table("Paper (Dobrescu et al., Table 1), for comparison:", paper);
-  eng.print_store_stats("table1");
-  return 0;
+  pp::bench::Engine eng(pp::seeds_for(pp::scale_from_env()));
+  return pp::bench::run_table1(eng);
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "base/env.hpp"
 #include "base/table.hpp"
 #include "core/placement.hpp"
@@ -51,32 +52,50 @@ inline void print_table(const char* title, const TextTable& table) {
 /// Sweeps are the most expensive piece; at standard scale one seed per point
 /// keeps the full suite to minutes (determinism makes the variance tiny —
 /// the paper notes its 5-run variance was negligible too).
-inline int sweep_seeds(Scale scale) { return scale == Scale::kFull ? 3 : 1; }
+inline int sweep_seeds(Scale scale) { return api::default_seeds(scale); }
 
-/// The scenario-engine stack every figure bench drives. Views share the
-/// process-global ProfileStore (PROFILE_CACHE-backed when the variable is
-/// set), so profiles computed for one figure are reused by the next.
+/// The scenario-engine stack every figure bench drives — since the facade
+/// landed, a thin adapter over api::Session + api::ViewStack: the session
+/// picks the store (process-global when the options match the environment)
+/// and the stack holds the stateless views, so Engine-driven benches and
+/// spec-driven ppctl runs execute literally the same code and hit the same
+/// ProfileStore content keys.
 struct Engine {
+  api::Session session;
   Scale scale;
-  core::Testbed tb;
-  core::SoloProfiler solo;
-  core::SweepProfiler sweep;
-  core::ContentionPredictor predictor;
-  core::PlacementEvaluator placement;
+  api::ViewStack stack;
+  core::Testbed& tb;
+  core::SoloProfiler& solo;
+  core::SweepProfiler& sweep;
+  core::ContentionPredictor& predictor;
+  core::PlacementEvaluator& placement;
 
   /// The views hold references into this Engine (sweep/predictor/placement
   /// -> solo -> tb); a copy would alias the original's members.
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// `seeds` = averaging seeds per data point (0 = the sweep default).
+  /// Explicit options (spec-driven construction): what ppctl builds from a
+  /// spec file + flags. `seeds` = averaging seeds per data point (0 = the
+  /// sweep default).
+  explicit Engine(api::SessionOptions opts, int seeds = 0)
+      : session(opts),
+        scale(opts.scale),
+        stack(session.options(), seeds, session.store()),
+        tb(stack.tb),
+        solo(stack.solo),
+        sweep(stack.sweep),
+        predictor(stack.predictor),
+        placement(stack.placement) {}
+
+  /// Environment-configured construction (the historical bench default).
   explicit Engine(int seeds = 0, Scale s = scale_from_env())
-      : scale(s),
-        tb(scale, 1),
-        solo(tb, seeds > 0 ? seeds : sweep_seeds(scale)),
-        sweep(solo, 5),
-        predictor(solo, sweep),
-        placement(solo) {}
+      : Engine(api::SessionOptions::from_env().with_scale(s), seeds) {}
+
+  /// Spec-driven construction: the spec's session/machine overrides applied
+  /// over the environment baseline.
+  explicit Engine(const api::ExperimentSpec& spec)
+      : Engine(api::apply_spec(spec, api::SessionOptions::from_env()), spec.seeds) {}
 
   [[nodiscard]] core::ProfileStore& store() const { return solo.store(); }
   [[nodiscard]] int threads() const { return sweep.threads(); }

@@ -3,52 +3,53 @@
 // throughput falls below its SLA? The paper's predictability result makes
 // this answerable from offline profiles alone — no trial deployments.
 //
-// The example sweeps candidate packings, predicts per-flow drop for each,
-// picks the largest packing that meets the SLA, then verifies that packing
-// by actually running it.
+// The example phrases every candidate packing as a declarative "predict"
+// spec and fans them through one Session::run_many: the MON and VPN sweeps
+// behind all five packings are content-addressed scenarios, so they
+// simulate exactly once however many packings reuse them. The winning
+// packing is then verified by actually running it (a "corun" spec).
+#include <algorithm>
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "common.hpp"
 
 int main() {
   using namespace pp;
   using namespace pp::core;
-  bench::Engine eng(/*seeds=*/1);
-  Testbed& tb = eng.tb;
-  SoloProfiler& solo = eng.solo;
-  ContentionPredictor& predictor = eng.predictor;
-  std::printf("Capacity planning with contention prediction (scale=%s)\n\n",
-              to_string(eng.scale));
 
-  predictor.profile(FlowType::kMon);
-  predictor.profile(FlowType::kVpn);
+  api::Session session;
+  std::printf("Capacity planning with contention prediction (scale=%s)\n\n",
+              to_string(session.options().scale));
 
   const double sla_drop_pct = 25.0;  // tenants tolerate up to 25% contention loss
-
   std::printf("SLA: every tenant keeps >= %.0f%% of its solo throughput.\n\n",
               100 - sla_drop_pct);
+
+  // One predict spec per candidate packing of the 6-core socket.
+  std::vector<api::ExperimentSpec> packings;
+  for (int mon = 1; mon <= 5; ++mon) {
+    api::ExperimentSpec spec;
+    spec.kind = api::ExperimentKind::kPredict;
+    spec.name = strformat("%d MON + %d VPN", mon, 6 - mon);
+    for (int i = 0; i < mon; ++i) spec.flows.push_back(FlowSpec::of(FlowType::kMon));
+    for (int i = mon; i < 6; ++i) spec.flows.push_back(FlowSpec::of(FlowType::kVpn));
+    packings.push_back(std::move(spec));
+  }
+  const std::vector<api::Result> predictions = session.run_many(packings);
+
   TextTable plan({"MON tenants", "VPN tenants", "worst predicted drop (%)", "meets SLA"});
   int best_mon = 0;
-  for (int mon = 1; mon <= 5; ++mon) {
-    const int vpn = 6 - mon;
-    // Worst-off tenant: a MON (most sensitive). Its competitors: the other
-    // MONs plus the VPNs.
-    std::vector<FlowType> comps;
-    for (int i = 1; i < mon; ++i) comps.push_back(FlowType::kMon);
-    for (int i = 0; i < vpn; ++i) comps.push_back(FlowType::kVpn);
-    const double mon_drop = predictor.predict(FlowType::kMon, comps);
-    // And check the VPN tenants too.
-    std::vector<FlowType> vpn_comps;
-    for (int i = 0; i < mon; ++i) vpn_comps.push_back(FlowType::kMon);
-    for (int i = 1; i < vpn; ++i) vpn_comps.push_back(FlowType::kVpn);
-    const double vpn_drop =
-        vpn > 0 ? predictor.predict(FlowType::kVpn, vpn_comps) : 0.0;
-    const double worst = std::max(mon_drop, vpn_drop);
+  for (std::size_t p = 0; p < predictions.size(); ++p) {
+    double worst = 0;
+    for (const api::FlowReport& fr : predictions[p].flows) {
+      worst = std::max(worst, fr.drop_pct);
+    }
     const bool ok = worst <= sla_drop_pct;
+    const int mon = static_cast<int>(p) + 1;
     if (ok) best_mon = mon;
-    plan.add_row({std::to_string(mon), std::to_string(vpn), pp::strformat("%.1f", worst),
+    plan.add_row({std::to_string(mon), std::to_string(6 - mon), strformat("%.1f", worst),
                   ok ? "yes" : "no"});
   }
   std::printf("%s\n", plan.to_text().c_str());
@@ -60,29 +61,30 @@ int main() {
 
   std::printf("Verifying the chosen packing (%d MON + %d VPN) by deployment...\n\n",
               best_mon, 6 - best_mon);
-  RunConfig cfg = tb.configure({});
+  api::ExperimentSpec deploy;
+  deploy.kind = api::ExperimentKind::kCorun;
+  deploy.name = strformat("deploy %d MON + %d VPN", best_mon, 6 - best_mon);
   for (int i = 0; i < best_mon; ++i) {
-    cfg.flows.push_back(FlowSpec::of(FlowType::kMon, static_cast<std::uint64_t>(i + 1)));
-    cfg.placement.push_back(FlowPlacement{i, -1});
+    deploy.flows.push_back(FlowSpec::of(FlowType::kMon, static_cast<std::uint64_t>(i + 1)));
   }
   for (int i = best_mon; i < 6; ++i) {
-    cfg.flows.push_back(FlowSpec::of(FlowType::kVpn, static_cast<std::uint64_t>(i + 1)));
-    cfg.placement.push_back(FlowPlacement{i, -1});
+    deploy.flows.push_back(FlowSpec::of(FlowType::kVpn, static_cast<std::uint64_t>(i + 1)));
   }
-  const auto run = *eng.store().get_or_run(Scenario::of(tb, cfg));
+  const api::Result run = session.run(deploy);
+
   TextTable verify({"flow", "measured drop (%)", "within SLA"});
   bool all_ok = true;
-  for (std::size_t i = 0; i < run.size(); ++i) {
-    const double d = drop_pct(solo.profile(cfg.flows[i].type), run[i]);
-    const bool ok = d <= sla_drop_pct + 3.0;  // the paper's ~3-point error budget
+  for (const api::FlowReport& fr : run.flows) {
+    const bool ok = fr.drop_pct <= sla_drop_pct + 3.0;  // the paper's ~3-point error budget
     all_ok &= ok;
-    verify.add_row({std::string(to_string(cfg.flows[i].type)) + " (core " +
-                        std::to_string(run[i].core) + ")",
-                    pp::strformat("%.1f", d), ok ? "yes" : "no"});
+    verify.add_row({std::string(to_string(fr.spec.type)) + " (core " +
+                        std::to_string(fr.metrics.core) + ")",
+                    strformat("%.1f", fr.drop_pct), ok ? "yes" : "no"});
   }
   std::printf("%s\n%s\n", verify.to_text().c_str(),
               all_ok ? "Packing verified: predictions held within the error budget."
                      : "Packing violated the SLA — prediction error exceeded budget.");
-  eng.print_store_stats("capacity_planning");
+  std::fprintf(stderr, "[capacity_planning] profile store: %s\n",
+               session.store().stats_line().c_str());
   return all_ok ? 0 : 1;
 }

@@ -5,24 +5,22 @@
 // to know, *before deploying*, how much each tenant will slow down due to
 // cache contention.
 //
-// Workflow demonstrated:
-//   1. offline profiling: solo run + SYN sweep per flow type;
-//   2. prediction: each tenant's drop from the competitors' solo refs/sec;
-//   3. validation: run the actual consolidated box and compare.
+// Workflow demonstrated, entirely through the declarative facade: the same
+// mix is phrased twice — a "predict" spec (offline profiling + Section 4
+// prediction, no mix run) and a "corun" spec (the actual consolidated
+// deployment) — and one Session::run_many answers both; overlapping
+// scenarios (the solo baselines) simulate once. The corun spec here is
+// examples/specs/consolidation.json verbatim: `ppctl run` executes the
+// same experiment from a shell.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
-#include "common.hpp"
 
 int main() {
   using namespace pp;
   using namespace pp::core;
-  bench::Engine eng(/*seeds=*/1);
-  Testbed& tb = eng.tb;
-  SoloProfiler& solo = eng.solo;
-  ContentionPredictor& predictor = eng.predictor;
-  std::printf("Middlebox consolidation planner (scale=%s)\n\n", to_string(eng.scale));
 
   // One socket hosts six tenant flows.
   struct Tenant {
@@ -35,37 +33,48 @@ int main() {
       {"wan-optimizer", FlowType::kRe},  {"transit-forwarding", FlowType::kIp},
   };
 
-  std::printf("Profiling tenants offline (solo runs + SYN sweeps)...\n");
-  for (const Tenant& t : tenants) predictor.profile(t.type);
+  api::Session session;
+  std::printf("Middlebox consolidation planner (scale=%s)\n\n",
+              to_string(session.options().scale));
 
-  // Predict each tenant's contention-induced drop on the consolidated box.
-  RunConfig cfg = tb.configure({});
+  api::ExperimentSpec predict;
+  predict.kind = api::ExperimentKind::kPredict;
+  predict.name = "consolidation-predicted";
+  api::ExperimentSpec corun;
+  corun.kind = api::ExperimentKind::kCorun;
+  corun.name = "consolidation-measured";
   for (int i = 0; i < 6; ++i) {
-    cfg.flows.push_back(FlowSpec::of(tenants[i].type, static_cast<std::uint64_t>(i + 1)));
-    cfg.placement.push_back(FlowPlacement{i, -1});
+    // The prediction uses canonical (seed-1) per-type profiles — the same
+    // content keys Table 1 and the figure benches share via PROFILE_CACHE —
+    // while the deployment run gives each tenant its own traffic seed.
+    predict.flows.push_back(FlowSpec::of(tenants[i].type));
+    corun.flows.push_back(FlowSpec::of(tenants[i].type, static_cast<std::uint64_t>(i + 1)));
   }
 
-  std::printf("Validating against the consolidated deployment...\n\n");
-  const auto run = *eng.store().get_or_run(Scenario::of(tb, cfg));
+  std::printf("Profiling tenants offline (solo runs + SYN sweeps) and validating\n"
+              "against the consolidated deployment...\n\n");
+  const std::vector<api::Result> results = session.run_many({predict, corun});
+  const api::Result& predicted = results[0];
+  const api::Result& measured = results[1];
 
   TextTable t({"tenant", "type", "solo Mpps", "predicted drop (%)", "measured drop (%)",
                "consolidated Mpps"});
   for (int i = 0; i < 6; ++i) {
-    std::vector<FlowType> competitors;
-    for (int j = 0; j < 6; ++j) {
-      if (j != i) competitors.push_back(tenants[j].type);
-    }
-    const FlowMetrics& s = solo.profile(tenants[i].type);
+    const api::FlowReport& p = predicted.flows[static_cast<std::size_t>(i)];
+    const api::FlowReport& m = measured.flows[static_cast<std::size_t>(i)];
     t.add_row({tenants[i].name, to_string(tenants[i].type),
-               pp::strformat("%.2f", s.pps() / 1e6),
-               pp::strformat("%.1f", predictor.predict(tenants[i].type, competitors)),
-               pp::strformat("%.1f", drop_pct(s, run[static_cast<std::size_t>(i)])),
-               pp::strformat("%.2f", run[static_cast<std::size_t>(i)].pps() / 1e6)});
+               pp::strformat("%.2f", m.solo_pps / 1e6),
+               pp::strformat("%.1f", p.drop_pct),
+               pp::strformat("%.1f", m.drop_pct),
+               pp::strformat("%.2f", m.metrics.pps() / 1e6)});
   }
   std::printf("%s\n", t.to_text().c_str());
   std::printf(
       "The operator can now size SLAs against the *predicted* consolidated\n"
-      "throughput instead of over-provisioning for the unknown (Section 4).\n");
-  eng.print_store_stats("middlebox_consolidation");
+      "throughput instead of over-provisioning for the unknown (Section 4).\n"
+      "The measured column replays examples/specs/consolidation.json — try\n"
+      "  ppctl run examples/specs/consolidation.json --format json\n");
+  std::fprintf(stderr, "[middlebox_consolidation] profile store: %s\n",
+               session.store().stats_line().c_str());
   return 0;
 }

@@ -9,10 +9,10 @@
 // predictor to provision a box.
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "base/table.hpp"
 #include "click/parser.hpp"
 #include "click/router.hpp"
-#include "common.hpp"
 #include "core/workloads.hpp"
 #include "sim/machine.hpp"
 
@@ -71,13 +71,33 @@ int main() {
   std::printf("  L2 hits/packet    %8.2f\n",
               static_cast<double>(delta.l2_hits) / static_cast<double>(delta.packets));
 
-  // --- 2. The high-level way: the scenario engine all experiments use. ----
-  // Every profile is a content-addressed scenario in the ProfileStore, so
-  // repeated invocations (and other binaries profiling the same workloads
-  // with PROFILE_CACHE set) reuse these runs instead of re-simulating.
-  bench::Engine eng(/*seeds=*/1, Scale::kQuick);
-  std::printf("\nSolo profiles of all five paper workloads (Table 1 format):\n\n%s\n",
-              eng.solo.table1().to_text().c_str());
-  eng.print_store_stats("quickstart");
+  // --- 2. The high-level way: a declarative spec through the facade. -----
+  // Experiments are data: the same JSON runs via api::Session here, via
+  // `ppctl run spec.json` from a shell, and every profile it needs is a
+  // content-addressed scenario in the ProfileStore, so repeated invocations
+  // (and other binaries profiling the same workloads with PROFILE_CACHE
+  // set) reuse these runs instead of re-simulating.
+  const std::string spec_text = R"({
+    "version": 1,
+    "kind": "solo",
+    "name": "quickstart-solo-profiles",
+    "scale": "quick",
+    "flows": [
+      {"type": "IP"}, {"type": "MON"}, {"type": "FW"}, {"type": "RE"}, {"type": "VPN"}
+    ]
+  })";
+  std::string err;
+  const std::optional<api::ExperimentSpec> spec = api::ExperimentSpec::parse(spec_text, &err);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "spec error: %s\n", err.c_str());
+    return 1;
+  }
+  api::Session session(api::SessionOptions::from_env().with_scale(Scale::kQuick));
+  const api::Result result = session.run(*spec);
+  std::printf("\nSolo profiles of all five paper workloads (equivalently:\n"
+              "  ppctl run quickstart.json --scale quick):\n\n%s\n",
+              result.to_text().c_str());
+  std::fprintf(stderr, "[quickstart] profile store: %s\n",
+               session.store().stats_line().c_str());
   return 0;
 }

@@ -1,0 +1,88 @@
+// Session configuration — the one place environment variables are parsed.
+//
+// Every knob the platform used to read from scattered getenv() calls
+// (REPRO_SCALE, SIM_FIDELITY, SIM_SAMPLE_PERIOD_MAX, SWEEP_THREADS,
+// PROFILE_CACHE, PROFILE_CACHE_RO) is an explicit field of SessionOptions.
+// `SessionOptions::from_env()` performs the single audited parse: values are
+// validated, a typo like SIM_FIDELITY=streamd earns a stderr warning instead
+// of silently selecting the exact tier, and unrecognized SIM_*/PP_*/SWEEP_*/
+// REPRO_* variable names are reported once per process. The legacy helpers
+// (pp::scale_from_env, core::fidelity_from_env, core::host_threads_from_env,
+// ProfileStore::global) are thin shims over this snapshot, so the whole tree
+// sees one consistent configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "base/env.hpp"
+#include "sim/types.hpp"
+
+namespace pp::api {
+
+struct SessionOptions {
+  /// Workload scale (REPRO_SCALE): sizes, default windows, averaging seeds.
+  Scale scale = Scale::kStandard;
+
+  /// Simulation fidelity tier (SIM_FIDELITY: exact | sampled | streamed).
+  sim::SimFidelity fidelity = sim::SimFidelity::kExact;
+
+  /// Requested adaptive sampling-period ceiling (SIM_SAMPLE_PERIOD_MAX).
+  /// Unset = the tier default (the base period; 16 for the streamed tier).
+  /// Validated against the machine's base period at resolution time — see
+  /// resolve_sample_period_max().
+  std::optional<std::uint32_t> sample_period_max;
+
+  /// Host worker threads for parallel experiment execution (SWEEP_THREADS,
+  /// clamped to [1, 64]; default = hardware concurrency clamped to [1, 8]).
+  int threads = 1;
+
+  /// Read/write profile-cache directory (PROFILE_CACHE; "" = no persistence).
+  std::string cache_dir;
+
+  /// Read-only secondary cache directory (PROFILE_CACHE_RO; "" = none).
+  /// Consulted after `cache_dir` misses and never written — the first step
+  /// toward a store shared across machines.
+  std::string cache_dir_ro;
+
+  /// The audited environment snapshot (parsed once per process, warnings to
+  /// stderr on the first call). Returned by value so callers can override
+  /// individual fields without affecting the shared snapshot.
+  [[nodiscard]] static SessionOptions from_env();
+
+  /// Fluent field overrides for one-line construction.
+  [[nodiscard]] SessionOptions with_scale(Scale s) const {
+    SessionOptions o = *this;
+    o.scale = s;
+    return o;
+  }
+  [[nodiscard]] SessionOptions with_fidelity(sim::SimFidelity f) const {
+    SessionOptions o = *this;
+    o.fidelity = f;
+    return o;
+  }
+  [[nodiscard]] SessionOptions with_threads(int t) const {
+    SessionOptions o = *this;
+    o.threads = t < 1 ? 1 : t;
+    return o;
+  }
+
+  [[nodiscard]] bool operator==(const SessionOptions&) const = default;
+};
+
+/// Effective MachineConfig::sample_period_max for a tier: the tier default
+/// (base `sample_period`; 16 for kStreamed) unless `requested` holds a valid
+/// override — a power of two in [sample_period, 64]. Invalid requests are
+/// ignored (the parse already warned), mirroring the historical env-var
+/// semantics bit-for-bit.
+[[nodiscard]] std::uint32_t resolve_sample_period_max(sim::SimFidelity fidelity,
+                                                      std::uint32_t sample_period,
+                                                      std::optional<std::uint32_t> requested);
+
+/// Default averaging seeds per data point at a scale (the bench engine's
+/// historical sweep default: 3 at full scale, 1 otherwise — determinism keeps
+/// the per-seed variance tiny, as the paper notes for its 5-run averages).
+[[nodiscard]] int default_seeds(Scale s);
+
+}  // namespace pp::api

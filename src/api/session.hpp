@@ -1,0 +1,117 @@
+// The public facade: one entry point for executing declarative experiments.
+//
+// A Session bundles the scenario-engine stack — the content-addressed
+// ProfileStore plus the stateless profiler/predictor/placement views — behind
+// explicit SessionOptions instead of scattered getenv() calls, and executes
+// ExperimentSpecs into structured, serializable Results:
+//
+//   api::Session session;                                  // env-configured
+//   auto spec = api::ExperimentSpec::parse(file_text, &err);
+//   api::Result r = session.run(*spec);
+//   std::puts(r.to_json().c_str());
+//
+// run_many() fans independent specs over the host thread pool with
+// canonical-form dedup on top of the store's scenario-level single-flight,
+// so a batch of overlapping requests simulates each distinct machine state
+// exactly once. Results are bit-identical at any thread count (every
+// scenario run is a pure function; aggregation is in plan order).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spec.hpp"
+#include "core/placement.hpp"
+#include "core/predictor.hpp"
+#include "core/profile_store.hpp"
+#include "core/profiler.hpp"
+#include "core/sweep.hpp"
+
+namespace pp::api {
+
+/// Per-flow slice of a Result.
+struct FlowReport {
+  core::FlowSpec spec;        // the flow as requested
+  core::FlowMetrics metrics;  // solo/predict: seed-merged solo run; corun: in-mix
+  double solo_pps = 0;        // solo baseline throughput (pps)
+  double drop_pct = 0;        // corun: measured drop; predict: predicted drop
+};
+
+/// Structured answer to one spec. Which sections are filled depends on the
+/// kind: flows for solo/corun/predict, sweeps for sweep, study for
+/// placement_search. Serializes to JSON/text/CSV (schema: docs/api.md).
+struct Result {
+  ExperimentKind kind = ExperimentKind::kCorun;
+  std::string name;
+  Scale scale = Scale::kStandard;
+  sim::SimFidelity fidelity = sim::SimFidelity::kExact;
+  int seeds = 1;
+
+  std::vector<FlowReport> flows;
+  std::vector<core::SweepResult> sweeps;
+  std::optional<core::PlacementStudy> study;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// The stateless view stack over one store, configured from explicit options
+/// (what the bench engine builds per binary and Session builds per spec —
+/// construction is cheap; all measurement state lives in the store).
+struct ViewStack {
+  core::Testbed tb;
+  core::SoloProfiler solo;
+  core::SweepProfiler sweep;
+  core::ContentionPredictor predictor;
+  core::PlacementEvaluator placement;
+
+  /// `seeds` = averaging seeds per data point (0 = default_seeds(scale)).
+  ViewStack(const SessionOptions& opts, int seeds, core::ProfileStore& store);
+
+  ViewStack(const ViewStack&) = delete;
+  ViewStack& operator=(const ViewStack&) = delete;
+};
+
+class Session {
+ public:
+  struct Stats {
+    std::uint64_t specs_run = 0;     // specs actually executed
+    std::uint64_t specs_deduped = 0; // batch entries served by an identical spec
+  };
+
+  /// `store` (tests mostly) overrides the store choice; otherwise the
+  /// session uses the process-global store when `opts` names the same cache
+  /// directories as the environment (so benches/examples keep sharing one
+  /// memo table per process) and a private store for custom directories.
+  explicit Session(SessionOptions opts = SessionOptions::from_env(),
+                   core::ProfileStore* store = nullptr);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Execute one generic spec (artifact specs are a ppctl concern — they
+  /// render canned figure stdout rather than a structured Result). Safe to
+  /// call concurrently; every scenario is simulated at most once per store.
+  [[nodiscard]] Result run(const ExperimentSpec& spec);
+
+  /// Execute a batch: identical specs (by canonical JSON) run once, distinct
+  /// specs fan out over options().threads host threads. Results are in input
+  /// order and bit-identical to running the batch serially.
+  [[nodiscard]] std::vector<Result> run_many(const std::vector<ExperimentSpec>& specs);
+
+  [[nodiscard]] core::ProfileStore& store() const { return *store_; }
+  [[nodiscard]] const SessionOptions& options() const { return opts_; }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  SessionOptions opts_;
+  std::unique_ptr<core::ProfileStore> owned_store_;
+  core::ProfileStore* store_;
+  std::atomic<std::uint64_t> specs_run_{0};
+  std::atomic<std::uint64_t> specs_deduped_{0};
+};
+
+}  // namespace pp::api

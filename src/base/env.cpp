@@ -1,16 +1,13 @@
 #include "base/env.hpp"
 
-#include <cstdlib>
-#include <cstring>
+#include "api/options.hpp"
 
 namespace pp {
 
 Scale scale_from_env() {
-  const char* v = std::getenv("REPRO_SCALE");
-  if (v == nullptr) return Scale::kStandard;
-  if (std::strcmp(v, "quick") == 0) return Scale::kQuick;
-  if (std::strcmp(v, "full") == 0) return Scale::kFull;
-  return Scale::kStandard;
+  // Shim over the single audited environment parse (api/options.cpp):
+  // REPRO_SCALE is validated there, with a stderr warning on typos.
+  return api::SessionOptions::from_env().scale;
 }
 
 const char* to_string(Scale s) {

@@ -1,21 +1,18 @@
 #include "core/parallel.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <thread>
 #include <vector>
+
+#include "api/options.hpp"
 
 namespace pp::core {
 
 int host_threads_from_env() {
-  if (const char* v = std::getenv("SWEEP_THREADS"); v != nullptr) {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n >= 1) return n > 64 ? 64 : static_cast<int>(n);
-    return 1;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) return 1;
-  return hw > 8 ? 8 : static_cast<int>(hw);
+  // Shim over the single audited environment parse (api/options.cpp):
+  // SWEEP_THREADS is validated there (clamped to [1, 64], hardware
+  // concurrency clamped to [1, 8] when unset).
+  return api::SessionOptions::from_env().threads;
 }
 
 void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn) {

@@ -2,23 +2,26 @@
 
 #include <bit>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "api/options.hpp"
 #include "base/check.hpp"
 #include "base/strings.hpp"
 #include "core/parallel.hpp"
 
 namespace pp::core {
 
-ProfileStore::ProfileStore(std::string cache_dir) : dir_(std::move(cache_dir)) {}
+ProfileStore::ProfileStore(std::string cache_dir, std::string ro_dir)
+    : dir_(std::move(cache_dir)), ro_dir_(std::move(ro_dir)) {}
 
 ProfileStore& ProfileStore::global() {
+  // Cache directories come from the audited environment snapshot
+  // (PROFILE_CACHE / PROFILE_CACHE_RO via api::SessionOptions::from_env).
   static ProfileStore store = [] {
-    const char* v = std::getenv("PROFILE_CACHE");
-    return ProfileStore(v == nullptr ? std::string{} : std::string{v});
+    const api::SessionOptions opts = api::SessionOptions::from_env();
+    return ProfileStore(opts.cache_dir, opts.cache_dir_ro);
   }();
   return store;
 }
@@ -28,16 +31,19 @@ ProfileStore::Stats ProfileStore::stats() const {
   s.simulated = simulated_.load();
   s.memory_hits = memory_hits_.load();
   s.disk_hits = disk_hits_.load();
+  s.ro_hits = ro_hits_.load();
   s.coalesced = coalesced_.load();
   return s;
 }
 
 std::string ProfileStore::stats_line() const {
   const Stats s = stats();
-  return strformat("simulated=%llu memory_hits=%llu disk_hits=%llu coalesced=%llu",
+  return strformat("simulated=%llu memory_hits=%llu disk_hits=%llu ro_hits=%llu "
+                   "coalesced=%llu",
                    static_cast<unsigned long long>(s.simulated),
                    static_cast<unsigned long long>(s.memory_hits),
                    static_cast<unsigned long long>(s.disk_hits),
+                   static_cast<unsigned long long>(s.ro_hits),
                    static_cast<unsigned long long>(s.coalesced));
 }
 
@@ -71,8 +77,12 @@ std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run_keyed(const Scena
   }
 
   ScenarioResult r;
-  if (!dir_.empty() && load_from_disk(s, k, r)) {
+  if (!dir_.empty() && load_from_dir(dir_, k, r)) {
     disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!ro_dir_.empty() && load_from_dir(ro_dir_, k, r)) {
+    // Served straight from the read-only layer: counted separately and
+    // never copied into (or written back to) either directory.
+    ro_hits_.fetch_add(1, std::memory_order_relaxed);
   } else {
     r = run_scenario(s);
     simulated_.fetch_add(1, std::memory_order_relaxed);
@@ -129,14 +139,13 @@ std::vector<std::shared_ptr<const ScenarioResult>> ProfileStore::get_or_run_many
 
 // -------------------------------------------------------------- persistence
 
-std::string ProfileStore::path_of(const ScenarioKey& k) const {
-  return dir_ + "/" + k.hex() + ".json";
+std::string ProfileStore::path_in(const std::string& dir, const ScenarioKey& k) {
+  return dir + "/" + k.hex() + ".json";
 }
 
-bool ProfileStore::load_from_disk(const Scenario& s, const ScenarioKey& k,
-                                  ScenarioResult& out) const {
-  (void)s;
-  std::ifstream in(path_of(k));
+bool ProfileStore::load_from_dir(const std::string& dir, const ScenarioKey& k,
+                                 ScenarioResult& out) const {
+  std::ifstream in(path_in(dir, k));
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -147,7 +156,7 @@ void ProfileStore::save_to_disk(const Scenario& s, const ScenarioKey& k,
                                 const ScenarioResult& r) const {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
-  const std::string path = path_of(k);
+  const std::string path = path_in(dir_, k);
   // Write-then-rename so a concurrent reader never sees a torn file.
   const std::string tmp = path + ".tmp";
   {

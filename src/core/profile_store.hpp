@@ -36,11 +36,18 @@ class ProfileStore {
     std::uint64_t simulated = 0;    // scenarios actually run on this process
     std::uint64_t memory_hits = 0;  // served from the in-memory table
     std::uint64_t disk_hits = 0;    // loaded from the cache directory
+    std::uint64_t ro_hits = 0;      // loaded from the read-only secondary dir
     std::uint64_t coalesced = 0;    // waited on a concurrent identical run
   };
 
   /// `cache_dir` empty = in-memory only (the tier-1 test default).
-  explicit ProfileStore(std::string cache_dir = {});
+  /// `ro_dir` is an optional read-only secondary cache (PROFILE_CACHE_RO for
+  /// the global store): consulted after a `cache_dir` miss, before
+  /// simulating, and never written — so a result store populated elsewhere
+  /// (another build tree, a shared filesystem, eventually another machine;
+  /// content keys make that safe by construction) can be layered under a
+  /// local scratch cache.
+  explicit ProfileStore(std::string cache_dir = {}, std::string ro_dir = {});
 
   ProfileStore(const ProfileStore&) = delete;
   ProfileStore& operator=(const ProfileStore&) = delete;
@@ -61,6 +68,7 @@ class ProfileStore {
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const std::string& cache_dir() const { return dir_; }
+  [[nodiscard]] const std::string& ro_cache_dir() const { return ro_dir_; }
 
   /// One-line "simulated=N memory_hits=N disk_hits=N coalesced=N" summary
   /// (bench binaries print it to stderr so stdout stays byte-comparable).
@@ -77,17 +85,19 @@ class ProfileStore {
   [[nodiscard]] std::shared_ptr<const ScenarioResult> get_or_run_keyed(const Scenario& s,
                                                                        const ScenarioKey& k);
   [[nodiscard]] bool is_ready(const ScenarioKey& k) const;
-  [[nodiscard]] std::string path_of(const ScenarioKey& k) const;
-  [[nodiscard]] bool load_from_disk(const Scenario& s, const ScenarioKey& k,
-                                    ScenarioResult& out) const;
+  [[nodiscard]] static std::string path_in(const std::string& dir, const ScenarioKey& k);
+  [[nodiscard]] bool load_from_dir(const std::string& dir, const ScenarioKey& k,
+                                   ScenarioResult& out) const;
   void save_to_disk(const Scenario& s, const ScenarioKey& k, const ScenarioResult& r) const;
 
   std::string dir_;
+  std::string ro_dir_;
   mutable std::mutex mu_;  // guards map_
   std::unordered_map<std::string, std::shared_ptr<Entry>> map_;  // key hex -> entry
   std::atomic<std::uint64_t> simulated_{0};
   std::atomic<std::uint64_t> memory_hits_{0};
   std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> ro_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
 };
 

@@ -1,39 +1,21 @@
 #include "core/testbed.hpp"
 
-#include <cstdlib>
-#include <cstring>
-
+#include "api/options.hpp"
 #include "base/check.hpp"
 #include "core/scenario.hpp"
 
 namespace pp::core {
 
 sim::SimFidelity fidelity_from_env() {
-  const char* v = std::getenv("SIM_FIDELITY");
-  if (v != nullptr && std::strcmp(v, "sampled") == 0) return sim::SimFidelity::kSampled;
-  if (v != nullptr && std::strcmp(v, "streamed") == 0) return sim::SimFidelity::kStreamed;
-  return sim::SimFidelity::kExact;
+  // Shim over the single audited environment parse (api/options.cpp):
+  // SIM_FIDELITY typos warn there instead of silently running exact.
+  return api::SessionOptions::from_env().fidelity;
 }
 
 std::uint32_t sample_period_max_from_env(sim::SimFidelity fidelity,
                                          std::uint32_t sample_period) {
-  // The streamed tier is the "speed tier": it defaults to adaptive widening
-  // up to period 16 unless the operator pins the ceiling explicitly
-  // (fidelity-first: ceiling 32 pushes cache-friendly chains like MON to
-  // ~-7% pps, see docs/simulation_modes.md; 16 keeps every realistic chain
-  // within ~3%). Invalid values (not a power of two, below the base
-  // period, above 64) are ignored rather than fatal — the env var is
-  // operator convenience.
-  std::uint32_t v = fidelity == sim::SimFidelity::kStreamed ? 16U : sample_period;
-  if (const char* e = std::getenv("SIM_SAMPLE_PERIOD_MAX"); e != nullptr) {
-    char* end = nullptr;
-    const unsigned long parsed = std::strtoul(e, &end, 10);
-    if (end != e && *end == '\0' && parsed >= sample_period && parsed <= 64 &&
-        (parsed & (parsed - 1)) == 0) {
-      v = static_cast<std::uint32_t>(parsed);
-    }
-  }
-  return v;
+  return api::resolve_sample_period_max(fidelity, sample_period,
+                                        api::SessionOptions::from_env().sample_period_max);
 }
 
 RunConfig RunConfig::simple(std::vector<FlowSpec> flows, std::uint64_t seed) {

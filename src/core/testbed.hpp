@@ -37,6 +37,8 @@ namespace pp::core {
 struct FlowPlacement {
   int core = 0;
   int data_domain = -1;
+
+  [[nodiscard]] bool operator==(const FlowPlacement&) const = default;
 };
 
 struct RunConfig {
@@ -63,21 +65,27 @@ struct FlowMetrics {
   sim::Counters delta;
   std::vector<ElementStat> elements;  // includes the buffer pool ("skb_recycle")
 
-  [[nodiscard]] double pps() const { return static_cast<double>(delta.packets) / seconds; }
+  /// All ratio helpers define x/0 as 0 so degenerate windows (a spec with
+  /// measure_ms = 0, a flow that never got scheduled) report clean zeros
+  /// instead of NaN/Inf leaking into JSON output and downstream arithmetic.
+  [[nodiscard]] static double ratio(double num, double den) {
+    return den > 0 ? num / den : 0.0;
+  }
+  [[nodiscard]] double pps() const { return ratio(static_cast<double>(delta.packets), seconds); }
   [[nodiscard]] double refs_per_sec() const {
-    return static_cast<double>(delta.l3_refs) / seconds;
+    return ratio(static_cast<double>(delta.l3_refs), seconds);
   }
   [[nodiscard]] double hits_per_sec() const {
-    return static_cast<double>(delta.l3_hits()) / seconds;
+    return ratio(static_cast<double>(delta.l3_hits()), seconds);
   }
   [[nodiscard]] double misses_per_sec() const {
-    return static_cast<double>(delta.l3_misses) / seconds;
+    return ratio(static_cast<double>(delta.l3_misses), seconds);
   }
   [[nodiscard]] double cpi() const {
-    return static_cast<double>(delta.cycles) / static_cast<double>(delta.instructions);
+    return ratio(static_cast<double>(delta.cycles), static_cast<double>(delta.instructions));
   }
   [[nodiscard]] double per_packet(std::uint64_t v) const {
-    return static_cast<double>(v) / static_cast<double>(delta.packets);
+    return ratio(static_cast<double>(v), static_cast<double>(delta.packets));
   }
   [[nodiscard]] double cycles_per_packet() const { return per_packet(delta.cycles); }
   [[nodiscard]] double refs_per_packet() const { return per_packet(delta.l3_refs); }

@@ -34,6 +34,8 @@ struct SynParams {
   std::uint64_t reads = 32;
   std::uint64_t instr = 0;
   std::uint64_t table_mb = 12;
+
+  [[nodiscard]] bool operator==(const SynParams&) const = default;
 };
 
 /// Structure sizes per scale. `full` matches the paper; smaller scales keep
@@ -62,6 +64,8 @@ struct FlowSpec {
   /// FromDevice burst size (BATCH driver arg; 1 = per-packet execution,
   /// bit-identical to the pre-batching platform). Ignored by kSyn/kSynMax.
   int batch = 1;
+
+  [[nodiscard]] bool operator==(const FlowSpec&) const = default;
 
   [[nodiscard]] static FlowSpec of(FlowType t, std::uint64_t seed = 1) {
     FlowSpec s;

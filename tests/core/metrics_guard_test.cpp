@@ -1,0 +1,61 @@
+// FlowMetrics ratio helpers must be total functions: zero-packet or
+// zero-second windows (degenerate specs, idle flows) report 0, never
+// NaN/Inf/UB — downstream JSON serialization and drop arithmetic rely on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/profiler.hpp"
+#include "core/testbed.hpp"
+
+namespace pp::core {
+namespace {
+
+TEST(FlowMetrics, ZeroWindowRatiosAreZero) {
+  const FlowMetrics m{};  // all counters and seconds zero
+  EXPECT_EQ(m.pps(), 0.0);
+  EXPECT_EQ(m.refs_per_sec(), 0.0);
+  EXPECT_EQ(m.hits_per_sec(), 0.0);
+  EXPECT_EQ(m.misses_per_sec(), 0.0);
+  EXPECT_EQ(m.cpi(), 0.0);
+  EXPECT_EQ(m.cycles_per_packet(), 0.0);
+  EXPECT_EQ(m.refs_per_packet(), 0.0);
+  EXPECT_EQ(m.misses_per_packet(), 0.0);
+  EXPECT_EQ(m.l2_hits_per_packet(), 0.0);
+}
+
+TEST(FlowMetrics, ZeroPacketWindowWithElapsedTime) {
+  FlowMetrics m{};
+  m.seconds = 0.5;
+  m.delta.cycles = 1000;
+  m.delta.instructions = 0;  // e.g. a flow that never got scheduled
+  EXPECT_EQ(m.pps(), 0.0);
+  EXPECT_EQ(m.cpi(), 0.0) << "cycles with zero instructions must not divide";
+  EXPECT_EQ(m.cycles_per_packet(), 0.0);
+  EXPECT_TRUE(std::isfinite(m.refs_per_sec()));
+}
+
+TEST(FlowMetrics, NormalRatiosUnaffectedByTheGuard) {
+  FlowMetrics m{};
+  m.seconds = 2.0;
+  m.delta.packets = 10;
+  m.delta.cycles = 400;
+  m.delta.instructions = 200;
+  m.delta.l3_refs = 30;
+  EXPECT_DOUBLE_EQ(m.pps(), 5.0);
+  EXPECT_DOUBLE_EQ(m.cpi(), 2.0);
+  EXPECT_DOUBLE_EQ(m.cycles_per_packet(), 40.0);
+  EXPECT_DOUBLE_EQ(m.refs_per_packet(), 3.0);
+}
+
+TEST(FlowMetrics, DropPctGuardsZeroSoloThroughput) {
+  const FlowMetrics zero{};
+  FlowMetrics measured{};
+  measured.seconds = 1.0;
+  measured.delta.packets = 5;
+  EXPECT_EQ(drop_pct(zero, measured), 0.0);
+  EXPECT_EQ(drop_pct(zero, zero), 0.0);
+}
+
+}  // namespace
+}  // namespace pp::core

@@ -1,0 +1,127 @@
+// The read-only secondary cache layer (PROFILE_CACHE_RO): hits are served
+// without simulating, misses fall through to simulation, and the RO
+// directory is never written — the contract that makes it safe to point at
+// a store populated by another build tree or (eventually) another machine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/profile_store.hpp"
+
+namespace pp::core {
+namespace {
+
+Scenario tiny_scenario(std::uint64_t seed = 1) {
+  Testbed tb(Scale::kQuick, 1);
+  tb.machine_config().fidelity = sim::SimFidelity::kExact;
+  RunConfig cfg = tb.configure({FlowSpec::of(FlowType::kMon)}, seed);
+  cfg.warmup_ms = 0.2;
+  cfg.measure_ms = 0.4;
+  return Scenario::of(tb, cfg);
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "pp_ro_store_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::size_t file_count(const std::string& dir) {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::directory_iterator(dir, ec);
+       !ec && it != std::filesystem::directory_iterator(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+std::filesystem::file_time_type mtime_of_only_file(const std::string& dir) {
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    return std::filesystem::last_write_time(entry.path());
+  }
+  return {};
+}
+
+TEST(ProfileStoreRo, HitServesWithoutSimulatingOrWriting) {
+  const std::string shared = fresh_dir("hit_shared");
+  const Scenario s = tiny_scenario();
+
+  // Populate the shared directory through a writable store.
+  ScenarioResult reference;
+  {
+    ProfileStore writer(shared);
+    reference = *writer.get_or_run(s);
+    ASSERT_EQ(writer.stats().simulated, 1U);
+    ASSERT_EQ(file_count(shared), 1U);
+  }
+  const auto mtime_before = mtime_of_only_file(shared);
+
+  // A store with *only* the read-only layer serves the result from it.
+  ProfileStore reader({}, shared);
+  const ScenarioResult got = *reader.get_or_run(s);
+  const ProfileStore::Stats st = reader.stats();
+  EXPECT_EQ(st.simulated, 0U) << "an RO hit must not re-simulate";
+  EXPECT_EQ(st.ro_hits, 1U);
+  EXPECT_EQ(st.disk_hits, 0U);
+  ASSERT_EQ(got.size(), reference.size());
+  EXPECT_EQ(got[0].seconds, reference[0].seconds);  // bit-exact reload
+  EXPECT_EQ(got[0].delta.cycles, reference[0].delta.cycles);
+  EXPECT_EQ(got[0].delta.packets, reference[0].delta.packets);
+
+  // ...and never touches the directory.
+  EXPECT_EQ(file_count(shared), 1U);
+  EXPECT_EQ(mtime_of_only_file(shared), mtime_before);
+}
+
+TEST(ProfileStoreRo, MissSimulatesAndWritesOnlyThePrimary) {
+  const std::string shared = fresh_dir("miss_shared");
+  const std::string primary = fresh_dir("miss_primary");
+
+  // The RO layer knows seed 1 only.
+  {
+    ProfileStore writer(shared);
+    (void)writer.get_or_run(tiny_scenario(1));
+  }
+  ASSERT_EQ(file_count(shared), 1U);
+
+  // Seed 2 misses both layers: it must simulate and persist to the primary
+  // directory, leaving the RO directory untouched.
+  ProfileStore store(primary, shared);
+  (void)store.get_or_run(tiny_scenario(2));
+  const ProfileStore::Stats st = store.stats();
+  EXPECT_EQ(st.simulated, 1U);
+  EXPECT_EQ(st.ro_hits, 0U);
+  EXPECT_EQ(file_count(primary), 1U);
+  EXPECT_EQ(file_count(shared), 1U) << "the RO layer must never be written";
+
+  // Seed 1 now hits the RO layer (after the primary misses) — still no copy
+  // into the primary.
+  (void)store.get_or_run(tiny_scenario(1));
+  EXPECT_EQ(store.stats().ro_hits, 1U);
+  EXPECT_EQ(store.stats().simulated, 1U);
+  EXPECT_EQ(file_count(primary), 1U) << "RO hits are not copied forward";
+}
+
+TEST(ProfileStoreRo, PrimaryWinsWhenBothLayersHold) {
+  const std::string shared = fresh_dir("both_shared");
+  const std::string primary = fresh_dir("both_primary");
+  const Scenario s = tiny_scenario();
+  {
+    ProfileStore writer(shared);
+    (void)writer.get_or_run(s);
+  }
+  {
+    ProfileStore writer(primary);
+    (void)writer.get_or_run(s);
+  }
+
+  ProfileStore store(primary, shared);
+  (void)store.get_or_run(s);
+  EXPECT_EQ(store.stats().disk_hits, 1U);
+  EXPECT_EQ(store.stats().ro_hits, 0U);
+  EXPECT_EQ(store.stats().simulated, 0U);
+}
+
+}  // namespace
+}  // namespace pp::core

@@ -1,0 +1,321 @@
+// ppctl — the command-line front end of the pp::api experiment facade.
+//
+// Experiments are data: a JSON ExperimentSpec file fully describes machine
+// knobs, flows, placement, windows, seeds and what to compute, and ppctl
+// executes any such file (or builds one from flags) and prints text, CSV or
+// JSON. Specs with an "artifact" field reproduce the corresponding bench
+// binary's stdout byte-identically. See docs/api.md for the schema.
+//
+//   ppctl run <spec.json>...      execute spec files (batched, deduped)
+//   ppctl sweep  --flows T,..     SYN-sweep each listed flow type
+//   ppctl predict --flows T,..    predict per-flow drop in the listed mix
+//   ppctl solo   --flows T,..     solo-profile each listed flow type
+//   ppctl corun  --flows T,..     run the listed mix and measure drops
+//   ppctl show <spec.json>...     parse, validate and reprint canonically
+//
+// Common flags:
+//   --scale quick|standard|full    workload scale        (default: REPRO_SCALE)
+//   --fidelity exact|sampled|streamed                    (default: SIM_FIDELITY)
+//   --threads N                    host worker threads   (default: SWEEP_THREADS)
+//   --cache DIR                    read/write result cache (default: PROFILE_CACHE)
+//   --cache-ro DIR                 read-only secondary cache (default: PROFILE_CACHE_RO)
+//   --seeds N                      averaging seeds per data point
+//   --seed N                       base run seed (solo/corun)
+//   --mode cache|memctrl|both      sweep contention placement
+//   --format text|csv|json         output format (default: text)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "api/spec.hpp"
+#include "base/strings.hpp"
+#include "figures.hpp"
+
+namespace {
+
+using namespace pp;
+
+enum class Format { kText, kCsv, kJson };
+
+struct CliOptions {
+  api::SessionOptions session = api::SessionOptions::from_env();
+  Format format = Format::kText;
+  // Spec-field overrides applied to every spec (file-loaded or flag-built).
+  std::optional<Scale> scale;
+  std::optional<sim::SimFidelity> fidelity;
+  std::optional<int> seeds;
+  std::optional<std::uint64_t> seed;
+  std::optional<core::ContentionMode> mode;
+  std::vector<core::FlowSpec> flows;
+};
+
+int usage(FILE* to) {
+  std::fprintf(
+      to,
+      "ppctl — declarative experiment runner for the pp platform\n"
+      "\n"
+      "usage:\n"
+      "  ppctl run <spec.json>...     execute spec files (see docs/api.md)\n"
+      "  ppctl show <spec.json>...    validate and reprint specs canonically\n"
+      "  ppctl sweep   --flows T,..   SYN-sweep each listed flow type\n"
+      "  ppctl predict --flows T,..   predict per-flow drop in the listed mix\n"
+      "  ppctl solo    --flows T,..   solo-profile each listed flow type\n"
+      "  ppctl corun   --flows T,..   run the listed mix and measure drops\n"
+      "\n"
+      "flags: --scale S --fidelity F --threads N --cache DIR --cache-ro DIR\n"
+      "       --seeds N --seed N --mode cache|memctrl|both --format text|csv|json\n"
+      "\n"
+      "flow types: IP MON FW RE VPN SYN SYN_MAX\n");
+  return to == stdout ? 0 : 2;
+}
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "ppctl: %s\n", msg.c_str());
+  return 2;
+}
+
+[[nodiscard]] bool parse_flow_list(const std::string& arg, std::vector<core::FlowSpec>& out,
+                                   std::string& err) {
+  for (const std::string& item : split(arg, ',')) {
+    const std::string name(trim(item));
+    core::FlowType type = core::FlowType::kIp;
+    if (!api::flow_type_from_string(name, type)) {
+      err = "unknown flow type \"" + name + "\" (expected IP|MON|FW|RE|VPN|SYN|SYN_MAX)";
+      return false;
+    }
+    out.push_back(core::FlowSpec::of(type));
+  }
+  if (out.empty()) {
+    err = "--flows needs at least one flow type";
+    return false;
+  }
+  return true;
+}
+
+/// Parse trailing flags; positional arguments (spec files) collect in
+/// `positional`. Returns -1 to continue, or an exit code.
+int parse_flags(int argc, char** argv, int start, CliOptions& cli,
+                std::vector<std::string>& positional) {
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      (void)flag;
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") return usage(stdout);
+    if (a == "--format") {
+      const char* v = value("--format");
+      if (v == nullptr) return fail("--format needs a value");
+      if (std::strcmp(v, "text") == 0) cli.format = Format::kText;
+      else if (std::strcmp(v, "csv") == 0) cli.format = Format::kCsv;
+      else if (std::strcmp(v, "json") == 0) cli.format = Format::kJson;
+      else return fail("unknown --format (expected text|csv|json)");
+    } else if (a == "--scale") {
+      const char* v = value("--scale");
+      if (v == nullptr) return fail("--scale needs a value");
+      if (std::strcmp(v, "quick") == 0) cli.scale = Scale::kQuick;
+      else if (std::strcmp(v, "standard") == 0) cli.scale = Scale::kStandard;
+      else if (std::strcmp(v, "full") == 0) cli.scale = Scale::kFull;
+      else return fail("unknown --scale (expected quick|standard|full)");
+    } else if (a == "--fidelity") {
+      const char* v = value("--fidelity");
+      if (v == nullptr) return fail("--fidelity needs a value");
+      if (std::strcmp(v, "exact") == 0) cli.fidelity = sim::SimFidelity::kExact;
+      else if (std::strcmp(v, "sampled") == 0) cli.fidelity = sim::SimFidelity::kSampled;
+      else if (std::strcmp(v, "streamed") == 0) cli.fidelity = sim::SimFidelity::kStreamed;
+      else return fail("unknown --fidelity (expected exact|sampled|streamed)");
+    } else if (a == "--threads") {
+      const char* v = value("--threads");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 64) {
+        return fail("--threads needs an integer in [1, 64]");
+      }
+      cli.session.threads = static_cast<int>(n);
+    } else if (a == "--cache") {
+      const char* v = value("--cache");
+      if (v == nullptr) return fail("--cache needs a directory");
+      cli.session.cache_dir = v;
+    } else if (a == "--cache-ro") {
+      const char* v = value("--cache-ro");
+      if (v == nullptr) return fail("--cache-ro needs a directory");
+      cli.session.cache_dir_ro = v;
+    } else if (a == "--seeds") {
+      const char* v = value("--seeds");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 16) {
+        return fail("--seeds needs an integer in [1, 16]");
+      }
+      cli.seeds = static_cast<int>(n);
+    } else if (a == "--seed") {
+      const char* v = value("--seed");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1) {
+        return fail("--seed needs an integer >= 1");
+      }
+      cli.seed = n;
+    } else if (a == "--mode") {
+      const char* v = value("--mode");
+      if (v == nullptr) return fail("--mode needs a value");
+      if (std::strcmp(v, "cache") == 0 || std::strcmp(v, "cache-only") == 0) {
+        cli.mode = core::ContentionMode::kCacheOnly;
+      } else if (std::strcmp(v, "memctrl") == 0 || std::strcmp(v, "memctrl-only") == 0) {
+        cli.mode = core::ContentionMode::kMemCtrlOnly;
+      } else if (std::strcmp(v, "both") == 0) {
+        cli.mode = core::ContentionMode::kBoth;
+      } else {
+        return fail("unknown --mode (expected cache|memctrl|both)");
+      }
+    } else if (a == "--flows") {
+      const char* v = value("--flows");
+      if (v == nullptr) return fail("--flows needs a comma-separated list");
+      std::string err;
+      if (!parse_flow_list(v, cli.flows, err)) return fail(err);
+    } else if (!a.empty() && a[0] == '-') {
+      return fail("unknown flag \"" + a + "\" (see ppctl --help)");
+    } else {
+      positional.push_back(a);
+    }
+  }
+  return -1;
+}
+
+/// Apply the CLI's spec-field overrides and re-validate the combined spec
+/// (by round-tripping its canonical form through the strict parser), so a
+/// flag that contradicts the spec's kind — `--mode` on a corun file,
+/// `--seed` on a sweep — is rejected exactly like the same field written in
+/// the file, never half-applied.
+[[nodiscard]] bool override_spec(const CliOptions& cli, api::ExperimentSpec& spec,
+                                 std::string& err) {
+  if (cli.scale.has_value()) spec.scale = cli.scale;
+  if (cli.fidelity.has_value()) spec.fidelity = cli.fidelity;
+  if (cli.seeds.has_value()) spec.seeds = *cli.seeds;
+  if (cli.seed.has_value()) spec.seed = *cli.seed;
+  if (cli.mode.has_value()) spec.mode = *cli.mode;
+  const std::optional<api::ExperimentSpec> checked =
+      api::ExperimentSpec::parse(spec.to_json(), &err);
+  if (!checked.has_value()) {
+    err = "flags conflict with the spec: " + err;
+    return false;
+  }
+  spec = *checked;
+  return true;
+}
+
+[[nodiscard]] bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+void print_result(const api::Result& r, Format format) {
+  switch (format) {
+    case Format::kText:
+      std::printf("%s\n", r.to_text().c_str());
+      break;
+    case Format::kCsv:
+      std::printf("%s", r.to_csv().c_str());
+      break;
+    case Format::kJson:
+      std::printf("%s", r.to_json().c_str());
+      break;
+  }
+  std::fflush(stdout);
+}
+
+int run_specs(const CliOptions& cli, std::vector<api::ExperimentSpec> specs) {
+  // Artifact specs render canned bench stdout (byte-identical to the bench
+  // binary, always text — so they print first, whatever the argument
+  // order); generic specs execute through one Session as a deduped batch.
+  std::vector<api::ExperimentSpec> generic;
+  for (const api::ExperimentSpec& spec : specs) {
+    if (spec.artifact.empty()) {
+      generic.push_back(spec);
+      continue;
+    }
+    if (cli.format != Format::kText) {
+      std::fprintf(stderr,
+                   "ppctl: note: artifact \"%s\" always prints the bench's text output; "
+                   "--format does not apply\n",
+                   spec.artifact.c_str());
+    }
+    const int rc = pp::bench::run_artifact(spec, cli.session);
+    if (rc != 0) return rc < 0 ? fail("unknown artifact \"" + spec.artifact + "\"") : rc;
+  }
+  if (generic.empty()) return 0;
+
+  api::Session session(cli.session);
+  const std::vector<api::Result> results = session.run_many(generic);
+  for (const api::Result& r : results) print_result(r, cli.format);
+  std::fprintf(stderr, "[ppctl] profile store: %s\n", session.store().stats_line().c_str());
+  return 0;
+}
+
+int cmd_run(const CliOptions& cli, const std::vector<std::string>& files) {
+  if (files.empty()) return fail("run: no spec files given");
+  std::vector<api::ExperimentSpec> specs;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) return fail("cannot read " + path);
+    std::string err;
+    std::optional<api::ExperimentSpec> spec = api::ExperimentSpec::parse(text, &err);
+    if (!spec.has_value()) return fail(path + ": " + err);
+    if (!override_spec(cli, *spec, err)) return fail(path + ": " + err);
+    specs.push_back(std::move(*spec));
+  }
+  return run_specs(cli, std::move(specs));
+}
+
+int cmd_show(const CliOptions& cli, const std::vector<std::string>& files) {
+  if (files.empty()) return fail("show: no spec files given");
+  for (const std::string& path : files) {
+    std::string text;
+    if (!read_file(path, text)) return fail("cannot read " + path);
+    std::string err;
+    std::optional<api::ExperimentSpec> spec = api::ExperimentSpec::parse(text, &err);
+    if (!spec.has_value()) return fail(path + ": " + err);
+    if (!override_spec(cli, *spec, err)) return fail(path + ": " + err);
+    std::printf("%s", spec->to_json().c_str());
+  }
+  return 0;
+}
+
+int cmd_inline(const CliOptions& cli, api::ExperimentKind kind) {
+  if (cli.flows.empty()) {
+    return fail(std::string(to_string(kind)) + ": requires --flows (e.g. --flows MON,VPN)");
+  }
+  api::ExperimentSpec spec;
+  spec.kind = kind;
+  spec.flows = cli.flows;
+  std::string err;
+  if (!override_spec(cli, spec, err)) return fail(err);
+  return run_specs(cli, {spec});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(stderr);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(stdout);
+
+  CliOptions cli;
+  std::vector<std::string> positional;
+  const int rc = parse_flags(argc, argv, 2, cli, positional);
+  if (rc >= 0) return rc;
+
+  if (cmd == "run") return cmd_run(cli, positional);
+  if (cmd == "show") return cmd_show(cli, positional);
+  if (cmd == "sweep") return cmd_inline(cli, api::ExperimentKind::kSweep);
+  if (cmd == "predict") return cmd_inline(cli, api::ExperimentKind::kPredict);
+  if (cmd == "solo") return cmd_inline(cli, api::ExperimentKind::kSolo);
+  if (cmd == "corun") return cmd_inline(cli, api::ExperimentKind::kCorun);
+  return fail("unknown command \"" + cmd + "\" (see ppctl --help)");
+}
