@@ -49,8 +49,9 @@ constexpr int kBatch = 32;  // burst size for the batched runs
 constexpr double kSampledPpsTolerancePct = 3.5;
 
 /// BENCH_pipeline.json layout version (bumped with every field change so
-/// downstream tooling can dispatch; v2 added the per-tier streamed fields).
-constexpr int kJsonSchemaVersion = 2;
+/// downstream tooling can dispatch; v2 added the per-tier streamed fields,
+/// v3 the "robustness" store/fault counters).
+constexpr int kJsonSchemaVersion = 3;
 
 struct StageResult {
   double pps = 0;
@@ -165,6 +166,11 @@ struct CacheDemo {
   double cold_host_seconds = 0;
   double warm_host_seconds = 0;
   std::uint64_t warm_simulated = 0;
+  // Robustness counters from the demo store after the warm pass (all zero in
+  // a healthy fault-free run; the fault-injection CI job drives them).
+  std::uint64_t quarantined = 0;
+  std::uint64_t persist_errors = 0;
+  bool memory_only = false;
 };
 
 struct HostTotals {
@@ -232,6 +238,12 @@ void emit_json_to(std::FILE* f, const std::vector<ConfigRun>& runs, const HostTo
                "\"warm_host_seconds\": %.6f, \"warm_simulated\": %llu},\n",
                cache.cold_host_seconds, cache.warm_host_seconds,
                static_cast<unsigned long long>(cache.warm_simulated));
+  std::fprintf(f,
+               "  \"robustness\": {\"quarantined\": %llu, \"persist_errors\": %llu, "
+               "\"memory_only\": %d, \"faults_enabled\": %d},\n",
+               static_cast<unsigned long long>(cache.quarantined),
+               static_cast<unsigned long long>(cache.persist_errors),
+               cache.memory_only ? 1 : 0, pp::FaultInjector::global().enabled() ? 1 : 0);
   std::fprintf(f, "  \"total_host_seconds_per_packet\": %.6f,\n", totals.per_packet);
   std::fprintf(f, "  \"total_host_seconds_batched\": %.6f,\n", totals.batched);
   if (totals.sampled > 0) {
@@ -437,6 +449,9 @@ int main() {
     cache.cold_host_seconds = std::chrono::duration<double>(host_t1 - host_t0).count();
     cache.warm_host_seconds = std::chrono::duration<double>(host_t2 - host_t1).count();
     cache.warm_simulated = store.stats().simulated - simulated_after_cold;
+    cache.quarantined = store.stats().quarantined;
+    cache.persist_errors = store.stats().persist_errors;
+    cache.memory_only = store.stats().memory_only;
     PP_CHECK(cold.levels.size() == warm.levels.size());
     for (std::size_t i = 0; i < cold.levels.size(); ++i) {
       PP_CHECK(cold.levels[i].drop_pct == warm.levels[i].drop_pct);

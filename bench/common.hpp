@@ -22,6 +22,7 @@
 
 #include "api/session.hpp"
 #include "base/env.hpp"
+#include "base/fault.hpp"
 #include "base/table.hpp"
 #include "core/placement.hpp"
 #include "core/predictor.hpp"
@@ -114,9 +115,15 @@ struct Engine {
 
   /// Store-stats footer. Stderr on purpose: the CI warm-cache job diffs
   /// stdout between a cold and a warm run and greps this line for
-  /// "simulated=0" on the warm one.
+  /// "simulated=0" on the warm one; the fault-injection smoke job greps it
+  /// for nonzero quarantined/persist_errors counters while asserting stdout
+  /// stays byte-identical to a fault-free run.
   void print_store_stats(const char* bench) const {
     std::fprintf(stderr, "[%s] profile store: %s\n", bench, store().stats_line().c_str());
+    if (FaultInjector::global().enabled()) {
+      std::fprintf(stderr, "[%s] faults: %s\n", bench,
+                   FaultInjector::global().stats_line().c_str());
+    }
   }
 };
 

@@ -24,6 +24,7 @@ void warn(const char* fmt, const char* value) {
 constexpr const char* kKnownVars[] = {
     "REPRO_SCALE",    "SIM_FIDELITY",  "SIM_SAMPLE_PERIOD_MAX",
     "SWEEP_THREADS",  "PROFILE_CACHE", "PROFILE_CACHE_RO",
+    "PP_RUN_BUDGET",  "PP_FAULTS",
 };
 
 constexpr const char* kAuditedPrefixes[] = {"SIM_", "PP_", "SWEEP_", "REPRO_",
@@ -53,7 +54,7 @@ void audit_unknown_names() {
     if (!known) {
       warn("unrecognized environment variable %s (known: REPRO_SCALE, "
            "SIM_FIDELITY, SIM_SAMPLE_PERIOD_MAX, SWEEP_THREADS, "
-           "PROFILE_CACHE, PROFILE_CACHE_RO)",
+           "PROFILE_CACHE, PROFILE_CACHE_RO, PP_RUN_BUDGET, PP_FAULTS)",
            std::string(name).c_str());
     }
   }
@@ -121,6 +122,17 @@ SessionOptions parse_env() {
 
   if (const char* v = std::getenv("PROFILE_CACHE"); v != nullptr) o.cache_dir = v;
   if (const char* v = std::getenv("PROFILE_CACHE_RO"); v != nullptr) o.cache_dir_ro = v;
+
+  if (const char* v = std::getenv("PP_RUN_BUDGET"); v != nullptr) {
+    char* end = nullptr;
+    const double ms = std::strtod(v, &end);
+    if (end == v || *end != '\0' || !(ms > 0)) {
+      warn("invalid PP_RUN_BUDGET=%s (expected simulated milliseconds > 0); "
+           "running without a budget", v);
+    } else {
+      o.run_budget_ms = ms;
+    }
+  }
   return o;
 }
 

@@ -2,7 +2,10 @@
 //
 // Every knob the platform used to read from scattered getenv() calls
 // (REPRO_SCALE, SIM_FIDELITY, SIM_SAMPLE_PERIOD_MAX, SWEEP_THREADS,
-// PROFILE_CACHE, PROFILE_CACHE_RO) is an explicit field of SessionOptions.
+// PROFILE_CACHE, PROFILE_CACHE_RO, PP_RUN_BUDGET) is an explicit field of
+// SessionOptions. PP_FAULTS (the fault-injection spec, base/fault.hpp) is
+// audited here but parsed by FaultInjector::global(), since base/ cannot
+// depend on this layer.
 // `SessionOptions::from_env()` performs the single audited parse: values are
 // validated, a typo like SIM_FIDELITY=streamd earns a stderr warning instead
 // of silently selecting the exact tier, and unrecognized SIM_*/PP_*/SWEEP_*/
@@ -45,6 +48,11 @@ struct SessionOptions {
   /// Consulted after `cache_dir` misses and never written — the first step
   /// toward a store shared across machines.
   std::string cache_dir_ro;
+
+  /// Per-run execution budget in simulated milliseconds (PP_RUN_BUDGET;
+  /// 0 = unlimited). A scenario whose windows exceed it refuses to run with
+  /// a structured BudgetExceeded error — see Scenario::budget_ms.
+  double run_budget_ms = 0;
 
   /// The audited environment snapshot (parsed once per process, warnings to
   /// stderr on the first call). Returned by value so callers can override

@@ -26,6 +26,7 @@ ViewStack::ViewStack(const SessionOptions& opts, int seeds, core::ProfileStore& 
   m.fidelity = opts.fidelity;
   m.sample_period_max =
       resolve_sample_period_max(opts.fidelity, m.sample_period, opts.sample_period_max);
+  tb.set_run_budget_ms(opts.run_budget_ms);
 }
 
 // ----------------------------------------------------------------- session
@@ -48,22 +49,15 @@ Session::Stats Session::stats() const {
   Stats s;
   s.specs_run = specs_run_.load();
   s.specs_deduped = specs_deduped_.load();
+  s.specs_failed = specs_failed_.load();
   return s;
 }
 
 Result Session::run(const ExperimentSpec& spec) {
-  PP_CHECK(spec.artifact.empty() && !spec.flows.empty());
   specs_run_.fetch_add(1, std::memory_order_relaxed);
 
   const SessionOptions eff = apply_spec(spec, opts_);
-  ViewStack v(eff, spec.seeds, *store_);
   const int seeds = spec.seeds > 0 ? spec.seeds : default_seeds(eff.scale);
-
-  // Seed-averaged solo baseline of one flow, fanned over the *session's*
-  // thread budget (SoloProfiler::profile_spec would use the environment's).
-  const auto solo_baseline = [&](const core::FlowSpec& f) {
-    return core::SoloProfiler::merge_plan(store_->get_or_run_many(v.solo.plan(f), eff.threads));
-  };
 
   Result res;
   res.kind = spec.kind;
@@ -72,73 +66,109 @@ Result Session::run(const ExperimentSpec& spec) {
   res.fidelity = eff.fidelity;
   res.seeds = seeds;
 
-  switch (spec.kind) {
-    case ExperimentKind::kSolo: {
-      const std::vector<core::Scenario> plan = lower_spec(spec, v.tb);
-      const auto runs = store_->get_or_run_many(plan, eff.threads);
-      for (std::size_t i = 0; i < spec.flows.size(); ++i) {
-        const std::vector<std::shared_ptr<const core::ScenarioResult>> slice(
-            runs.begin() + static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(seeds)),
-            runs.begin() +
-                static_cast<std::ptrdiff_t>((i + 1) * static_cast<std::size_t>(seeds)));
-        FlowReport fr;
-        fr.spec = spec.flows[i];
-        fr.metrics = core::SoloProfiler::merge_plan(slice);
-        fr.solo_pps = fr.metrics.pps();
-        res.flows.push_back(std::move(fr));
-      }
-      break;
-    }
-    case ExperimentKind::kCorun: {
-      const std::vector<core::Scenario> plan = lower_spec(spec, v.tb);
-      const auto runs = store_->get_or_run_many(plan, eff.threads);
-      for (std::size_t i = 0; i < spec.flows.size(); ++i) {
-        std::vector<core::FlowMetrics> per_seed;
-        per_seed.reserve(runs.size());
-        for (const auto& r : runs) per_seed.push_back((*r)[i]);
-        FlowReport fr;
-        fr.spec = spec.flows[i];
-        fr.metrics = core::merge_metrics(per_seed);
-        const core::FlowMetrics solo = solo_baseline(spec.flows[i]);
-        fr.solo_pps = solo.pps();
-        fr.drop_pct = core::drop_pct(solo, fr.metrics);
-        res.flows.push_back(std::move(fr));
-      }
-      break;
-    }
-    case ExperimentKind::kSweep: {
-      res.sweeps = v.sweep.sweep_many(spec.flows, spec.mode,
-                                      core::SweepProfiler::default_levels(eff.scale));
-      break;
-    }
-    case ExperimentKind::kPredict: {
-      // Section 4 verbatim, generalized to arbitrary FlowSpecs: solo
-      // profiles + normal-placement SYN sweeps for every flow (one store
-      // fan-out), then each flow's predicted drop is its curve read at the
-      // sum of its competitors' solo refs/sec.
-      const auto sweeps = v.sweep.sweep_many(spec.flows, core::ContentionMode::kBoth,
-                                             core::SweepProfiler::default_levels(eff.scale));
-      std::vector<core::FlowMetrics> solos;
-      solos.reserve(spec.flows.size());
-      for (const core::FlowSpec& f : spec.flows) solos.push_back(solo_baseline(f));
-      for (std::size_t i = 0; i < spec.flows.size(); ++i) {
-        double competing_refs = 0;
-        for (std::size_t j = 0; j < spec.flows.size(); ++j) {
-          if (j != i) competing_refs += solos[j].refs_per_sec();
+  // Every failure path funnels here: data sections are cleared so an error
+  // Result is never half-filled, and the error is structured, not an abort.
+  const auto fail = [&](StatusKind kind, std::string site, std::string detail) -> Result& {
+    res.flows.clear();
+    res.sweeps.clear();
+    res.study.reset();
+    res.error = Error{kind, std::move(site), std::move(detail)};
+    specs_failed_.fetch_add(1, std::memory_order_relaxed);
+    return res;
+  };
+
+  // Parse normally rejects these; guard against hand-built specs without
+  // taking the process down (this used to be a PP_CHECK abort).
+  if (!spec.artifact.empty()) {
+    return fail(StatusKind::kInvalidSpec, "session.run",
+                "artifact specs render canned figure output; execute them with ppctl");
+  }
+  if (spec.flows.empty()) {
+    return fail(StatusKind::kInvalidSpec, "session.run", "spec has no flows");
+  }
+
+  try {
+    ViewStack v(eff, spec.seeds, *store_);
+
+    // Seed-averaged solo baseline of one flow, fanned over the *session's*
+    // thread budget (SoloProfiler::profile_spec would use the environment's).
+    const auto solo_baseline = [&](const core::FlowSpec& f) {
+      return core::SoloProfiler::merge_plan(
+          store_->get_or_run_many(v.solo.plan(f), eff.threads));
+    };
+
+    switch (spec.kind) {
+      case ExperimentKind::kSolo: {
+        const std::vector<core::Scenario> plan = lower_spec(spec, v.tb);
+        const auto runs = store_->get_or_run_many(plan, eff.threads);
+        for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+          const std::vector<std::shared_ptr<const core::ScenarioResult>> slice(
+              runs.begin() + static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(seeds)),
+              runs.begin() +
+                  static_cast<std::ptrdiff_t>((i + 1) * static_cast<std::size_t>(seeds)));
+          FlowReport fr;
+          fr.spec = spec.flows[i];
+          fr.metrics = core::SoloProfiler::merge_plan(slice);
+          fr.solo_pps = fr.metrics.pps();
+          res.flows.push_back(std::move(fr));
         }
-        FlowReport fr;
-        fr.spec = spec.flows[i];
-        fr.metrics = solos[i];
-        fr.solo_pps = solos[i].pps();
-        fr.drop_pct = sweeps[i].curve.drop_at(competing_refs);
-        res.flows.push_back(std::move(fr));
+        break;
       }
-      break;
+      case ExperimentKind::kCorun: {
+        const std::vector<core::Scenario> plan = lower_spec(spec, v.tb);
+        const auto runs = store_->get_or_run_many(plan, eff.threads);
+        for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+          std::vector<core::FlowMetrics> per_seed;
+          per_seed.reserve(runs.size());
+          for (const auto& r : runs) per_seed.push_back((*r)[i]);
+          FlowReport fr;
+          fr.spec = spec.flows[i];
+          fr.metrics = core::merge_metrics(per_seed);
+          const core::FlowMetrics solo = solo_baseline(spec.flows[i]);
+          fr.solo_pps = solo.pps();
+          fr.drop_pct = core::drop_pct(solo, fr.metrics);
+          res.flows.push_back(std::move(fr));
+        }
+        break;
+      }
+      case ExperimentKind::kSweep: {
+        res.sweeps = v.sweep.sweep_many(spec.flows, spec.mode,
+                                        core::SweepProfiler::default_levels(eff.scale));
+        break;
+      }
+      case ExperimentKind::kPredict: {
+        // Section 4 verbatim, generalized to arbitrary FlowSpecs: solo
+        // profiles + normal-placement SYN sweeps for every flow (one store
+        // fan-out), then each flow's predicted drop is its curve read at the
+        // sum of its competitors' solo refs/sec.
+        const auto sweeps = v.sweep.sweep_many(spec.flows, core::ContentionMode::kBoth,
+                                               core::SweepProfiler::default_levels(eff.scale));
+        std::vector<core::FlowMetrics> solos;
+        solos.reserve(spec.flows.size());
+        for (const core::FlowSpec& f : spec.flows) solos.push_back(solo_baseline(f));
+        for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+          double competing_refs = 0;
+          for (std::size_t j = 0; j < spec.flows.size(); ++j) {
+            if (j != i) competing_refs += solos[j].refs_per_sec();
+          }
+          FlowReport fr;
+          fr.spec = spec.flows[i];
+          fr.metrics = solos[i];
+          fr.solo_pps = solos[i].pps();
+          fr.drop_pct = sweeps[i].curve.drop_at(competing_refs);
+          res.flows.push_back(std::move(fr));
+        }
+        break;
+      }
+      case ExperimentKind::kPlacementSearch: {
+        res.study = v.placement.evaluate(spec.flows);
+        break;
+      }
     }
-    case ExperimentKind::kPlacementSearch: {
-      res.study = v.placement.evaluate(spec.flows);
-      break;
-    }
+  } catch (const StatusError& e) {
+    return fail(e.status().kind, e.status().site, e.status().detail);
+  } catch (const std::exception& e) {
+    return fail(StatusKind::kInternal, "session.run", e.what());
   }
   return res;
 }
@@ -212,11 +242,20 @@ void metrics_json(std::string& j, const char* indent, const core::FlowMetrics& m
 
 }  // namespace
 
+std::string Error::to_json() const {
+  return strformat("{\"kind\": \"%s\", \"site\": %s, \"detail\": %s}", pp::to_string(kind),
+                   json_quote(site).c_str(), json_quote(detail).c_str());
+}
+
 std::string Result::to_json() const {
   std::string j = "{\n";
   j += strformat("  \"version\": %d,\n", kSpecSchemaVersion);
   j += strformat("  \"kind\": \"%s\",\n", to_string(kind));
   if (!name.empty()) j += "  \"name\": " + json_quote(name) + ",\n";
+  if (error.has_value()) {
+    j += "  \"error\": " + error->to_json() + "\n}\n";
+    return j;
+  }
   j += strformat("  \"scale\": \"%s\",\n", pp::to_string(scale));
   j += strformat("  \"fidelity\": \"%s\",\n", sim::to_string(fidelity));
   j += strformat("  \"seeds\": %d", seeds);
@@ -365,6 +404,10 @@ namespace {
 
 std::string Result::to_text() const {
   std::string head = name.empty() ? std::string(to_string(kind)) : name;
+  if (error.has_value()) {
+    return banner(head) + strformat("ERROR %s at %s: %s\n", pp::to_string(error->kind),
+                                    error->site.c_str(), error->detail.c_str());
+  }
   head += strformat(" (%s, %s fidelity, %d seed%s)", pp::to_string(scale),
                     sim::to_string(fidelity), seeds, seeds == 1 ? "" : "s");
   std::string out = banner(head) + result_table(*this).to_text();
@@ -374,6 +417,13 @@ std::string Result::to_text() const {
   return out;
 }
 
-std::string Result::to_csv() const { return result_table(*this).to_csv(); }
+std::string Result::to_csv() const {
+  if (error.has_value()) {
+    TextTable t({"error", "site", "detail"});
+    t.add_row({pp::to_string(error->kind), error->site, error->detail});
+    return t.to_csv();
+  }
+  return result_table(*this).to_csv();
+}
 
 }  // namespace pp::api

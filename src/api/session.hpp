@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "api/spec.hpp"
+#include "base/status.hpp"
 #include "core/placement.hpp"
 #include "core/predictor.hpp"
 #include "core/profile_store.hpp"
@@ -39,9 +40,22 @@ struct FlowReport {
   double drop_pct = 0;        // corun: measured drop; predict: predicted drop
 };
 
+/// Structured failure: what failed (taxonomy kind, base/status.hpp), where
+/// (the fault/validation site), and a human detail line.
+struct Error {
+  StatusKind kind = StatusKind::kInternal;
+  std::string site;
+  std::string detail;
+
+  /// One-line JSON object: {"kind": "...", "site": "...", "detail": "..."}.
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Structured answer to one spec. Which sections are filled depends on the
 /// kind: flows for solo/corun/predict, sweeps for sweep, study for
-/// placement_search. Serializes to JSON/text/CSV (schema: docs/api.md).
+/// placement_search. A failed spec carries `error` and empty sections — never
+/// a half-filled result, never an abort. Serializes to JSON/text/CSV
+/// (schema: docs/api.md; failure semantics: docs/robustness.md).
 struct Result {
   ExperimentKind kind = ExperimentKind::kCorun;
   std::string name;
@@ -52,6 +66,9 @@ struct Result {
   std::vector<FlowReport> flows;
   std::vector<core::SweepResult> sweeps;
   std::optional<core::PlacementStudy> study;
+
+  std::optional<Error> error;
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
 
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_text() const;
@@ -80,6 +97,7 @@ class Session {
   struct Stats {
     std::uint64_t specs_run = 0;     // specs actually executed
     std::uint64_t specs_deduped = 0; // batch entries served by an identical spec
+    std::uint64_t specs_failed = 0;  // executed specs that returned an Error
   };
 
   /// `store` (tests mostly) overrides the store choice; otherwise the
@@ -95,11 +113,16 @@ class Session {
   /// Execute one generic spec (artifact specs are a ppctl concern — they
   /// render canned figure stdout rather than a structured Result). Safe to
   /// call concurrently; every scenario is simulated at most once per store.
+  /// Never throws and never aborts on a bad spec or a failed run: failures
+  /// come back as Result::error with empty data sections.
   [[nodiscard]] Result run(const ExperimentSpec& spec);
 
   /// Execute a batch: identical specs (by canonical JSON) run once, distinct
   /// specs fan out over options().threads host threads. Results are in input
-  /// order and bit-identical to running the batch serially.
+  /// order and bit-identical to running the batch serially. Failures are
+  /// isolated per spec: one poisoned spec yields one Result::error while
+  /// every other spec's result is unaffected (bit-identical to running the
+  /// good specs alone).
   [[nodiscard]] std::vector<Result> run_many(const std::vector<ExperimentSpec>& specs);
 
   [[nodiscard]] core::ProfileStore& store() const { return *store_; }
@@ -112,6 +135,7 @@ class Session {
   core::ProfileStore* store_;
   std::atomic<std::uint64_t> specs_run_{0};
   std::atomic<std::uint64_t> specs_deduped_{0};
+  std::atomic<std::uint64_t> specs_failed_{0};
 };
 
 }  // namespace pp::api

@@ -4,6 +4,7 @@
 
 #include "api/json.hpp"
 #include "base/check.hpp"
+#include "base/fault.hpp"
 #include "base/strings.hpp"
 #include "click/element.hpp"
 
@@ -122,6 +123,7 @@ std::string ExperimentSpec::to_json() const {
   }
   if (warmup_ms.has_value()) j += ",\n  \"warmup_ms\": " + json_double(*warmup_ms);
   if (measure_ms.has_value()) j += ",\n  \"measure_ms\": " + json_double(*measure_ms);
+  if (budget_ms.has_value()) j += ",\n  \"budget_ms\": " + json_double(*budget_ms);
   if (mode != core::ContentionMode::kBoth) {
     j += strformat(",\n  \"mode\": \"%s\"", core::to_string(mode));
   }
@@ -262,6 +264,8 @@ std::optional<ExperimentSpec> ExperimentSpec::parse(const std::string& json,
     return std::nullopt;
   };
 
+  if (pp::fault("spec.parse")) return fail("injected spec parse failure (PP_FAULTS)");
+
   std::string jerr;
   const std::optional<Json> doc = Json::parse(json, &jerr);
   if (!doc.has_value()) return fail("spec is not valid JSON: " + jerr);
@@ -331,6 +335,11 @@ std::optional<ExperimentSpec> ExperimentSpec::parse(const std::string& json,
         return fail("\"measure_ms\" must be a number in [0, 1000]");
       }
       spec.measure_ms = v.as_double();
+    } else if (key == "budget_ms") {
+      if (!v.is_number() || !(v.as_double() > 0) || v.as_double() > 10000) {
+        return fail("\"budget_ms\" must be a number in (0, 10000]");
+      }
+      spec.budget_ms = v.as_double();
     } else if (key == "mode") {
       if (!v.is_string() || !mode_from_string(v.as_string(), spec.mode)) {
         return fail("\"mode\" must be one of cache-only|memctrl-only|cache+memctrl "
@@ -366,7 +375,8 @@ std::optional<ExperimentSpec> ExperimentSpec::parse(const std::string& json,
       return fail("unknown artifact \"" + spec.artifact + "\" (known: fig4, table1)");
     }
     if (!spec.flows.empty() || !spec.placement.empty() || has_mode || has_seed ||
-        spec.warmup_ms.has_value() || spec.measure_ms.has_value()) {
+        spec.warmup_ms.has_value() || spec.measure_ms.has_value() ||
+        spec.budget_ms.has_value()) {
       return fail("artifact specs configure only scale/fidelity/sample_period_max/seeds");
     }
     return spec;
@@ -415,6 +425,7 @@ SessionOptions apply_spec(const ExperimentSpec& spec, SessionOptions base) {
   if (spec.scale.has_value()) base.scale = *spec.scale;
   if (spec.fidelity.has_value()) base.fidelity = *spec.fidelity;
   if (spec.sample_period_max.has_value()) base.sample_period_max = spec.sample_period_max;
+  if (spec.budget_ms.has_value()) base.run_budget_ms = *spec.budget_ms;
   return base;
 }
 

@@ -72,6 +72,12 @@ struct ExperimentSpec {
   std::optional<double> warmup_ms;
   std::optional<double> measure_ms;
 
+  /// Per-run execution budget in simulated ms (unset = the session's
+  /// PP_RUN_BUDGET, which defaults to unlimited). A scenario whose windows
+  /// exceed it fails with a structured BudgetExceeded error instead of
+  /// running — see core::Scenario::budget_ms. Additive: version stays 1.
+  std::optional<double> budget_ms;
+
   /// Contention placement for kSweep (Figure 3's three configurations).
   core::ContentionMode mode = core::ContentionMode::kBoth;
 

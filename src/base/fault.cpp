@@ -1,0 +1,193 @@
+#include "base/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/hash.hpp"
+#include "base/strings.hpp"
+
+namespace pp {
+
+namespace {
+
+std::vector<FaultSiteInfo>& registry() {
+  static std::vector<FaultSiteInfo> sites = {
+      {"store.open", "miss", "primary cache open fails (treated as a miss)"},
+      {"store.read", "err", "primary cache read truncates (quarantined as corrupt)"},
+      {"store.parse", "fail", "cache envelope rejected by the parser (quarantined)"},
+      {"store.payload", "corrupt", "one payload byte flipped (the checksum catches it)"},
+      {"store.write", "fail", "cache tmp-file write fails (ENOSPC-style)"},
+      {"store.rename", "fail", "cache tmp -> final rename fails"},
+      {"store.ro", "miss", "read-only tier load fails (treated as a miss)"},
+      {"scenario.run", "fail", "scenario execution aborts with fault_injected"},
+      {"spec.parse", "fail", "ExperimentSpec::parse rejects the document"},
+  };
+  return sites;
+}
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+[[nodiscard]] const FaultSiteInfo* find_site(const std::string& name) {
+  for (const FaultSiteInfo& s : registry()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<FaultSiteInfo>& known_fault_sites() { return registry(); }
+
+void register_fault_site(const FaultSiteInfo& site) {
+  std::lock_guard<std::mutex> lk(registry_mu());
+  if (find_site(site.name) == nullptr) registry().push_back(site);
+}
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* instance = [] {
+    // PP_FAULTS is read here (base/ cannot depend on api/options); the name
+    // is listed in the audited set (api/options.cpp kKnownVars) so typos in
+    // the *name* still warn, and malformed *values* warn right below.
+    static FaultInjector f;
+    if (const char* v = std::getenv("PP_FAULTS"); v != nullptr && *v != '\0') {
+      std::string err;
+      if (!f.configure(v, &err)) {
+        std::fprintf(stderr, "pp: warning: ignoring malformed PP_FAULTS: %s\n", err.c_str());
+      }
+    }
+    return &f;
+  }();
+  return *instance;
+}
+
+bool FaultInjector::configure(const std::string& spec, std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  std::vector<std::unique_ptr<Rule>> rules;
+  for (const std::string& entry : split(spec, ';')) {
+    const std::string item(trim(entry));
+    if (item.empty()) continue;
+    // site:action@trigger[,seed=N]
+    const std::size_t colon = item.find(':');
+    const std::size_t at = item.find('@');
+    if (colon == std::string::npos || at == std::string::npos || at < colon) {
+      return fail("\"" + item + "\" is not site:action@trigger");
+    }
+    auto rule = std::make_unique<Rule>();
+    rule->site = std::string(trim(item.substr(0, colon)));
+    rule->action = std::string(trim(item.substr(colon + 1, at - colon - 1)));
+    const FaultSiteInfo* info = find_site(rule->site);
+    if (info == nullptr) {
+      std::string known;
+      for (const FaultSiteInfo& s : known_fault_sites()) {
+        if (!known.empty()) known += ", ";
+        known += s.name;
+      }
+      return fail("unknown fault site \"" + rule->site + "\" (known: " + known + ")");
+    }
+    if (rule->action != info->action) {
+      return fail("site " + rule->site + " supports action \"" + info->action +
+                  "\", not \"" + rule->action + "\"");
+    }
+    for (const auto& r : rules) {
+      if (r->site == rule->site) return fail("duplicate rule for site " + rule->site);
+    }
+
+    // First comma-part after @ is the trigger itself; the rest are options.
+    const std::vector<std::string> parts = split(item.substr(at + 1), ',');
+    const std::string trigger(trim(parts.front()));
+    if (trigger.empty()) return fail("\"" + item + "\" needs a trigger after @");
+    for (std::size_t pi = 1; pi < parts.size(); ++pi) {
+      const std::string opt(trim(parts[pi]));
+      if (opt.rfind("seed=", 0) == 0) {
+        std::uint64_t s = 0;
+        if (!parse_u64(opt.substr(5), s)) return fail("bad seed in \"" + item + "\"");
+        rule->seed = s;
+      } else {
+        return fail("unknown option \"" + opt + "\" in \"" + item + "\"");
+      }
+    }
+    if (trigger.find('.') != std::string::npos) {
+      char* end = nullptr;
+      const double p = std::strtod(trigger.c_str(), &end);
+      if (end == trigger.c_str() || *end != '\0' || !(p > 0.0) || p > 1.0) {
+        return fail("probability trigger in \"" + item + "\" must be in (0, 1]");
+      }
+      rule->probability = p;
+    } else {
+      std::uint64_t n = 0;
+      if (!parse_u64(trigger, n) || n < 1) {
+        return fail("occurrence trigger in \"" + item + "\" must be an integer >= 1");
+      }
+      rule->nth = n;
+    }
+    rules.push_back(std::move(rule));
+  }
+
+  rules_ = std::move(rules);
+  enabled_.store(!rules_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::reset() {
+  enabled_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+}
+
+bool FaultInjector::fire(const char* site) {
+  for (const auto& r : rules_) {
+    if (r->site != site) continue;
+    const std::uint64_t n = r->occurrences.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool hit = false;
+    if (r->nth > 0) {
+      hit = n == r->nth;
+    } else if (r->probability >= 1.0) {
+      hit = true;
+    } else {
+      // Deterministic per-occurrence draw: same seed + same occurrence
+      // index => same decision, independent of wall clock or host threads'
+      // scheduling (only the occurrence *numbering* is interleaving-
+      // dependent; single-threaded runs are fully reproducible).
+      const std::uint64_t draw = mix64(r->seed ^ mix64(n));
+      hit = draw < static_cast<std::uint64_t>(r->probability * 18446744073709551616.0);
+    }
+    if (hit) r->fired.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+  return false;
+}
+
+std::vector<FaultInjector::SiteStats> FaultInjector::stats() const {
+  std::vector<SiteStats> out;
+  out.reserve(rules_.size());
+  for (const auto& r : rules_) {
+    SiteStats s;
+    s.site = r->site;
+    s.action = r->action;
+    s.occurrences = r->occurrences.load(std::memory_order_relaxed);
+    s.fired = r->fired.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string FaultInjector::stats_line() const {
+  if (rules_.empty()) return "off";
+  std::string out;
+  for (const SiteStats& s : stats()) {
+    if (!out.empty()) out += "; ";
+    out += strformat("%s:%s occurrences=%llu fired=%llu", s.site.c_str(), s.action.c_str(),
+                     static_cast<unsigned long long>(s.occurrences),
+                     static_cast<unsigned long long>(s.fired));
+  }
+  return out;
+}
+
+}  // namespace pp

@@ -1,0 +1,105 @@
+// Deterministic, env-driven fault injection.
+//
+// Robustness claims need tests, and tests need failures on demand: the
+// FaultInjector turns one audited environment spec (PP_FAULTS) into
+// deterministic failures at named sites compiled into the production code
+// paths (ProfileStore I/O, scenario execution, spec parsing). Grammar:
+//
+//   PP_FAULTS="site:action@trigger[,seed=N][;site:action@trigger...]"
+//
+//   store.rename:fail@1            fail exactly the 1st rename
+//   store.read:err@3               truncate exactly the 3rd read
+//   store.payload:corrupt@0.1,seed=7   flip a byte in ~10% of loads,
+//                                      deterministically from seed 7
+//   store.rename:fail@1.0          fail every rename (probability 1)
+//
+// Triggers: an integer N >= 1 fires exactly on the Nth occurrence of the
+// site (once); a number with a '.' in (0, 1] fires per-occurrence with that
+// probability, derived deterministically from the rule seed and the
+// occurrence index (same spec + same occurrence order => same firings).
+//
+// Sites are data: the registry below is a table, and future subsystems (the
+// planned ppd socket layer) extend it with register_fault_site(). With
+// PP_FAULTS unset the whole machinery is one relaxed atomic load per site.
+// Site semantics, grammar and the error taxonomy: docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+
+struct FaultSiteInfo {
+  const char* name;    // dotted site id, e.g. "store.rename"
+  const char* action;  // the one action this site supports, e.g. "fail"
+  const char* effect;  // human summary (docs, error messages)
+};
+
+/// The registered injection sites (built-ins plus register_fault_site adds).
+[[nodiscard]] const std::vector<FaultSiteInfo>& known_fault_sites();
+
+/// Extend the registry (idempotent per name; call before configure()).
+void register_fault_site(const FaultSiteInfo& site);
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-wide injector; configured once, lazily, from PP_FAULTS (a
+  /// malformed spec warns on stderr and leaves injection disabled).
+  [[nodiscard]] static FaultInjector& global();
+
+  /// Parse `spec` (grammar above) and install its rules, replacing any
+  /// previous configuration. Empty spec == reset(). Returns false and fills
+  /// `error` on a malformed spec (nothing is installed).
+  [[nodiscard]] bool configure(const std::string& spec, std::string* error = nullptr);
+
+  /// Drop all rules and counters; injection is disabled again.
+  void reset();
+
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Should the fault at `site` fire for this occurrence? Counts the
+  /// occurrence and evaluates the site's trigger. Thread-safe against other
+  /// fire() calls (not against a concurrent configure()).
+  [[nodiscard]] bool fire(const char* site);
+
+  struct SiteStats {
+    std::string site;
+    std::string action;
+    std::uint64_t occurrences = 0;
+    std::uint64_t fired = 0;
+  };
+  [[nodiscard]] std::vector<SiteStats> stats() const;
+
+  /// One line, e.g. "store.rename:fail occurrences=5 fired=5" (or "off").
+  [[nodiscard]] std::string stats_line() const;
+
+ private:
+  struct Rule {
+    std::string site;
+    std::string action;
+    std::uint64_t nth = 0;    // > 0: fire exactly on this occurrence
+    double probability = 0;   // (0, 1]: per-occurrence chance (nth == 0)
+    std::uint64_t seed = 1;
+    std::atomic<std::uint64_t> occurrences{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::vector<std::unique_ptr<Rule>> rules_;  // few rules: linear scan
+};
+
+/// The injection-site helper compiled into production paths. Zero overhead
+/// when no spec is installed: a single relaxed load short-circuits the call.
+[[nodiscard]] inline bool fault(const char* site) {
+  FaultInjector& f = FaultInjector::global();
+  return f.enabled() && f.fire(site);
+}
+
+}  // namespace pp

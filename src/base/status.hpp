@@ -1,0 +1,72 @@
+// Structured error taxonomy for the platform's fallible layers.
+//
+// A Status names what went wrong (kind), where (site — the same dotted names
+// the fault injector uses, base/fault.hpp), and the specifics (detail).
+// Internally, fallible paths that cannot return a value (scenario execution
+// under a run budget, injected faults) throw StatusError; the api::Session
+// boundary catches it and converts to a serializable api::Error, so no
+// spec-level failure ever aborts the process. See docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace pp {
+
+enum class StatusKind : std::uint8_t {
+  kOk,
+  kInvalidSpec,     // a spec that validation rejects at the API boundary
+  kIoError,         // persistence failure (write, rename, ENOSPC)
+  kCorruptData,     // checksum/parse failure on data that should be valid
+  kFaultInjected,   // a PP_FAULTS site fired (tests and CI smoke only)
+  kBudgetExceeded,  // scenario windows exceed the per-run budget
+  kInternal,        // anything else escaping the execution path
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusKind k) {
+  switch (k) {
+    case StatusKind::kOk:
+      return "ok";
+    case StatusKind::kInvalidSpec:
+      return "invalid_spec";
+    case StatusKind::kIoError:
+      return "io_error";
+    case StatusKind::kCorruptData:
+      return "corrupt_data";
+    case StatusKind::kFaultInjected:
+      return "fault_injected";
+    case StatusKind::kBudgetExceeded:
+      return "budget_exceeded";
+    case StatusKind::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+struct Status {
+  StatusKind kind = StatusKind::kOk;
+  std::string site;    // dotted location, e.g. "scenario.run", "store.rename"
+  std::string detail;  // human-readable specifics
+
+  [[nodiscard]] bool ok() const { return kind == StatusKind::kOk; }
+};
+
+/// Exception carrier for a Status. Thrown by the scenario engine (budget,
+/// injected faults) and rethrown across ProfileStore's single-flight waiters;
+/// caught at the Session boundary, never expected to escape to main().
+class StatusError : public std::exception {
+ public:
+  StatusError(StatusKind kind, std::string site, std::string detail)
+      : status_{kind, std::move(site), std::move(detail)},
+        what_(std::string(to_string(kind)) + " at " + status_.site + ": " + status_.detail) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
+};
+
+}  // namespace pp

@@ -8,6 +8,7 @@
 
 #include "api/options.hpp"
 #include "base/check.hpp"
+#include "base/fault.hpp"
 #include "base/strings.hpp"
 #include "core/parallel.hpp"
 
@@ -33,18 +34,26 @@ ProfileStore::Stats ProfileStore::stats() const {
   s.disk_hits = disk_hits_.load();
   s.ro_hits = ro_hits_.load();
   s.coalesced = coalesced_.load();
+  s.quarantined = quarantined_.load();
+  s.persist_errors = persist_errors_.load();
+  s.memory_only = memory_only_.load();
   return s;
 }
 
 std::string ProfileStore::stats_line() const {
+  // New fields append after the original five: tooling (the CI warm-cache
+  // grep included) anchors on the "simulated=N " prefix.
   const Stats s = stats();
   return strformat("simulated=%llu memory_hits=%llu disk_hits=%llu ro_hits=%llu "
-                   "coalesced=%llu",
+                   "coalesced=%llu quarantined=%llu persist_errors=%llu memory_only=%d",
                    static_cast<unsigned long long>(s.simulated),
                    static_cast<unsigned long long>(s.memory_hits),
                    static_cast<unsigned long long>(s.disk_hits),
                    static_cast<unsigned long long>(s.ro_hits),
-                   static_cast<unsigned long long>(s.coalesced));
+                   static_cast<unsigned long long>(s.coalesced),
+                   static_cast<unsigned long long>(s.quarantined),
+                   static_cast<unsigned long long>(s.persist_errors),
+                   s.memory_only ? 1 : 0);
 }
 
 std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run(const Scenario& s) {
@@ -67,24 +76,65 @@ std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run_keyed(const Scena
 
   if (!runner) {
     std::unique_lock<std::mutex> lk(e->m);
-    if (e->ready) {
+    if (!e->ready) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      e->cv.wait(lk, [&] { return e->ready; });
+    } else {
       memory_hits_.fetch_add(1, std::memory_order_relaxed);
-      return e->result;
     }
-    coalesced_.fetch_add(1, std::memory_order_relaxed);
-    e->cv.wait(lk, [&] { return e->ready; });
+    if (e->error) std::rethrow_exception(e->error);
     return e->result;
   }
 
   ScenarioResult r;
-  if (!dir_.empty() && load_from_dir(dir_, k, r)) {
-    disk_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else if (!ro_dir_.empty() && load_from_dir(ro_dir_, k, r)) {
+  bool have = false;
+  if (!dir_.empty()) {
+    switch (load_from_dir(dir_, k, r, /*read_only=*/false)) {
+      case Load::kHit:
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        have = true;
+        break;
+      case Load::kCorrupt:
+        quarantine(dir_, k, /*read_only=*/false);
+        break;
+      case Load::kMiss:
+        break;
+    }
+  }
+  if (!have && !ro_dir_.empty()) {
     // Served straight from the read-only layer: counted separately and
     // never copied into (or written back to) either directory.
-    ro_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    r = run_scenario(s);
+    switch (load_from_dir(ro_dir_, k, r, /*read_only=*/true)) {
+      case Load::kHit:
+        ro_hits_.fetch_add(1, std::memory_order_relaxed);
+        have = true;
+        break;
+      case Load::kCorrupt:
+        quarantine(ro_dir_, k, /*read_only=*/true);
+        break;
+      case Load::kMiss:
+        break;
+    }
+  }
+  if (!have) {
+    try {
+      r = run_scenario(s);
+    } catch (...) {
+      // Release the key first so a later call may retry, then wake waiters
+      // with the error (they hold their own shared_ptr to this entry).
+      const std::exception_ptr err = std::current_exception();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        map_.erase(k.hex());
+      }
+      {
+        std::lock_guard<std::mutex> lk(e->m);
+        e->error = err;
+        e->ready = true;
+      }
+      e->cv.notify_all();
+      std::rethrow_exception(err);
+    }
     simulated_.fetch_add(1, std::memory_order_relaxed);
     if (!dir_.empty()) save_to_disk(s, k, r);
   }
@@ -132,8 +182,20 @@ std::vector<std::shared_ptr<const ScenarioResult>> ProfileStore::get_or_run_many
     }
     return out;
   }
-  parallel_for(scenarios.size(), threads,
-               [&](std::size_t i) { out[i] = get_or_run_keyed(scenarios[i], keys[i]); });
+  // parallel_for fns must not throw (core/parallel.hpp): trap per-slot, let
+  // every job finish, then rethrow the lowest-index error — which scenario
+  // fails is thread-count invariant.
+  std::vector<std::exception_ptr> errors(scenarios.size());
+  parallel_for(scenarios.size(), threads, [&](std::size_t i) {
+    try {
+      out[i] = get_or_run_keyed(scenarios[i], keys[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
   return out;
 }
 
@@ -143,32 +205,109 @@ std::string ProfileStore::path_in(const std::string& dir, const ScenarioKey& k) 
   return dir + "/" + k.hex() + ".json";
 }
 
-bool ProfileStore::load_from_dir(const std::string& dir, const ScenarioKey& k,
-                                 ScenarioResult& out) const {
+ProfileStore::Load ProfileStore::load_from_dir(const std::string& dir, const ScenarioKey& k,
+                                               ScenarioResult& out, bool read_only) const {
+  if (pp::fault(read_only ? "store.ro" : "store.open")) return Load::kMiss;
   std::ifstream in(path_in(dir, k));
-  if (!in) return false;
+  if (!in) return Load::kMiss;
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_profile_cache_json(buf.str(), k, out);
+  if (in.bad()) return Load::kMiss;  // read error: conservative miss, not corruption
+  std::string text = buf.str();
+  if (pp::fault("store.read")) text.resize(text.size() / 2);  // torn read
+  if (pp::fault("store.payload")) {
+    // Bit rot: flip the low bit of the first counter digit — still a digit,
+    // different value, so only the checksum can catch it.
+    const std::size_t at = text.find("\"counters\": [");
+    const std::size_t digit = at == std::string::npos ? text.size() / 2
+                                                      : text.find_first_of("0123456789", at);
+    if (digit != std::string::npos && digit < text.size()) {
+      text[digit] = static_cast<char>(text[digit] ^ 0x01);
+    }
+  }
+  if (pp::fault("store.parse")) return Load::kCorrupt;
+  switch (parse_profile_cache(text, k, out)) {
+    case CacheParse::kOk:
+      return Load::kHit;
+    case CacheParse::kStale:
+      return Load::kMiss;  // older schema: plain miss, rewritten after re-run
+    case CacheParse::kCorrupt:
+      break;
+  }
+  return Load::kCorrupt;
+}
+
+void ProfileStore::quarantine(const std::string& dir, const ScenarioKey& k,
+                              bool read_only) const {
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = path_in(dir, k);
+  if (read_only) {
+    // Never mutate the read-only layer; just stop trusting this entry.
+    std::fprintf(stderr, "ProfileStore: corrupt read-only cache entry %s (ignored)\n",
+                 path.c_str());
+    return;
+  }
+  const std::string bad = dir + "/" + k.hex() + ".bad";
+  std::error_code ec;
+  std::filesystem::rename(path, bad, ec);
+  if (ec) {
+    std::filesystem::remove(path, ec);
+    std::fprintf(stderr, "ProfileStore: removed corrupt cache entry %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "ProfileStore: quarantined corrupt cache entry %s -> %s\n",
+                 path.c_str(), bad.c_str());
+  }
 }
 
 void ProfileStore::save_to_disk(const Scenario& s, const ScenarioKey& k,
                                 const ScenarioResult& r) const {
+  if (memory_only_.load(std::memory_order_relaxed)) return;
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   const std::string path = path_in(dir_, k);
   // Write-then-rename so a concurrent reader never sees a torn file.
   const std::string tmp = path + ".tmp";
+  bool ok = true;
   {
     std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "ProfileStore: cannot write %s\n", tmp.c_str());
-      return;
+    if (pp::fault("store.write") || !out) {
+      ok = false;
+    } else {
+      out << profile_cache_json(s, k, r);
+      out.flush();
+      if (!out.good()) ok = false;  // short write (ENOSPC and friends)
     }
-    out << profile_cache_json(s, k, r);
   }
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) std::fprintf(stderr, "ProfileStore: cannot rename %s\n", tmp.c_str());
+  if (ok) {
+    if (pp::fault("store.rename")) {
+      ok = false;
+    } else {
+      std::filesystem::rename(tmp, path, ec);
+      if (ec) ok = false;
+    }
+  }
+  if (!ok) {
+    std::filesystem::remove(tmp, ec);  // never leak the temp file
+    note_persist_failure(path);
+    return;
+  }
+  consecutive_persist_failures_.store(0, std::memory_order_relaxed);
+}
+
+void ProfileStore::note_persist_failure(const std::string& path) const {
+  persist_errors_.fetch_add(1, std::memory_order_relaxed);
+  const int streak = consecutive_persist_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= kPersistBackoffThreshold) {
+    if (!memory_only_.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ProfileStore: %d consecutive persistence failures; dropping to "
+                   "memory-only mode (results stay correct, just not persisted)\n",
+                   streak);
+    }
+  } else {
+    std::fprintf(stderr, "ProfileStore: cannot persist %s (will re-simulate next run)\n",
+                 path.c_str());
+  }
 }
 
 // ------------------------------------------------------------ serialization
@@ -357,12 +496,64 @@ class Parser {
 
 }  // namespace
 
+std::uint64_t result_checksum(const ScenarioResult& r) {
+  // Plain FNV-1a over the canonical bytes the parser reconstructs: anything
+  // that changes a reloaded result changes the checksum. Informational-only
+  // bytes (the decimal "seconds" rendering, whitespace) are deliberately
+  // outside it — corruption there cannot change a result.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto byte = [&h](std::uint8_t b) { h = (h ^ b) * 0x100000001b3ULL; };
+  const auto u64 = [&byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8U;
+    }
+  };
+  const auto str = [&byte, &u64](const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  };
+  const auto counters = [&u64](const sim::Counters& c) {
+    u64(c.instructions);
+    u64(c.cycles);
+    u64(c.l1_hits);
+    u64(c.l1_misses);
+    u64(c.l2_hits);
+    u64(c.l2_misses);
+    u64(c.l3_refs);
+    u64(c.l3_misses);
+    u64(c.xcore_hits);
+    u64(c.remote_refs);
+    u64(c.writebacks);
+    u64(c.mc_queue_cycles);
+    u64(c.qpi_queue_cycles);
+    u64(c.packets);
+    u64(c.drops);
+  };
+  u64(r.size());
+  for (const FlowMetrics& m : r) {
+    u64(static_cast<std::uint64_t>(static_cast<std::uint8_t>(m.type)));
+    u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(m.core)));
+    u64(std::bit_cast<std::uint64_t>(m.seconds));
+    counters(m.delta);
+    u64(m.elements.size());
+    for (const ElementStat& st : m.elements) {
+      str(st.name);
+      str(st.cls);
+      counters(st.delta);
+    }
+  }
+  return h;
+}
+
 std::string profile_cache_json(const Scenario& s, const ScenarioKey& k,
                                const ScenarioResult& r) {
   std::string j;
   j += "{\n";
   j += strformat("  \"schema\": %d,\n", kScenarioSchemaVersion);
   j += "  \"key\": \"" + k.hex() + "\",\n";
+  j += strformat("  \"checksum\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(result_checksum(r)));
   j += "  \"scenario\": \"" + describe(s) + "\",\n";
   j += "  \"flows\": [\n";
   for (std::size_t i = 0; i < r.size(); ++i) {
@@ -391,8 +582,13 @@ std::string profile_cache_json(const Scenario& s, const ScenarioKey& k,
   return j;
 }
 
-bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect,
-                              ScenarioResult& out) {
+namespace {
+
+/// Structural parse of the envelope; checksum verification happens in
+/// parse_profile_cache once the result is reconstructed. `stale` marks the
+/// one benign failure mode: a well-formed schema field from another version.
+bool parse_cache_body(const std::string& text, const ScenarioKey& expect, ScenarioResult& out,
+                      bool& stale, std::string& checksum_text) {
   out.clear();
   Parser p(text);
   if (!p.expect('{')) return false;
@@ -403,8 +599,14 @@ bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect
     const std::string field = p.string();
     if (!p.expect(':')) return false;
     if (field == "schema") {
-      schema_ok = p.u64() == static_cast<std::uint64_t>(kScenarioSchemaVersion);
-      if (!schema_ok) return false;  // stale format: miss, will be rewritten
+      const std::uint64_t v = p.u64();
+      schema_ok = !p.fail() && v == static_cast<std::uint64_t>(kScenarioSchemaVersion);
+      if (!schema_ok) {
+        stale = !p.fail();  // valid number, different version: miss, rewritten
+        return false;
+      }
+    } else if (field == "checksum") {
+      checksum_text = p.string();
     } else if (field == "key") {
       key_ok = p.string() == expect.hex();
       if (!key_ok) return false;
@@ -496,6 +698,27 @@ bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect
     break;
   }
   return schema_ok && key_ok && flows_seen && !p.fail();
+}
+
+}  // namespace
+
+CacheParse parse_profile_cache(const std::string& text, const ScenarioKey& expect,
+                               ScenarioResult& out) {
+  bool stale = false;
+  std::string checksum_text;
+  if (!parse_cache_body(text, expect, out, stale, checksum_text)) {
+    out.clear();
+    return stale ? CacheParse::kStale : CacheParse::kCorrupt;
+  }
+  // The checksum is required (schema v3) and must match the reconstructed
+  // payload: a missing field, a forged value, or a bit flip that survived
+  // the structural parse all land here.
+  if (checksum_text !=
+      strformat("%016llx", static_cast<unsigned long long>(result_checksum(out)))) {
+    out.clear();
+    return CacheParse::kCorrupt;
+  }
+  return CacheParse::kOk;
 }
 
 }  // namespace pp::core

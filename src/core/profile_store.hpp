@@ -9,17 +9,26 @@
 //     result), so fan-outs over parallel_for never duplicate work;
 //   * on disk (opt-in): when constructed with a cache directory (the
 //     PROFILE_CACHE environment variable for the global store), results
-//     persist as one versioned JSON file per key and are reloaded
-//     bit-identically — doubles round-trip by bit pattern — so a repeated
-//     bench run re-simulates nothing. Files with a stale
+//     persist as one versioned, checksummed JSON file per key and are
+//     reloaded bit-identically — doubles round-trip by bit pattern — so a
+//     repeated bench run re-simulates nothing. Files with a stale
 //     kScenarioSchemaVersion are ignored and rewritten.
 //
+// The persistence layer is crash-safe and self-healing: corrupt files
+// (torn writes, bit rot, checksum mismatches) are quarantined to
+// `<key>.bad` and re-simulated; every persistence failure degrades to
+// re-simulation — never wrong results, never a crash — and after
+// kPersistBackoffThreshold consecutive write failures the store drops to
+// memory-only mode with a single warning. Fault-injection sites (store.*)
+// make every one of these paths testable (base/fault.hpp).
+//
 // Concurrency guarantees and the persistence format are documented in
-// docs/scenario_engine.md.
+// docs/scenario_engine.md; failure semantics in docs/robustness.md.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,7 +47,14 @@ class ProfileStore {
     std::uint64_t disk_hits = 0;    // loaded from the cache directory
     std::uint64_t ro_hits = 0;      // loaded from the read-only secondary dir
     std::uint64_t coalesced = 0;    // waited on a concurrent identical run
+    std::uint64_t quarantined = 0;  // corrupt cache files detected (primary: renamed .bad)
+    std::uint64_t persist_errors = 0;  // failed writes/renames (degraded to re-simulation)
+    bool memory_only = false;       // write-side backoff engaged (stopped persisting)
   };
+
+  /// Consecutive persistence failures before the store stops writing
+  /// (memory-only mode); one success resets the streak.
+  static constexpr int kPersistBackoffThreshold = 3;
 
   /// `cache_dir` empty = in-memory only (the tier-1 test default).
   /// `ro_dir` is an optional read-only secondary cache (PROFILE_CACHE_RO for
@@ -59,10 +75,16 @@ class ProfileStore {
   /// The result for `s`, simulating it at most once per key across all
   /// threads and (with a cache dir) across processes. The returned pointer
   /// is immutable and shared; it stays valid for the store's lifetime.
+  /// Throws pp::StatusError when execution itself fails (run budget,
+  /// injected scenario fault); persistence failures never throw — they
+  /// degrade to re-simulation. Concurrent waiters on a failed run rethrow
+  /// the runner's error; the key is released so a later call may retry.
   [[nodiscard]] std::shared_ptr<const ScenarioResult> get_or_run(const Scenario& s);
 
   /// Fan a scenario list out over up to `threads` host threads (results in
   /// input order). Duplicate keys in the list coalesce via single-flight.
+  /// If any scenario fails, every job still completes, then the
+  /// lowest-index error is rethrown (thread-count invariant).
   [[nodiscard]] std::vector<std::shared_ptr<const ScenarioResult>> get_or_run_many(
       const std::vector<Scenario>& scenarios, int threads);
 
@@ -80,15 +102,20 @@ class ProfileStore {
     std::condition_variable cv;
     bool ready = false;
     std::shared_ptr<const ScenarioResult> result;
+    std::exception_ptr error;  // set instead of result when the run failed
   };
+
+  enum class Load : std::uint8_t { kMiss, kHit, kCorrupt };
 
   [[nodiscard]] std::shared_ptr<const ScenarioResult> get_or_run_keyed(const Scenario& s,
                                                                        const ScenarioKey& k);
   [[nodiscard]] bool is_ready(const ScenarioKey& k) const;
   [[nodiscard]] static std::string path_in(const std::string& dir, const ScenarioKey& k);
-  [[nodiscard]] bool load_from_dir(const std::string& dir, const ScenarioKey& k,
-                                   ScenarioResult& out) const;
+  [[nodiscard]] Load load_from_dir(const std::string& dir, const ScenarioKey& k,
+                                   ScenarioResult& out, bool read_only) const;
+  void quarantine(const std::string& dir, const ScenarioKey& k, bool read_only) const;
   void save_to_disk(const Scenario& s, const ScenarioKey& k, const ScenarioResult& r) const;
+  void note_persist_failure(const std::string& path) const;
 
   std::string dir_;
   std::string ro_dir_;
@@ -99,13 +126,36 @@ class ProfileStore {
   std::atomic<std::uint64_t> disk_hits_{0};
   std::atomic<std::uint64_t> ro_hits_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  // Robustness counters are mutable: loads/saves run on const paths.
+  mutable std::atomic<std::uint64_t> quarantined_{0};
+  mutable std::atomic<std::uint64_t> persist_errors_{0};
+  mutable std::atomic<int> consecutive_persist_failures_{0};
+  mutable std::atomic<bool> memory_only_{false};
 };
 
 /// Serialize / parse one result file (exposed for tests; the JSON subset is
 /// fixed: objects, arrays, strings, unsigned decimal integers).
 [[nodiscard]] std::string profile_cache_json(const Scenario& s, const ScenarioKey& k,
                                              const ScenarioResult& r);
-[[nodiscard]] bool parse_profile_cache_json(const std::string& text, const ScenarioKey& expect,
-                                            ScenarioResult& out);
+
+/// Parse verdict: kOk (loaded), kStale (valid file, older schema — a plain
+/// miss, silently rewritten), kCorrupt (everything else: garbage, key
+/// mismatch, missing/stale checksum — quarantined by the store).
+enum class CacheParse : std::uint8_t { kOk, kStale, kCorrupt };
+
+[[nodiscard]] CacheParse parse_profile_cache(const std::string& text, const ScenarioKey& expect,
+                                             ScenarioResult& out);
+
+[[nodiscard]] inline bool parse_profile_cache_json(const std::string& text,
+                                                   const ScenarioKey& expect,
+                                                   ScenarioResult& out) {
+  return parse_profile_cache(text, expect, out) == CacheParse::kOk;
+}
+
+/// FNV-1a checksum over a result's canonical bytes (the bit patterns that
+/// determine bit-identical reload: types, cores, seconds bits, all counters,
+/// element names/classes). Written into the cache envelope and verified on
+/// load; exposed so tests can forge stale checksums.
+[[nodiscard]] std::uint64_t result_checksum(const ScenarioResult& r);
 
 }  // namespace pp::core

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "base/check.hpp"
+#include "base/fault.hpp"
 #include "base/hash.hpp"
+#include "base/status.hpp"
 #include "base/strings.hpp"
 #include "click/elements_io.hpp"
 #include "click/router.hpp"
@@ -21,6 +23,7 @@ Scenario Scenario::of(const Testbed& tb, const RunConfig& cfg) {
   s.warmup_ms = cfg.warmup_ms;
   s.measure_ms = cfg.measure_ms;
   s.seed = cfg.seed;
+  s.budget_ms = cfg.budget_ms;
   return s;
 }
 
@@ -191,6 +194,21 @@ ScenarioResult run_scenario_with_windows(const Scenario& cfg, double window_ms,
                                          const WindowHook& hook) {
   PP_CHECK(!cfg.flows.empty());
   PP_CHECK(cfg.flows.size() == cfg.placement.size());
+
+  // The budget guard: simulated duration is known up front (windows are
+  // scenario fields), so a runaway spec is refused deterministically before
+  // any work instead of wedging a worker mid-run.
+  if (cfg.budget_ms > 0 && cfg.warmup_ms + cfg.measure_ms > cfg.budget_ms) {
+    throw StatusError(StatusKind::kBudgetExceeded, "scenario.run",
+                      strformat("scenario windows %.3f ms (warmup %.3f + measure %.3f) "
+                                "exceed the run budget %.3f ms",
+                                cfg.warmup_ms + cfg.measure_ms, cfg.warmup_ms,
+                                cfg.measure_ms, cfg.budget_ms));
+  }
+  if (pp::fault("scenario.run")) {
+    throw StatusError(StatusKind::kFaultInjected, "scenario.run",
+                      "injected scenario-execution failure (PP_FAULTS)");
+  }
 
   sim::Machine machine(cfg.machine);
   std::vector<std::unique_ptr<click::Router>> routers;

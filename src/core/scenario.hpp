@@ -31,6 +31,15 @@ struct Scenario {
   double measure_ms = 8.0;
   std::uint64_t seed = 1;
 
+  /// Per-run execution budget in simulated milliseconds (0 = unlimited;
+  /// PP_RUN_BUDGET / ExperimentSpec::budget_ms upstream). An execution
+  /// *guard*, not content: it never changes what a run computes — a scenario
+  /// whose windows exceed the budget refuses to run (StatusError with
+  /// kBudgetExceeded) instead of wedging a worker — so it is deliberately
+  /// NOT part of the content key, and cached results are served regardless
+  /// of the caller's budget (a memo hit costs nothing to serve).
+  double budget_ms = 0;
+
   /// Capture a Testbed run as a scenario (the testbed contributes machine
   /// config and workload sizes; the RunConfig contributes the rest).
   [[nodiscard]] static Scenario of(const Testbed& tb, const RunConfig& cfg);
@@ -55,7 +64,11 @@ struct ScenarioKey {
 /// JSON layout changes; stale cache files are then ignored and rewritten.
 /// v2: SimFidelity::kStreamed + adaptive sampling period
 /// (MachineConfig::sample_period_max) + FlowSpec::batch entered the key.
-inline constexpr int kScenarioSchemaVersion = 2;
+/// v3: a payload checksum entered the persisted JSON envelope (required on
+/// load; mismatches quarantine the file — see docs/robustness.md). The key
+/// derivation itself is unchanged, but keys embed the version, so the bump
+/// invalidates all v2 cache files.
+inline constexpr int kScenarioSchemaVersion = 3;
 
 [[nodiscard]] ScenarioKey scenario_key(const Scenario& s);
 

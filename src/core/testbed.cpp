@@ -33,6 +33,7 @@ Testbed::Testbed(Scale scale, std::uint64_t seed)
     : scale_(scale), seed_(seed), sizes_(WorkloadSizes::for_scale(scale)) {
   mcfg_.fidelity = fidelity_from_env();
   mcfg_.sample_period_max = sample_period_max_from_env(mcfg_.fidelity, mcfg_.sample_period);
+  set_run_budget_ms(api::SessionOptions::from_env().run_budget_ms);
 }
 
 double Testbed::default_warmup_ms() const {
@@ -63,6 +64,7 @@ RunConfig Testbed::configure(std::vector<FlowSpec> flows, std::uint64_t seed) co
   RunConfig cfg = RunConfig::simple(std::move(flows), seed == 0 ? seed_ : seed);
   cfg.warmup_ms = default_warmup_ms();
   cfg.measure_ms = default_measure_ms();
+  cfg.budget_ms = run_budget_ms_;
   return cfg;
 }
 

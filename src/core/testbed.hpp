@@ -48,6 +48,9 @@ struct RunConfig {
   double measure_ms = 8.0;
   std::uint64_t seed = 1;
 
+  /// Per-run budget in simulated ms (0 = unlimited); see Scenario::budget_ms.
+  double budget_ms = 0;
+
   /// Convenience: one flow per core 0..n-1, all NUMA-local.
   [[nodiscard]] static RunConfig simple(std::vector<FlowSpec> flows, std::uint64_t seed = 1);
 };
@@ -119,6 +122,13 @@ class Testbed {
   [[nodiscard]] double default_measure_ms() const;
   [[nodiscard]] RunConfig configure(std::vector<FlowSpec> flows, std::uint64_t seed = 1) const;
 
+  /// Per-run budget stamped onto every configure()d RunConfig (0 =
+  /// unlimited). Initialized from the audited environment snapshot
+  /// (PP_RUN_BUDGET); ViewStack makes the session's explicit options
+  /// authoritative, mirroring the fidelity knobs.
+  [[nodiscard]] double run_budget_ms() const { return run_budget_ms_; }
+  void set_run_budget_ms(double ms) { run_budget_ms_ = ms > 0 ? ms : 0; }
+
   /// Run an experiment; metrics are returned in flow order. Const — and
   /// therefore safe to call concurrently from several host threads, each
   /// run building its own Machine (see core/parallel.hpp).
@@ -138,6 +148,7 @@ class Testbed {
   std::uint64_t seed_;
   WorkloadSizes sizes_;
   sim::MachineConfig mcfg_;
+  double run_budget_ms_ = 0;
 };
 
 }  // namespace pp::core

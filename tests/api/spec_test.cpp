@@ -214,7 +214,7 @@ TEST(ExperimentSpec, CorunLoweringMatchesCxxPathAndGoldenKey) {
   const core::ScenarioKey manual = core::scenario_key(core::Scenario::of(stack.tb, cfg));
 
   EXPECT_EQ(core::scenario_key(lowered[0]), manual);
-  EXPECT_EQ(core::scenario_key(lowered[0]).hex(), "1efc1706cbf5694b532f4aafe6b9dba9");
+  EXPECT_EQ(core::scenario_key(lowered[0]).hex(), "92f5489c50254a5c3307d855917c76b0");
 }
 
 TEST(ExperimentSpec, SoloLoweringMatchesSoloProfilerPlan) {

@@ -1,0 +1,137 @@
+// The deterministic fault injector: PP_FAULTS grammar validation, nth and
+// probability triggers, per-site counters, and the site registry.
+#include "base/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pp {
+namespace {
+
+/// Every test drives the process-global injector (that is what the
+/// production `pp::fault(site)` helper consults) and resets it on exit so
+/// later tests in this binary start from the disabled state.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::global().reset(); }
+
+  static bool configure(const std::string& spec, std::string* err = nullptr) {
+    return FaultInjector::global().configure(spec, err);
+  }
+};
+
+TEST_F(FaultTest, DisabledByDefaultAndZeroOverheadHelper) {
+  FaultInjector::global().reset();
+  EXPECT_FALSE(FaultInjector::global().enabled());
+  EXPECT_FALSE(fault("store.rename"));
+  EXPECT_EQ(FaultInjector::global().stats_line(), "off");
+  // The disabled helper must not even count occurrences.
+  EXPECT_TRUE(FaultInjector::global().stats().empty());
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejectedWithReason) {
+  std::string err;
+  EXPECT_FALSE(configure("store.rename", &err));
+  EXPECT_NE(err.find("site:action@trigger"), std::string::npos);
+
+  EXPECT_FALSE(configure("no.such.site:fail@1", &err));
+  EXPECT_NE(err.find("unknown fault site"), std::string::npos);
+  EXPECT_NE(err.find("store.rename"), std::string::npos) << "error lists known sites";
+
+  EXPECT_FALSE(configure("store.rename:corrupt@1", &err));
+  EXPECT_NE(err.find("supports action \"fail\""), std::string::npos);
+
+  EXPECT_FALSE(configure("store.rename:fail@1;store.rename:fail@2", &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+
+  EXPECT_FALSE(configure("store.rename:fail@", &err));
+  EXPECT_FALSE(configure("store.rename:fail@1,seed=abc", &err));
+  EXPECT_FALSE(configure("store.rename:fail@1,frobnicate=3", &err));
+  EXPECT_FALSE(configure("store.rename:fail@1.5", &err)) << "probability must be <= 1";
+  EXPECT_FALSE(configure("store.rename:fail@0.0", &err)) << "probability must be > 0";
+
+  // A failed configure installs nothing.
+  EXPECT_FALSE(FaultInjector::global().enabled());
+}
+
+TEST_F(FaultTest, NthTriggerFiresExactlyOnce) {
+  ASSERT_TRUE(configure("store.rename:fail@3"));
+  EXPECT_TRUE(FaultInjector::global().enabled());
+  EXPECT_FALSE(fault("store.rename"));  // 1st
+  EXPECT_FALSE(fault("store.rename"));  // 2nd
+  EXPECT_TRUE(fault("store.rename"));   // 3rd fires
+  EXPECT_FALSE(fault("store.rename"));  // 4th does not
+  const auto st = FaultInjector::global().stats();
+  ASSERT_EQ(st.size(), 1U);
+  EXPECT_EQ(st[0].site, "store.rename");
+  EXPECT_EQ(st[0].occurrences, 4U);
+  EXPECT_EQ(st[0].fired, 1U);
+}
+
+TEST_F(FaultTest, UnruledSitesNeverFireButRuledOnesDo) {
+  ASSERT_TRUE(configure("store.write:fail@1"));
+  EXPECT_FALSE(fault("store.rename")) << "no rule for this site";
+  EXPECT_TRUE(fault("store.write"));
+}
+
+TEST_F(FaultTest, ProbabilityOneFiresEveryOccurrence) {
+  ASSERT_TRUE(configure("store.rename:fail@1.0"));
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(fault("store.rename"));
+}
+
+TEST_F(FaultTest, ProbabilityDrawsAreDeterministicPerSeed) {
+  const auto draw = [this](const std::string& spec) {
+    FaultInjector::global().reset();
+    EXPECT_TRUE(configure(spec));
+    std::string bits;
+    for (int i = 0; i < 64; ++i) bits += fault("store.payload") ? '1' : '0';
+    return bits;
+  };
+  const std::string a = draw("store.payload:corrupt@0.5,seed=7");
+  const std::string b = draw("store.payload:corrupt@0.5,seed=7");
+  EXPECT_EQ(a, b) << "same spec must reproduce the same firing sequence";
+  const std::string c = draw("store.payload:corrupt@0.5,seed=8");
+  EXPECT_NE(a, c) << "a different seed must change the sequence";
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST_F(FaultTest, StatsLineAndReset) {
+  ASSERT_TRUE(configure("store.rename:fail@1;store.write:fail@2"));
+  (void)fault("store.rename");
+  const std::string line = FaultInjector::global().stats_line();
+  EXPECT_NE(line.find("store.rename:fail"), std::string::npos);
+  EXPECT_NE(line.find("store.write:fail"), std::string::npos);
+  EXPECT_NE(line.find("fired=1"), std::string::npos);
+  FaultInjector::global().reset();
+  EXPECT_FALSE(FaultInjector::global().enabled());
+  EXPECT_EQ(FaultInjector::global().stats_line(), "off");
+}
+
+TEST_F(FaultTest, RegisteredSitesAreConfigurable) {
+  register_fault_site({"test.custom", "fail", "registered by fault_test"});
+  register_fault_site({"test.custom", "fail", "duplicate registration is a no-op"});
+  int seen = 0;
+  for (const FaultSiteInfo& s : known_fault_sites()) {
+    if (std::string(s.name) == "test.custom") ++seen;
+  }
+  EXPECT_EQ(seen, 1);
+  ASSERT_TRUE(configure("test.custom:fail@1"));
+  EXPECT_TRUE(fault("test.custom"));
+}
+
+TEST_F(FaultTest, BuiltinRegistryCoversTheDocumentedSites) {
+  for (const char* name : {"store.open", "store.read", "store.parse", "store.payload",
+                           "store.write", "store.rename", "store.ro", "scenario.run",
+                           "spec.parse"}) {
+    bool found = false;
+    for (const FaultSiteInfo& s : known_fault_sites()) {
+      if (std::string(s.name) == name) found = true;
+    }
+    EXPECT_TRUE(found) << "missing built-in fault site " << name;
+  }
+}
+
+}  // namespace
+}  // namespace pp

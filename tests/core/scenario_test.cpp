@@ -96,7 +96,7 @@ TEST(ScenarioKey, GoldenValueStableAcrossRuns) {
   s.warmup_ms = 2.0;
   s.measure_ms = 3.0;
   s.seed = 42;
-  EXPECT_EQ(scenario_key(s).hex(), "72e1c6287d0f456f69906be4285fbae1");
+  EXPECT_EQ(scenario_key(s).hex(), "ec0774ada0e377b2bb8f2fb5643c9c1f");
 }
 
 TEST(ScenarioKey, HexIs32LowercaseDigits) {

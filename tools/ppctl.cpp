@@ -23,6 +23,11 @@
 //   --seed N                       base run seed (solo/corun)
 //   --mode cache|memctrl|both      sweep contention placement
 //   --format text|csv|json         output format (default: text)
+//   --strict                       exit 3 if any spec fails (default: exit 1)
+//
+// Exit codes: 0 = all specs succeeded, 1 = some specs failed (their Results
+// carry structured errors; the rest are valid), 2 = usage or parse error,
+// 3 = every spec failed (or any failed under --strict).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +37,7 @@
 
 #include "api/session.hpp"
 #include "api/spec.hpp"
+#include "base/fault.hpp"
 #include "base/strings.hpp"
 #include "figures.hpp"
 
@@ -51,6 +57,7 @@ struct CliOptions {
   std::optional<std::uint64_t> seed;
   std::optional<core::ContentionMode> mode;
   std::vector<core::FlowSpec> flows;
+  bool strict = false;  // any failed spec exits 3 instead of 1
 };
 
 int usage(FILE* to) {
@@ -68,8 +75,12 @@ int usage(FILE* to) {
       "\n"
       "flags: --scale S --fidelity F --threads N --cache DIR --cache-ro DIR\n"
       "       --seeds N --seed N --mode cache|memctrl|both --format text|csv|json\n"
+      "       --strict\n"
       "\n"
-      "flow types: IP MON FW RE VPN SYN SYN_MAX\n");
+      "flow types: IP MON FW RE VPN SYN SYN_MAX\n"
+      "\n"
+      "exit codes: 0 all specs ok; 1 some failed (errors are structured results);\n"
+      "            2 usage/parse error; 3 all failed, or any failed with --strict\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -175,6 +186,8 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       if (v == nullptr) return fail("--flows needs a comma-separated list");
       std::string err;
       if (!parse_flow_list(v, cli.flows, err)) return fail(err);
+    } else if (a == "--strict") {
+      cli.strict = true;
     } else if (!a.empty() && a[0] == '-') {
       return fail("unknown flag \"" + a + "\" (see ppctl --help)");
     } else {
@@ -253,9 +266,18 @@ int run_specs(const CliOptions& cli, std::vector<api::ExperimentSpec> specs) {
 
   api::Session session(cli.session);
   const std::vector<api::Result> results = session.run_many(generic);
-  for (const api::Result& r : results) print_result(r, cli.format);
+  std::size_t failed = 0;
+  for (const api::Result& r : results) {
+    if (!r.ok()) ++failed;
+    print_result(r, cli.format);
+  }
   std::fprintf(stderr, "[ppctl] profile store: %s\n", session.store().stats_line().c_str());
-  return 0;
+  if (FaultInjector::global().enabled()) {
+    std::fprintf(stderr, "[ppctl] faults: %s\n", FaultInjector::global().stats_line().c_str());
+  }
+  if (failed == 0) return 0;
+  std::fprintf(stderr, "[ppctl] %zu of %zu specs failed\n", failed, results.size());
+  return failed == results.size() || cli.strict ? 3 : 1;
 }
 
 int cmd_run(const CliOptions& cli, const std::vector<std::string>& files) {
