@@ -1,0 +1,204 @@
+#include "api/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "api/json.hpp"
+#include "base/strings.hpp"
+
+namespace pp::api {
+
+namespace {
+
+/// splitmix64 finalizer — the same stateless mixer the simulator family
+/// uses for reproducible pseudo-randomness from (seed, counter) pairs.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] bool status_kind_from_string(const std::string& s, StatusKind& out) {
+  for (const StatusKind k :
+       {StatusKind::kOk, StatusKind::kInvalidSpec, StatusKind::kIoError,
+        StatusKind::kCorruptData, StatusKind::kFaultInjected, StatusKind::kBudgetExceeded,
+        StatusKind::kOverloaded, StatusKind::kProtocolError, StatusKind::kInternal}) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] int connect_socket(const std::string& path, Status& status) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    status = {StatusKind::kInvalidSpec, "client.connect",
+              strformat("socket path must be 1..%zu bytes", sizeof addr.sun_path - 1)};
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    status = {StatusKind::kIoError, "client.connect",
+              strformat("socket: %s", std::strerror(errno))};
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    status = {StatusKind::kIoError, "client.connect",
+              strformat("cannot connect to %s: %s", path.c_str(), std::strerror(errno))};
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int backoff_delay_ms(int attempt, int base_ms, int cap_ms, std::uint64_t seed) {
+  if (attempt < 1) attempt = 1;
+  if (base_ms < 1) base_ms = 1;
+  if (cap_ms < base_ms) cap_ms = base_ms;
+  std::uint64_t nominal = static_cast<std::uint64_t>(base_ms);
+  for (int i = 1; i < attempt && nominal < static_cast<std::uint64_t>(cap_ms); ++i) nominal *= 2;
+  if (nominal > static_cast<std::uint64_t>(cap_ms)) nominal = static_cast<std::uint64_t>(cap_ms);
+  // Jitter keeps synchronized retry storms apart but stays deterministic
+  // per seed: draw from [ceil(nominal/2), nominal].
+  const std::uint64_t lo = nominal - nominal / 2;
+  const std::uint64_t span = nominal - lo + 1;
+  return static_cast<int>(lo + mix64(seed ^ static_cast<std::uint64_t>(attempt)) % span);
+}
+
+Client::Client(ClientOptions opts) : opts_(std::move(opts)) {
+  if (opts_.retries < 1) opts_.retries = 1;
+  if (!opts_.sleep_ms) {
+    opts_.sleep_ms = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+}
+
+Status Client::attempt(const std::string& payload, Reply& reply, bool& retryable) {
+  reply = {};
+  retryable = false;
+  Status status;
+  const int fd = connect_socket(opts_.socket_path, status);
+  if (fd < 0) {
+    retryable = status.kind == StatusKind::kIoError;
+    return status;
+  }
+  Status st = write_frame(fd, payload, FrameSide::kClient);
+  if (!st.ok()) {
+    ::close(fd);
+    retryable = true;
+    return st;
+  }
+  std::string response;
+  const FrameRead r = read_frame(fd, response, opts_.max_frame_bytes, st, FrameSide::kClient);
+  ::close(fd);
+  switch (r) {
+    case FrameRead::kOk:
+      break;
+    case FrameRead::kEof:
+      // The daemon dropped us without answering (injected serve.accept /
+      // serve.read faults land here) — safe to retry: requests are
+      // idempotent by construction (content-addressed simulation).
+      retryable = true;
+      return {StatusKind::kIoError, "client.read", "daemon closed the connection mid-request"};
+    case FrameRead::kIoError:
+      retryable = true;
+      return st;
+    case FrameRead::kProtocolError:
+      return st;
+  }
+  std::string envelope_text;
+  std::string body;
+  split_payload(response, envelope_text, body);
+  std::string err;
+  const std::optional<Json> envelope = Json::parse(envelope_text, &err);
+  if (!envelope.has_value() || !envelope->is_object()) {
+    return {StatusKind::kProtocolError, "client.frame",
+            "response envelope is not a JSON object: " + err};
+  }
+  const Json* ok = envelope->find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return {StatusKind::kProtocolError, "client.frame", "response envelope lacks \"ok\""};
+  }
+  if (!ok->as_bool()) {
+    Error e;
+    if (const Json* eo = envelope->find("error"); eo != nullptr && eo->is_object()) {
+      if (const Json* k = eo->find("kind"); k != nullptr && k->is_string()) {
+        (void)status_kind_from_string(k->as_string(), e.kind);
+      }
+      if (const Json* sv = eo->find("site"); sv != nullptr && sv->is_string()) e.site = sv->as_string();
+      if (const Json* d = eo->find("detail"); d != nullptr && d->is_string()) {
+        e.detail = d->as_string();
+      }
+    }
+    if (const Json* ra = envelope->find("retry_after_ms"); ra != nullptr && ra->is_number()) {
+      reply.retry_after_ms = static_cast<int>(ra->as_double());
+    }
+    reply.error = e;
+    retryable = e.kind == StatusKind::kOverloaded;
+    return {e.kind, e.site.empty() ? "client.request" : e.site, e.detail};
+  }
+  if (const Json* f = envelope->find("failed"); f != nullptr && f->is_bool()) {
+    reply.failed = f->as_bool();
+  }
+  if (const Json* sl = envelope->find("store"); sl != nullptr && sl->is_string()) {
+    reply.store_line = sl->as_string();
+  }
+  reply.body = std::move(body);
+  return {};
+}
+
+Status Client::request(const std::string& envelope, const std::string& body, Reply& reply) {
+  const std::string payload = join_payload(envelope, body);
+  Status last;
+  for (int attempt_no = 1; attempt_no <= opts_.retries; ++attempt_no) {
+    bool retryable = false;
+    last = attempt(payload, reply, retryable);
+    if (last.ok()) return last;
+    // A structural (non-retryable) error envelope is a definitive answer:
+    // hand it to the caller as the reply, transport status kOk.
+    if (!retryable && reply.error.has_value()) return {};
+    if (!retryable || attempt_no == opts_.retries) return last;
+    int delay =
+        backoff_delay_ms(attempt_no, opts_.retry_base_ms, opts_.retry_cap_ms, opts_.retry_seed);
+    if (reply.retry_after_ms > delay) delay = reply.retry_after_ms;
+    slept_ms_.push_back(delay);
+    opts_.sleep_ms(delay);
+  }
+  return last;
+}
+
+Status Client::run(const std::string& spec_json, const std::string& format, double deadline_ms,
+                   Reply& reply) {
+  std::string envelope = strformat("{\"op\":\"run\",\"format\":%s", json_quote(format).c_str());
+  if (deadline_ms > 0) envelope += strformat(",\"deadline_ms\":%s", json_double(deadline_ms).c_str());
+  envelope += "}";
+  return request(envelope, spec_json, reply);
+}
+
+Status Client::stat(std::string& text) {
+  Reply reply;
+  const Status st = request("{\"op\":\"stat\"}", "", reply);
+  if (st.ok() && !reply.error.has_value()) text = reply.body;
+  return st;
+}
+
+Status Client::ping() {
+  Reply reply;
+  return request("{\"op\":\"ping\"}", "", reply);
+}
+
+}  // namespace pp::api

@@ -1,0 +1,87 @@
+// ppd client: one-request-per-connection transport with deterministic
+// seeded retry backoff.
+//
+// The retry policy is the client half of the daemon's overload story
+// (docs/ppd.md): connection failures, mid-stream drops and structured
+// `overloaded` responses all retry on an exponential schedule with
+// deterministic jitter — delay for attempt k is drawn from
+// [nominal/2, nominal] where nominal = min(cap, base * 2^(k-1)), using a
+// seeded hash of the attempt number, so a fixed --retry-seed reproduces the
+// exact sleep sequence (tests/api/backoff_test.cpp asserts the schedule).
+// A server-supplied retry_after_ms hint acts as a floor under the drawn
+// delay. Protocol errors never retry: a peer that is not speaking ppd1
+// will not start speaking it on attempt 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/frame.hpp"
+#include "api/session.hpp"
+
+namespace pp::api {
+
+/// Deterministic jittered exponential backoff: the delay (ms) before retry
+/// number `attempt` (1-based). Pure — the whole schedule is a function of
+/// (base_ms, cap_ms, seed).
+[[nodiscard]] int backoff_delay_ms(int attempt, int base_ms, int cap_ms, std::uint64_t seed);
+
+struct ClientOptions {
+  std::string socket_path;
+
+  /// Total attempts per request (connect + send + receive). 1 = no retries.
+  int retries = 5;
+
+  int retry_base_ms = 25;
+  int retry_cap_ms = 2000;
+  std::uint64_t retry_seed = 1;
+
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Test seam: how to sleep between attempts (default: real sleep).
+  std::function<void(int ms)> sleep_ms;
+};
+
+/// One parsed daemon response.
+struct Reply {
+  bool failed = false;         // run result carried a structured error
+  std::string store_line;      // per-request profile-store delta (run only)
+  std::string body;            // raw bytes to print verbatim
+  std::optional<Error> error;  // set when the daemon answered ok=false
+  int retry_after_ms = 0;      // hint accompanying an `overloaded` error
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions opts);
+
+  /// Execute one spec remotely. Returns kOk when a definitive response
+  /// envelope arrived (inspect reply.error for structural failures); a
+  /// non-ok Status means the transport failed for good — retries exhausted
+  /// on connect failure, dropped connection, or overload — or the peer
+  /// broke protocol (never retried).
+  [[nodiscard]] Status run(const std::string& spec_json, const std::string& format,
+                           double deadline_ms, Reply& reply);
+
+  /// Fetch the daemon's stats text (`ppctl stat`).
+  [[nodiscard]] Status stat(std::string& text);
+
+  /// Liveness probe.
+  [[nodiscard]] Status ping();
+
+  /// Delays actually slept, in order (observability + backoff tests).
+  [[nodiscard]] const std::vector<int>& slept_ms() const { return slept_ms_; }
+
+ private:
+  [[nodiscard]] Status request(const std::string& envelope, const std::string& body,
+                               Reply& reply);
+  [[nodiscard]] Status attempt(const std::string& payload, Reply& reply, bool& retryable);
+
+  ClientOptions opts_;
+  std::vector<int> slept_ms_;
+};
+
+}  // namespace pp::api

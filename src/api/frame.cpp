@@ -1,0 +1,151 @@
+#include "api/frame.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/fault.hpp"
+#include "base/strings.hpp"
+
+namespace pp::api {
+
+namespace {
+
+/// send() until done; EINTR restarts. Returns false on error (errno set).
+/// MSG_NOSIGNAL: a peer that hung up yields EPIPE here instead of SIGPIPE
+/// killing the process — the client retries, the server drops the
+/// connection, neither needs a signal handler for it.
+[[nodiscard]] bool write_full(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+enum class ReadFull : std::uint8_t { kOk, kEof, kError };
+
+/// read() until `n` bytes; EINTR restarts. kEof only when zero bytes were
+/// read at all — a partial frame followed by close is an error.
+[[nodiscard]] ReadFull read_full(int fd, char* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadFull::kError;
+    }
+    if (r == 0) return got == 0 ? ReadFull::kEof : ReadFull::kError;
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadFull::kOk;
+}
+
+[[nodiscard]] const char* read_site(FrameSide side) {
+  return side == FrameSide::kServer ? "serve.read" : "client.read";
+}
+[[nodiscard]] const char* write_site(FrameSide side) {
+  return side == FrameSide::kServer ? "serve.write" : "client.write";
+}
+
+}  // namespace
+
+Status write_frame(int fd, std::string_view payload, FrameSide side) {
+  if (side == FrameSide::kServer && pp::fault("serve.write")) {
+    return {StatusKind::kIoError, "serve.write", "injected response-write failure (PP_FAULTS)"};
+  }
+  char header[8];
+  std::memcpy(header, kFrameMagic, 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[4] = static_cast<char>((len >> 24) & 0xff);
+  header[5] = static_cast<char>((len >> 16) & 0xff);
+  header[6] = static_cast<char>((len >> 8) & 0xff);
+  header[7] = static_cast<char>(len & 0xff);
+  if (!write_full(fd, header, sizeof header) ||
+      !write_full(fd, payload.data(), payload.size())) {
+    return {StatusKind::kIoError, write_site(side),
+            strformat("frame write failed: %s", std::strerror(errno))};
+  }
+  return {};
+}
+
+FrameRead read_frame(int fd, std::string& payload, std::size_t max_bytes, Status& status,
+                     FrameSide side) {
+  payload.clear();
+  status = {};
+  if (side == FrameSide::kServer && pp::fault("serve.read")) {
+    status = {StatusKind::kIoError, "serve.read", "injected connection-read failure (PP_FAULTS)"};
+    return FrameRead::kIoError;
+  }
+  char header[8];
+  switch (read_full(fd, header, sizeof header)) {
+    case ReadFull::kEof:
+      return FrameRead::kEof;
+    case ReadFull::kError:
+      status = {StatusKind::kIoError, read_site(side),
+                strformat("frame header read failed: %s", std::strerror(errno))};
+      return FrameRead::kIoError;
+    case ReadFull::kOk:
+      break;
+  }
+  if (side == FrameSide::kServer && pp::fault("serve.frame")) header[0] ^= 0x20;
+  if (std::memcmp(header, kFrameMagic, 4) != 0) {
+    status = {StatusKind::kProtocolError, side == FrameSide::kServer ? "serve.frame" : "client.frame",
+              "bad frame magic (not a ppd1 peer, or a corrupted stream)"};
+    return FrameRead::kProtocolError;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(static_cast<unsigned char>(header[4])) << 24) |
+                            (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 16) |
+                            (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6])) << 8) |
+                            static_cast<std::uint32_t>(static_cast<unsigned char>(header[7]));
+  if (len > max_bytes) {
+    status = {StatusKind::kProtocolError, side == FrameSide::kServer ? "serve.frame" : "client.frame",
+              strformat("frame payload %u bytes exceeds the %zu-byte ceiling",
+                        static_cast<unsigned>(len), max_bytes)};
+    return FrameRead::kProtocolError;
+  }
+  payload.resize(len);
+  if (len > 0) {
+    switch (read_full(fd, payload.data(), len)) {
+      case ReadFull::kOk:
+        break;
+      case ReadFull::kEof:
+      case ReadFull::kError:
+        payload.clear();
+        status = {StatusKind::kIoError, read_site(side), "connection closed mid-frame"};
+        return FrameRead::kIoError;
+    }
+  }
+  return FrameRead::kOk;
+}
+
+std::string join_payload(std::string_view envelope, std::string_view body) {
+  std::string out;
+  out.reserve(envelope.size() + 1 + body.size());
+  out.append(envelope);
+  if (!body.empty()) {
+    out.push_back('\n');
+    out.append(body);
+  }
+  return out;
+}
+
+void split_payload(const std::string& payload, std::string& envelope, std::string& body) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    envelope = payload;
+    body.clear();
+    return;
+  }
+  envelope = payload.substr(0, nl);
+  body = payload.substr(nl + 1);
+}
+
+}  // namespace pp::api

@@ -1,0 +1,57 @@
+// Length-prefixed JSON framing for the ppd Unix-domain socket protocol.
+//
+// One frame = an 8-byte header — 4 magic bytes "ppd1" + a 32-bit big-endian
+// payload length — followed by exactly that many payload bytes. The payload
+// is one single-line JSON envelope, optionally followed by '\n' and a raw
+// body whose bytes are never re-encoded (this is what makes a result served
+// by ppd byte-identical to the same result printed by a direct ppctl run).
+//
+// Failure semantics (docs/ppd.md): a bad magic or a length above the
+// configured ceiling is a kProtocolError — the connection that sent it is
+// poisoned (dropped after a best-effort error response) but no other
+// connection is disturbed. Short reads/writes and socket errors are
+// kIoError. The server side of every operation carries the serve.read /
+// serve.write / serve.frame fault sites (base/fault.hpp) so each path has a
+// deterministic PP_FAULTS test; the client side never consults the
+// injector, so poisoning a daemon under test cannot poison the test's own
+// client half.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "base/status.hpp"
+
+namespace pp::api {
+
+/// Protocol magic (version byte last: a v2 framing would be "ppd2").
+inline constexpr char kFrameMagic[4] = {'p', 'p', 'd', '1'};
+
+/// Default payload ceiling. Spec files and rendered results are a few KB;
+/// anything near the ceiling is an abuse or a corrupted length field.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Which half of the connection is doing the I/O: the server half consults
+/// the serve.* fault-injection sites, the client half never does.
+enum class FrameSide : std::uint8_t { kClient, kServer };
+
+/// Outcome of read_frame. kEof = the peer closed cleanly *between* frames
+/// (a normal end of conversation); a mid-frame close is kIoError.
+enum class FrameRead : std::uint8_t { kOk, kEof, kIoError, kProtocolError };
+
+/// Write one frame. Returns kOk, or kIoError with detail on failure.
+[[nodiscard]] Status write_frame(int fd, std::string_view payload,
+                                 FrameSide side = FrameSide::kClient);
+
+/// Read one frame into `payload` (cleared first). `max_bytes` caps the
+/// advertised payload length. Fills `status` with the taxonomy error on
+/// anything but kOk/kEof.
+[[nodiscard]] FrameRead read_frame(int fd, std::string& payload, std::size_t max_bytes,
+                                   Status& status, FrameSide side = FrameSide::kClient);
+
+/// Payload helpers: envelope line + optional raw body, joined by '\n'.
+[[nodiscard]] std::string join_payload(std::string_view envelope, std::string_view body);
+void split_payload(const std::string& payload, std::string& envelope, std::string& body);
+
+}  // namespace pp::api

@@ -15,6 +15,7 @@
 // sees one consistent configuration.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -53,6 +54,13 @@ struct SessionOptions {
   /// 0 = unlimited). A scenario whose windows exceed it refuses to run with
   /// a structured BudgetExceeded error — see Scenario::budget_ms.
   double run_budget_ms = 0;
+
+  /// Wall-clock deadline for every scenario this session starts (the
+  /// default-constructed time_point = none; never set from the
+  /// environment). The ppd daemon stamps it per request at admission so
+  /// queue wait counts against the request's budget; enforced *between*
+  /// scenarios — see core::Scenario::deadline.
+  std::chrono::steady_clock::time_point wall_deadline{};
 
   /// The audited environment snapshot (parsed once per process, warnings to
   /// stderr on the first call). Returned by value so callers can override

@@ -1,0 +1,480 @@
+#include "api/serve.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "api/json.hpp"
+#include "base/fault.hpp"
+#include "base/strings.hpp"
+
+namespace pp::api {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Body bytes exactly as a direct `ppctl run` would print the same Result
+/// (text gets the trailing newline print_result adds; csv/json are raw) —
+/// the client writes the body verbatim, which is what makes served output
+/// byte-identical to one-shot output.
+[[nodiscard]] std::string render_result(const Result& r, const std::string& format) {
+  if (format == "json") return r.to_json();
+  if (format == "csv") return r.to_csv();
+  return r.to_text() + "\n";
+}
+
+[[nodiscard]] std::string error_envelope(const Error& e, int retry_after_ms) {
+  std::string out = "{\"ok\":false,";
+  if (retry_after_ms > 0) out += strformat("\"retry_after_ms\":%d,", retry_after_ms);
+  out += "\"error\":" + e.to_json() + "}";
+  return out;
+}
+
+[[nodiscard]] Error to_error(const Status& s) { return Error{s.kind, s.site, s.detail}; }
+
+/// A structured failed Result for a request refused before execution
+/// (deadlined out in the admission queue, broken artifact): same shape a
+/// failed Session::run produces, so every client render path works on it.
+[[nodiscard]] Result refusal_result(const ExperimentSpec& spec, const SessionOptions& base,
+                                    Error e) {
+  Result r;
+  r.kind = spec.kind;
+  r.name = spec.name;
+  const SessionOptions eff = apply_spec(spec, base);
+  r.scale = eff.scale;
+  r.fidelity = eff.fidelity;
+  r.seeds = spec.seeds > 0 ? spec.seeds : default_seeds(eff.scale);
+  r.error = std::move(e);
+  return r;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), session_(std::make_unique<Session>(opts_.session)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(opts_.socket_path.c_str());
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
+  }
+}
+
+bool Server::listen(std::string* error) {
+  sockaddr_un addr{};
+  if (opts_.socket_path.empty() || opts_.socket_path.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) {
+      *error = strformat("socket path must be 1..%zu bytes", sizeof addr.sun_path - 1);
+    }
+    return false;
+  }
+  struct stat st {};
+  if (::lstat(opts_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      if (error != nullptr) *error = opts_.socket_path + " exists and is not a socket";
+      return false;
+    }
+    // Stale socket file — e.g. a previous daemon killed with SIGKILL never
+    // unlinked it. Replacing it is what makes restart-on-the-same-paths
+    // recovery work without manual cleanup.
+    ::unlink(opts_.socket_path.c_str());
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = strformat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) {
+      *error = strformat("cannot listen on %s: %s", opts_.socket_path.c_str(),
+                         std::strerror(errno));
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
+    if (error != nullptr) *error = strformat("pipe2: %s", std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Server::begin_drain() {
+  // Async-signal-safe by construction: one atomic store + one pipe write.
+  draining_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'x';
+    (void)!::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+int Server::serve() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        if (draining_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      std::fprintf(stderr, "[ppd] poll failed: %s\n", std::strerror(errno));
+      break;
+    }
+    if (draining_.load(std::memory_order_acquire) || (fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "[ppd] accept failed: %s\n", std::strerror(errno));
+      continue;
+    }
+    if (pp::fault("serve.accept")) {
+      std::fprintf(stderr, "[ppd] dropping accepted connection (injected serve.accept fault)\n");
+      ::close(cfd);
+      continue;
+    }
+    threads_.emplace_back([this, cfd] { handle_connection(cfd); });
+  }
+
+  // Drain: stop accepting (socket closed + unlinked so new connects fail
+  // fast), wake every blocked connection read, then let in-flight requests
+  // finish or deadline out. Responses still flow — only the read half shuts.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opts_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const int fd : conns_) ::shutdown(fd, SHUT_RD);
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  std::fprintf(stderr, "%s", stats_text().c_str());
+  return 0;
+}
+
+void Server::handle_connection(int fd) {
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.push_back(fd);
+  }
+  std::string payload;
+  for (;;) {
+    Status st;
+    const FrameRead r = read_frame(fd, payload, opts_.max_frame_bytes, st, FrameSide::kServer);
+    if (r == FrameRead::kEof) break;
+    if (r == FrameRead::kIoError) {
+      std::fprintf(stderr, "[ppd] dropping connection: %s\n", st.detail.c_str());
+      break;
+    }
+    if (r == FrameRead::kProtocolError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr, "[ppd] poisoning connection: %s\n", st.detail.c_str());
+      (void)write_frame(fd, error_envelope(to_error(st), 0), FrameSide::kServer);
+      break;
+    }
+    const Response resp = dispatch(payload);
+    const Status w = write_frame(fd, join_payload(resp.envelope, resp.body), FrameSide::kServer);
+    if (!w.ok()) {
+      std::fprintf(stderr, "[ppd] dropping connection: %s\n", w.detail.c_str());
+      break;
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (resp.poison) break;
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), fd), conns_.end());
+  }
+  ::close(fd);
+}
+
+Server::Response Server::dispatch(const std::string& payload) {
+  std::string envelope_text;
+  std::string body;
+  split_payload(payload, envelope_text, body);
+  std::string err;
+  const std::optional<Json> envelope = Json::parse(envelope_text, &err);
+  if (!envelope.has_value() || !envelope->is_object()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return {error_envelope(Error{StatusKind::kProtocolError, "serve.frame",
+                                 "request envelope is not a JSON object: " + err},
+                           0),
+            "", true};
+  }
+  const Json* op = envelope->find("op");
+  const std::string opname = (op != nullptr && op->is_string()) ? op->as_string() : "";
+  if (opname == "ping") return {"{\"ok\":true}", "", false};
+  if (opname == "stat") return {"{\"ok\":true}", stats_text(), false};
+  if (opname == "run") return handle_run(*envelope, body);
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  return {error_envelope(Error{StatusKind::kProtocolError, "serve.frame",
+                               "unknown op \"" + opname + "\""},
+                         0),
+          "", true};
+}
+
+Server::Response Server::handle_run(const Json& envelope, const std::string& body) {
+  const Clock::time_point start = Clock::now();
+  std::string format = "text";
+  if (const Json* f = envelope.find("format"); f != nullptr) {
+    if (!f->is_string() || (f->as_string() != "text" && f->as_string() != "csv" &&
+                            f->as_string() != "json")) {
+      specs_failed_.fetch_add(1, std::memory_order_relaxed);
+      return {error_envelope(Error{StatusKind::kInvalidSpec, "serve.request",
+                                   "unknown format (expected text|csv|json)"},
+                             0),
+              "", false};
+    }
+    format = f->as_string();
+  }
+  std::string err;
+  const std::optional<ExperimentSpec> spec = ExperimentSpec::parse(body, &err);
+  if (!spec.has_value()) {
+    // A well-framed request with a bad spec fails structurally and keeps
+    // the connection: error isolation is per request, not per connection.
+    specs_failed_.fetch_add(1, std::memory_order_relaxed);
+    return {error_envelope(Error{StatusKind::kInvalidSpec, "serve.request", err}, 0), "", false};
+  }
+  double deadline_ms = 0;
+  if (const Json* d = envelope.find("deadline_ms"); d != nullptr && d->is_number()) {
+    deadline_ms = d->as_double();
+  }
+  if (deadline_ms <= 0 && spec->budget_ms.has_value()) deadline_ms = *spec->budget_ms;
+  Clock::time_point deadline{};
+  if (deadline_ms > 0) {
+    deadline = start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+
+  // Single-flight across connections: identical (spec, format, deadline
+  // budget) requests share one execution. The first arrival leads; the rest
+  // wait for its response. Distinct deadlines never share — a tight-deadline
+  // request must not inherit a refusal earned by someone else's budget.
+  const std::string key =
+      strformat("%s\037%s\037%.3f", spec->to_json().c_str(), format.c_str(), deadline_ms);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lk(flights_mu_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<Flight>();
+    flight = it->second;
+    leader = inserted;
+  }
+  if (!leader) {
+    deduped_inflight_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(flight->m);
+    flight->cv.wait(lk, [&] { return flight->done; });
+    Response resp = flight->response;
+    lk.unlock();
+    record_latency(start);
+    return resp;
+  }
+  Response resp = execute_run(*spec, format, deadline);
+  {
+    std::lock_guard<std::mutex> lk(flights_mu_);
+    flights_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lk(flight->m);
+    flight->response = resp;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  record_latency(start);
+  return resp;
+}
+
+Server::Admit Server::admit(Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(admit_mu_);
+  if (active_ < opts_.workers) {
+    ++active_;
+    return Admit::kAdmitted;
+  }
+  if (queued_ >= opts_.max_queue) return Admit::kShed;
+  ++queued_;
+  bool got = true;
+  if (deadline == Clock::time_point{}) {
+    admit_cv_.wait(lk, [&] { return active_ < opts_.workers; });
+  } else {
+    got = admit_cv_.wait_until(lk, deadline, [&] { return active_ < opts_.workers; });
+  }
+  --queued_;
+  if (!got) return Admit::kDeadline;
+  ++active_;
+  return Admit::kAdmitted;
+}
+
+void Server::release_slot() {
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    --active_;
+  }
+  admit_cv_.notify_one();
+}
+
+Server::Response Server::execute_run(const ExperimentSpec& spec, const std::string& format,
+                                     Clock::time_point deadline) {
+  switch (admit(deadline)) {
+    case Admit::kShed: {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return {error_envelope(
+                  Error{StatusKind::kOverloaded, "serve.admit",
+                        strformat("admission queue full (%d executing, %d queued); retry in "
+                                  "%d ms",
+                                  opts_.workers, opts_.max_queue, opts_.retry_after_ms)},
+                  opts_.retry_after_ms),
+              "", false};
+    }
+    case Admit::kDeadline: {
+      deadline_refused_.fetch_add(1, std::memory_order_relaxed);
+      specs_failed_.fetch_add(1, std::memory_order_relaxed);
+      const Result r = refusal_result(
+          spec, opts_.session,
+          Error{StatusKind::kBudgetExceeded, "serve.admit",
+                "wall-clock deadline expired while queued for admission"});
+      const std::string none = core::ProfileStore::stats_line(core::ProfileStore::Stats{});
+      return {strformat("{\"ok\":true,\"failed\":true,\"store\":%s}", json_quote(none).c_str()),
+              render_result(r, format), false};
+    }
+    case Admit::kAdmitted:
+      break;
+  }
+
+  const core::ProfileStore::Stats before = store().stats();
+  Response resp;
+  if (!spec.artifact.empty()) {
+    if (!opts_.artifact_runner) {
+      specs_failed_.fetch_add(1, std::memory_order_relaxed);
+      resp = {error_envelope(Error{StatusKind::kInvalidSpec, "serve.request",
+                                   "this daemon cannot serve artifact specs"},
+                             0),
+              "", false};
+    } else {
+      std::string out;
+      const int rc = opts_.artifact_runner(spec, deadline, out);
+      const std::string delta = core::ProfileStore::stats_line(
+          core::ProfileStore::Stats::delta(store().stats(), before));
+      if (rc < 0) {
+        specs_failed_.fetch_add(1, std::memory_order_relaxed);
+        resp = {error_envelope(Error{StatusKind::kInvalidSpec, "serve.request",
+                                     "unknown artifact \"" + spec.artifact + "\""},
+                               0),
+                "", false};
+      } else if (rc != 0) {
+        specs_failed_.fetch_add(1, std::memory_order_relaxed);
+        const Result r = refusal_result(
+            spec, opts_.session,
+            Error{StatusKind::kInternal, "serve.artifact",
+                  strformat("artifact \"%s\" exited with status %d", spec.artifact.c_str(), rc)});
+        resp = {strformat("{\"ok\":true,\"failed\":true,\"store\":%s}", json_quote(delta).c_str()),
+                render_result(r, format), false};
+      } else {
+        specs_ok_.fetch_add(1, std::memory_order_relaxed);
+        resp = {strformat("{\"ok\":true,\"failed\":false,\"store\":%s}", json_quote(delta).c_str()),
+                out, false};
+      }
+    }
+  } else {
+    SessionOptions req = opts_.session;
+    req.wall_deadline = deadline;
+    Session session(req, &store());
+    const Result r = session.run(spec);
+    const std::string delta = core::ProfileStore::stats_line(
+        core::ProfileStore::Stats::delta(store().stats(), before));
+    if (r.ok()) {
+      specs_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      specs_failed_.fetch_add(1, std::memory_order_relaxed);
+      if (r.error->site == "scenario.deadline") {
+        deadline_refused_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    resp = {strformat("{\"ok\":true,\"failed\":%s,\"store\":%s}", r.ok() ? "false" : "true",
+                      json_quote(delta).c_str()),
+            render_result(r, format), false};
+  }
+  release_slot();
+  return resp;
+}
+
+void Server::record_latency(Clock::time_point start) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
+  const std::uint32_t v =
+      us < 0 ? 0u
+             : (us > 0xffffffffLL ? 0xffffffffu : static_cast<std::uint32_t>(us));
+  std::lock_guard<std::mutex> lk(latency_mu_);
+  if (latency_us_.size() < 65536) latency_us_.push_back(v);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.served = served_.load(std::memory_order_relaxed);
+  s.specs_ok = specs_ok_.load(std::memory_order_relaxed);
+  s.specs_failed = specs_failed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deduped_inflight = deduped_inflight_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.deadline_refused = deadline_refused_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    s.active = active_;
+    s.queued = queued_;
+  }
+  s.draining = draining_.load(std::memory_order_acquire);
+  return s;
+}
+
+std::string Server::stats_text() const {
+  const Stats s = stats();
+  std::string out = strformat(
+      "[ppd] requests: served=%llu ok=%llu failed=%llu shed=%llu deduped=%llu "
+      "protocol_errors=%llu deadline_refused=%llu active=%d queued=%d draining=%d\n",
+      static_cast<unsigned long long>(s.served), static_cast<unsigned long long>(s.specs_ok),
+      static_cast<unsigned long long>(s.specs_failed), static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deduped_inflight),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.deadline_refused), s.active, s.queued,
+      s.draining ? 1 : 0);
+  out += "[ppd] profile store: " + store().stats_line() + "\n";
+  if (FaultInjector::global().enabled()) {
+    out += "[ppd] faults: " + FaultInjector::global().stats_line() + "\n";
+  }
+  std::vector<std::uint32_t> lat;
+  {
+    std::lock_guard<std::mutex> lk(latency_mu_);
+    lat = latency_us_;
+  }
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](double p) -> unsigned long long {
+    if (lat.empty()) return 0;
+    const auto i = static_cast<std::size_t>(p * static_cast<double>(lat.size() - 1) + 0.5);
+    return lat[i];
+  };
+  out += strformat("[ppd] latency_us: count=%zu p50=%llu p90=%llu p99=%llu max=%llu\n",
+                   lat.size(), pct(0.50), pct(0.90), pct(0.99),
+                   lat.empty() ? 0ULL : static_cast<unsigned long long>(lat.back()));
+  return out;
+}
+
+}  // namespace pp::api

@@ -1,0 +1,180 @@
+// ppd — the persistent prediction server (NSD-style server/control split).
+//
+// A Server holds one warm ProfileStore in memory and answers ExperimentSpec
+// requests over a Unix-domain socket using the length-prefixed framing in
+// api/frame.hpp. The robustness envelope is the point (docs/ppd.md):
+//
+//   * per-request wall-clock deadlines (envelope `deadline_ms`, defaulting
+//     to the spec's `budget_ms`) enforced between scenarios — a deadlined
+//     request returns a structured budget_exceeded result, never a hung
+//     client;
+//   * a bounded admission queue with deterministic overload shedding: at
+//     most `workers` requests execute, at most `max_queue` more wait;
+//     beyond that the daemon answers a structured `overloaded` error with a
+//     retry-after hint instead of queueing unboundedly;
+//   * malformed or oversized frames poison only the connection that sent
+//     them (best-effort protocol_error response, then close);
+//   * single-flight dedup of identical in-flight requests across
+//     connections (on top of the store's scenario-level single-flight);
+//   * graceful drain (begin_drain, wired to SIGTERM by the ppd binary):
+//     stop accepting, finish or deadline-out in-flight work, flush store
+//     stats to stderr, return 0 — and clean recovery on restart: a stale
+//     socket file is replaced, the PROFILE_CACHE reloads warm, corrupt
+//     entries are quarantined by the store exactly as in one-shot mode.
+//
+// Every failure path carries a serve.* fault-injection site
+// (base/fault.hpp), so each one has a deterministic PP_FAULTS test
+// (tests/api/serve_test.cpp, tests/serve/ppd_lifecycle_test.sh).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/frame.hpp"
+#include "api/session.hpp"
+
+namespace pp::api {
+
+class Json;
+
+struct ServerOptions {
+  std::string socket_path;
+
+  /// Concurrently *executing* requests (the admission gate's slot count).
+  int workers = 2;
+
+  /// Requests allowed to wait for a slot before the daemon sheds. The
+  /// bound is what turns a flood into deterministic `overloaded` answers
+  /// instead of an unbounded queue.
+  int max_queue = 8;
+
+  /// Hint sent with every `overloaded` response; ppctl's backoff honors it
+  /// as a floor under its seeded exponential schedule.
+  int retry_after_ms = 50;
+
+  /// Frame payload ceiling (oversized frames poison their connection).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Session configuration (scale/fidelity/caches); the daemon's store is
+  /// chosen exactly like api::Session's (the process-global store when the
+  /// cache directories match the environment).
+  SessionOptions session = SessionOptions::from_env();
+
+  /// Renders an artifact spec's canned stdout (the ppd binary wires this to
+  /// the bench artifact runners with stdout capture; unset = artifact specs
+  /// are answered with invalid_spec). Returns the artifact's exit code, or
+  /// < 0 for an unknown artifact name.
+  std::function<int(const ExperimentSpec&, std::chrono::steady_clock::time_point deadline,
+                    std::string& captured_stdout)>
+      artifact_runner;
+};
+
+class Server {
+ public:
+  struct Stats {
+    std::uint64_t served = 0;            // responses sent (every op)
+    std::uint64_t specs_ok = 0;          // run requests answered with an ok result
+    std::uint64_t specs_failed = 0;      // run requests answered with an error result
+    std::uint64_t shed = 0;              // run requests refused with `overloaded`
+    std::uint64_t deduped_inflight = 0;  // run requests served by an identical in-flight one
+    std::uint64_t protocol_errors = 0;   // malformed/oversized frames (connection poisoned)
+    std::uint64_t deadline_refused = 0;  // deadlined out while queued or between scenarios
+    int active = 0;                      // currently executing
+    int queued = 0;                      // currently waiting for a slot
+    bool draining = false;
+  };
+
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on opts.socket_path (an existing *socket* file — e.g.
+  /// left by a kill -9 — is replaced; any other file type is an error).
+  [[nodiscard]] bool listen(std::string* error);
+
+  /// Accept/serve until begin_drain(), then finish in-flight work, flush
+  /// final store stats to stderr and return 0. Call listen() first.
+  int serve();
+
+  /// Async-signal-safe drain trigger (the ppd binary calls this from its
+  /// SIGTERM/SIGINT handler; tests call it directly).
+  void begin_drain();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// The `ppctl stat` payload: request counters, the store's stats_line
+  /// verbatim (same "profile store:" grep surface as one-shot ppctl), the
+  /// fault-injector line when enabled, and service-latency percentiles.
+  [[nodiscard]] std::string stats_text() const;
+
+  [[nodiscard]] core::ProfileStore& store() const { return session_->store(); }
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+
+ private:
+  enum class Admit : std::uint8_t { kAdmitted, kShed, kDeadline };
+
+  struct Response {
+    std::string envelope;  // single-line JSON
+    std::string body;      // raw bytes, printed verbatim by the client
+    bool poison = false;   // close the connection after responding
+  };
+
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  };
+
+  void handle_connection(int fd);
+  [[nodiscard]] Response dispatch(const std::string& payload);
+  [[nodiscard]] Response handle_run(const Json& envelope, const std::string& body);
+  [[nodiscard]] Response execute_run(const ExperimentSpec& spec, const std::string& format,
+                                     std::chrono::steady_clock::time_point deadline);
+  [[nodiscard]] Admit admit(std::chrono::steady_clock::time_point deadline);
+  void release_slot();
+  void record_latency(std::chrono::steady_clock::time_point start);
+
+  ServerOptions opts_;
+  std::unique_ptr<Session> session_;  // store owner/selector; per-request
+                                      // sessions borrow its store
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: begin_drain() -> poll() wakeup
+  std::atomic<bool> draining_{false};
+
+  std::mutex conns_mu_;
+  std::vector<int> conns_;  // open connection fds (drain shuts down reads)
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  int active_ = 0;
+  int queued_ = 0;
+
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> specs_ok_{0};
+  std::atomic<std::uint64_t> specs_failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deduped_inflight_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> deadline_refused_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<std::uint32_t> latency_us_;  // capped service-time samples
+};
+
+}  // namespace pp::api

@@ -27,6 +27,7 @@ ViewStack::ViewStack(const SessionOptions& opts, int seeds, core::ProfileStore& 
   m.sample_period_max =
       resolve_sample_period_max(opts.fidelity, m.sample_period, opts.sample_period_max);
   tb.set_run_budget_ms(opts.run_budget_ms);
+  tb.set_run_deadline(opts.wall_deadline);
 }
 
 // ----------------------------------------------------------------- session

@@ -22,6 +22,10 @@ std::vector<FaultSiteInfo>& registry() {
       {"store.ro", "miss", "read-only tier load fails (treated as a miss)"},
       {"scenario.run", "fail", "scenario execution aborts with fault_injected"},
       {"spec.parse", "fail", "ExperimentSpec::parse rejects the document"},
+      {"serve.accept", "fail", "an accepted ppd connection is dropped before serving"},
+      {"serve.read", "err", "a ppd connection read fails mid-frame (connection dropped)"},
+      {"serve.frame", "corrupt", "an inbound ppd frame header is corrupted (protocol_error)"},
+      {"serve.write", "err", "a ppd response write fails (connection dropped)"},
   };
   return sites;
 }

@@ -20,7 +20,9 @@ enum class StatusKind : std::uint8_t {
   kIoError,         // persistence failure (write, rename, ENOSPC)
   kCorruptData,     // checksum/parse failure on data that should be valid
   kFaultInjected,   // a PP_FAULTS site fired (tests and CI smoke only)
-  kBudgetExceeded,  // scenario windows exceed the per-run budget
+  kBudgetExceeded,  // scenario windows exceed the per-run budget / deadline
+  kOverloaded,      // ppd admission queue full — retryable, with a hint
+  kProtocolError,   // malformed/oversized frame on the ppd socket
   kInternal,        // anything else escaping the execution path
 };
 
@@ -38,6 +40,10 @@ enum class StatusKind : std::uint8_t {
       return "fault_injected";
     case StatusKind::kBudgetExceeded:
       return "budget_exceeded";
+    case StatusKind::kOverloaded:
+      return "overloaded";
+    case StatusKind::kProtocolError:
+      return "protocol_error";
     case StatusKind::kInternal:
       return "internal";
   }

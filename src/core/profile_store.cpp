@@ -36,16 +36,31 @@ ProfileStore::Stats ProfileStore::stats() const {
   s.coalesced = coalesced_.load();
   s.quarantined = quarantined_.load();
   s.persist_errors = persist_errors_.load();
+  s.ro_quarantine_warnings = ro_quarantine_warnings_.load();
   s.memory_only = memory_only_.load();
   return s;
 }
 
-std::string ProfileStore::stats_line() const {
+ProfileStore::Stats ProfileStore::Stats::delta(const Stats& now, const Stats& base) {
+  Stats d;
+  d.simulated = now.simulated - base.simulated;
+  d.memory_hits = now.memory_hits - base.memory_hits;
+  d.disk_hits = now.disk_hits - base.disk_hits;
+  d.ro_hits = now.ro_hits - base.ro_hits;
+  d.coalesced = now.coalesced - base.coalesced;
+  d.quarantined = now.quarantined - base.quarantined;
+  d.persist_errors = now.persist_errors - base.persist_errors;
+  d.ro_quarantine_warnings = now.ro_quarantine_warnings - base.ro_quarantine_warnings;
+  d.memory_only = now.memory_only;
+  return d;
+}
+
+std::string ProfileStore::stats_line(const Stats& s) {
   // New fields append after the original five: tooling (the CI warm-cache
   // grep included) anchors on the "simulated=N " prefix.
-  const Stats s = stats();
   return strformat("simulated=%llu memory_hits=%llu disk_hits=%llu ro_hits=%llu "
-                   "coalesced=%llu quarantined=%llu persist_errors=%llu memory_only=%d",
+                   "coalesced=%llu quarantined=%llu persist_errors=%llu memory_only=%d "
+                   "ro_quarantine_warnings=%llu",
                    static_cast<unsigned long long>(s.simulated),
                    static_cast<unsigned long long>(s.memory_hits),
                    static_cast<unsigned long long>(s.disk_hits),
@@ -53,8 +68,11 @@ std::string ProfileStore::stats_line() const {
                    static_cast<unsigned long long>(s.coalesced),
                    static_cast<unsigned long long>(s.quarantined),
                    static_cast<unsigned long long>(s.persist_errors),
-                   s.memory_only ? 1 : 0);
+                   s.memory_only ? 1 : 0,
+                   static_cast<unsigned long long>(s.ro_quarantine_warnings));
 }
+
+std::string ProfileStore::stats_line() const { return stats_line(stats()); }
 
 std::shared_ptr<const ScenarioResult> ProfileStore::get_or_run(const Scenario& s) {
   return get_or_run_keyed(s, scenario_key(s));
@@ -242,6 +260,7 @@ void ProfileStore::quarantine(const std::string& dir, const ScenarioKey& k,
   quarantined_.fetch_add(1, std::memory_order_relaxed);
   const std::string path = path_in(dir, k);
   if (read_only) {
+    ro_quarantine_warnings_.fetch_add(1, std::memory_order_relaxed);
     // Never mutate the read-only layer; just stop trusting this entry.
     std::fprintf(stderr, "ProfileStore: corrupt read-only cache entry %s (ignored)\n",
                  path.c_str());

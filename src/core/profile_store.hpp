@@ -49,7 +49,13 @@ class ProfileStore {
     std::uint64_t coalesced = 0;    // waited on a concurrent identical run
     std::uint64_t quarantined = 0;  // corrupt cache files detected (primary: renamed .bad)
     std::uint64_t persist_errors = 0;  // failed writes/renames (degraded to re-simulation)
+    std::uint64_t ro_quarantine_warnings = 0;  // corrupt RO-tier entries (warned, never mutated)
     bool memory_only = false;       // write-side backoff engaged (stopped persisting)
+
+    /// Counter-wise `now - base`: the per-request store activity the ppd
+    /// daemon reports for each served spec (memory_only is a mode, not a
+    /// counter — the current value carries over).
+    [[nodiscard]] static Stats delta(const Stats& now, const Stats& base);
   };
 
   /// Consecutive persistence failures before the store stops writing
@@ -94,7 +100,11 @@ class ProfileStore {
 
   /// One-line "simulated=N memory_hits=N disk_hits=N coalesced=N" summary
   /// (bench binaries print it to stderr so stdout stays byte-comparable).
+  /// The static overload formats an arbitrary snapshot identically — the ppd
+  /// daemon renders per-request Stats::delta lines with it, so CI greps work
+  /// the same against one-shot ppctl stderr and ppd serve output.
   [[nodiscard]] std::string stats_line() const;
+  [[nodiscard]] static std::string stats_line(const Stats& s);
 
  private:
   struct Entry {
@@ -129,6 +139,7 @@ class ProfileStore {
   // Robustness counters are mutable: loads/saves run on const paths.
   mutable std::atomic<std::uint64_t> quarantined_{0};
   mutable std::atomic<std::uint64_t> persist_errors_{0};
+  mutable std::atomic<std::uint64_t> ro_quarantine_warnings_{0};
   mutable std::atomic<int> consecutive_persist_failures_{0};
   mutable std::atomic<bool> memory_only_{false};
 };

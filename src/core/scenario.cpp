@@ -24,6 +24,7 @@ Scenario Scenario::of(const Testbed& tb, const RunConfig& cfg) {
   s.measure_ms = cfg.measure_ms;
   s.seed = cfg.seed;
   s.budget_ms = cfg.budget_ms;
+  s.deadline = cfg.deadline;
   return s;
 }
 
@@ -204,6 +205,15 @@ ScenarioResult run_scenario_with_windows(const Scenario& cfg, double window_ms,
                                 "exceed the run budget %.3f ms",
                                 cfg.warmup_ms + cfg.measure_ms, cfg.warmup_ms,
                                 cfg.measure_ms, cfg.budget_ms));
+  }
+  // The deadline guard: one clock read before any simulation work, so a
+  // deadlined ppd request stops *between* scenarios — the work done so far
+  // is in the store, the client gets a structured budget_exceeded error,
+  // and a draining daemon is never wedged behind a runaway plan.
+  if (cfg.deadline != std::chrono::steady_clock::time_point{} &&
+      std::chrono::steady_clock::now() >= cfg.deadline) {
+    throw StatusError(StatusKind::kBudgetExceeded, "scenario.deadline",
+                      "wall-clock request deadline expired before this scenario started");
   }
   if (pp::fault("scenario.run")) {
     throw StatusError(StatusKind::kFaultInjected, "scenario.run",

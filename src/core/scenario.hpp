@@ -40,6 +40,14 @@ struct Scenario {
   /// of the caller's budget (a memo hit costs nothing to serve).
   double budget_ms = 0;
 
+  /// Wall-clock deadline (default-constructed = none). Like budget_ms an
+  /// execution *guard*, not content: checked when a scenario is about to
+  /// run, so a deadlined ppd request fails between scenarios with a
+  /// structured kBudgetExceeded instead of hanging its client — and, also
+  /// like budget_ms, deliberately NOT part of the content key (memo hits
+  /// serve regardless, and a generous deadline is bit-identical to none).
+  std::chrono::steady_clock::time_point deadline{};
+
   /// Capture a Testbed run as a scenario (the testbed contributes machine
   /// config and workload sizes; the RunConfig contributes the rest).
   [[nodiscard]] static Scenario of(const Testbed& tb, const RunConfig& cfg);

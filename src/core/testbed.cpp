@@ -65,6 +65,7 @@ RunConfig Testbed::configure(std::vector<FlowSpec> flows, std::uint64_t seed) co
   cfg.warmup_ms = default_warmup_ms();
   cfg.measure_ms = default_measure_ms();
   cfg.budget_ms = run_budget_ms_;
+  cfg.deadline = run_deadline_;
   return cfg;
 }
 

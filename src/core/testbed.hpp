@@ -5,6 +5,7 @@
 // methodology (Section 2).
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -50,6 +51,11 @@ struct RunConfig {
 
   /// Per-run budget in simulated ms (0 = unlimited); see Scenario::budget_ms.
   double budget_ms = 0;
+
+  /// Wall-clock deadline (unset = none); see Scenario::deadline. The ppd
+  /// request lifecycle stamps this so a long plan stops between scenarios
+  /// instead of wedging a drain or hanging a client.
+  std::chrono::steady_clock::time_point deadline{};
 
   /// Convenience: one flow per core 0..n-1, all NUMA-local.
   [[nodiscard]] static RunConfig simple(std::vector<FlowSpec> flows, std::uint64_t seed = 1);
@@ -129,6 +135,14 @@ class Testbed {
   [[nodiscard]] double run_budget_ms() const { return run_budget_ms_; }
   void set_run_budget_ms(double ms) { run_budget_ms_ = ms > 0 ? ms : 0; }
 
+  /// Wall-clock deadline stamped onto every configure()d RunConfig (the
+  /// default-constructed time_point = none). Per-request: the ppd daemon
+  /// sets it at request admission via SessionOptions::wall_deadline.
+  [[nodiscard]] std::chrono::steady_clock::time_point run_deadline() const {
+    return run_deadline_;
+  }
+  void set_run_deadline(std::chrono::steady_clock::time_point at) { run_deadline_ = at; }
+
   /// Run an experiment; metrics are returned in flow order. Const — and
   /// therefore safe to call concurrently from several host threads, each
   /// run building its own Machine (see core/parallel.hpp).
@@ -149,6 +163,7 @@ class Testbed {
   WorkloadSizes sizes_;
   sim::MachineConfig mcfg_;
   double run_budget_ms_ = 0;
+  std::chrono::steady_clock::time_point run_deadline_{};
 };
 
 }  // namespace pp::core

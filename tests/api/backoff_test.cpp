@@ -1,0 +1,90 @@
+// The client retry schedule: deterministic seeded exponential backoff with
+// jitter, and the Client sleeping exactly that schedule when the daemon is
+// unreachable (golden-sequence property, tests/serve/ppctl_backoff_test.sh
+// asserts the CLI surface).
+#include "api/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace pp::api {
+namespace {
+
+TEST(BackoffTest, ScheduleIsDeterministicPerSeed) {
+  std::vector<int> a;
+  std::vector<int> b;
+  for (int k = 1; k <= 10; ++k) {
+    a.push_back(backoff_delay_ms(k, 25, 2000, 42));
+    b.push_back(backoff_delay_ms(k, 25, 2000, 42));
+  }
+  EXPECT_EQ(a, b) << "same seed must reproduce the same schedule";
+  std::vector<int> c;
+  for (int k = 1; k <= 10; ++k) c.push_back(backoff_delay_ms(k, 25, 2000, 43));
+  EXPECT_NE(a, c) << "a different seed must change the schedule";
+}
+
+TEST(BackoffTest, DelaysStayWithinTheJitterWindow) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 1234567ULL}) {
+    std::uint64_t nominal = 25;
+    for (int k = 1; k <= 12; ++k) {
+      const int d = backoff_delay_ms(k, 25, 2000, seed);
+      EXPECT_GE(d, static_cast<int>(nominal - nominal / 2))
+          << "attempt " << k << " seed " << seed;
+      EXPECT_LE(d, static_cast<int>(nominal)) << "attempt " << k << " seed " << seed;
+      nominal = std::min<std::uint64_t>(nominal * 2, 2000);
+    }
+  }
+}
+
+TEST(BackoffTest, CapClampsTheNominalDelay) {
+  for (int k = 8; k <= 64; k += 8) {
+    const int d = backoff_delay_ms(k, 25, 2000, 5);
+    EXPECT_GE(d, 1000);
+    EXPECT_LE(d, 2000);
+  }
+  // Degenerate parameters are clamped, never UB or a zero-delay hot loop.
+  EXPECT_GE(backoff_delay_ms(0, 0, 0, 0), 1);
+}
+
+TEST(BackoffTest, ClientSleepsExactlyTheScheduleOnConnectFailure) {
+  ClientOptions opts;
+  opts.socket_path = "/nonexistent-ppd-dir/ppd.sock";
+  opts.retries = 4;
+  opts.retry_base_ms = 10;
+  opts.retry_cap_ms = 80;
+  opts.retry_seed = 7;
+  std::vector<int> slept;
+  opts.sleep_ms = [&slept](int ms) { slept.push_back(ms); };
+  Client client(opts);
+
+  Reply reply;
+  const Status st = client.run("{}", "text", 0, reply);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.kind, StatusKind::kIoError);
+  EXPECT_EQ(st.site, "client.connect");
+
+  // retries=4 total attempts => exactly 3 sleeps, each the pure function's
+  // value for that attempt (no server hint to floor them here).
+  ASSERT_EQ(slept.size(), 3U);
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_EQ(slept[static_cast<std::size_t>(k - 1)], backoff_delay_ms(k, 10, 80, 7));
+  }
+  EXPECT_EQ(client.slept_ms(), slept);
+}
+
+TEST(BackoffTest, SingleAttemptNeverSleeps) {
+  ClientOptions opts;
+  opts.socket_path = "/nonexistent-ppd-dir/ppd.sock";
+  opts.retries = 1;
+  bool slept = false;
+  opts.sleep_ms = [&slept](int) { slept = true; };
+  Client client(opts);
+  Reply reply;
+  EXPECT_FALSE(client.run("{}", "text", 0, reply).ok());
+  EXPECT_FALSE(slept);
+}
+
+}  // namespace
+}  // namespace pp::api

@@ -1,0 +1,146 @@
+// The ppd framing layer: round-trips, clean-EOF vs torn-frame semantics,
+// protocol-error detection (bad magic, oversized length), and the
+// server-side fault sites (serve.read / serve.write / serve.frame) firing
+// only for FrameSide::kServer.
+#include "api/frame.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "base/fault.hpp"
+
+namespace pp::api {
+namespace {
+
+class FrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  void TearDown() override {
+    close_fd(0);
+    close_fd(1);
+    FaultInjector::global().reset();
+  }
+  void close_fd(int i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+    fds_[i] = -1;
+  }
+  void write_raw(const void* data, std::size_t n) {
+    ASSERT_EQ(::write(fds_[0], data, n), static_cast<ssize_t>(n));
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FrameTest, RoundTripsEnvelopeAndRawBody) {
+  const std::string envelope = R"({"op":"run","format":"text"})";
+  const std::string body = "line one\nline two\nraw \x01 bytes";
+  ASSERT_TRUE(write_frame(fds_[0], join_payload(envelope, body)).ok());
+  std::string payload;
+  Status st;
+  ASSERT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kOk);
+  std::string got_envelope;
+  std::string got_body;
+  split_payload(payload, got_envelope, got_body);
+  EXPECT_EQ(got_envelope, envelope);
+  EXPECT_EQ(got_body, body);
+}
+
+TEST_F(FrameTest, RoundTripsEmptyBodyAndEmptyPayload) {
+  ASSERT_TRUE(write_frame(fds_[0], join_payload("{\"op\":\"ping\"}", "")).ok());
+  ASSERT_TRUE(write_frame(fds_[0], "").ok());
+  std::string payload;
+  Status st;
+  ASSERT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kOk);
+  std::string envelope;
+  std::string body;
+  split_payload(payload, envelope, body);
+  EXPECT_EQ(envelope, "{\"op\":\"ping\"}");
+  EXPECT_TRUE(body.empty());
+  ASSERT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kOk);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST_F(FrameTest, CleanCloseBetweenFramesIsEof) {
+  close_fd(0);
+  std::string payload;
+  Status st;
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kEof);
+  EXPECT_TRUE(st.ok()) << "a clean EOF is not an error";
+}
+
+TEST_F(FrameTest, MidFrameCloseIsIoErrorNotEof) {
+  // A valid header promising 100 bytes, then the peer vanishes.
+  const char header[8] = {'p', 'p', 'd', '1', 0, 0, 0, 100};
+  write_raw(header, sizeof header);
+  close_fd(0);
+  std::string payload;
+  Status st;
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kIoError);
+  EXPECT_EQ(st.kind, StatusKind::kIoError);
+  EXPECT_NE(st.detail.find("mid-frame"), std::string::npos);
+}
+
+TEST_F(FrameTest, BadMagicIsProtocolError) {
+  const char header[8] = {'H', 'T', 'T', 'P', 0, 0, 0, 0};
+  write_raw(header, sizeof header);
+  std::string payload;
+  Status st;
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st), FrameRead::kProtocolError);
+  EXPECT_EQ(st.kind, StatusKind::kProtocolError);
+  EXPECT_NE(st.detail.find("magic"), std::string::npos);
+}
+
+TEST_F(FrameTest, OversizedLengthIsProtocolError) {
+  const char header[8] = {'p', 'p', 'd', '1', 0x7f, 0, 0, 0};
+  write_raw(header, sizeof header);
+  std::string payload;
+  Status st;
+  EXPECT_EQ(read_frame(fds_[1], payload, /*max_bytes=*/4096, st), FrameRead::kProtocolError);
+  EXPECT_EQ(st.kind, StatusKind::kProtocolError);
+  EXPECT_NE(st.detail.find("ceiling"), std::string::npos);
+}
+
+TEST_F(FrameTest, ServerReadFaultSiteInjectsIoError) {
+  ASSERT_TRUE(FaultInjector::global().configure("serve.read:err@1"));
+  ASSERT_TRUE(write_frame(fds_[0], "payload").ok());
+  std::string payload;
+  Status st;
+  // The client half never consults the injector...
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st, FrameSide::kClient),
+            FrameRead::kOk);
+  ASSERT_TRUE(write_frame(fds_[0], "payload").ok());
+  // ...the server half does, and the first read fails without touching fd.
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st, FrameSide::kServer),
+            FrameRead::kIoError);
+  EXPECT_EQ(st.site, "serve.read");
+  // The fault fired once; the frame is still intact on the socket.
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st, FrameSide::kServer),
+            FrameRead::kOk);
+}
+
+TEST_F(FrameTest, ServerWriteFaultSiteInjectsIoError) {
+  ASSERT_TRUE(FaultInjector::global().configure("serve.write:err@1"));
+  EXPECT_TRUE(write_frame(fds_[0], "payload", FrameSide::kClient).ok());
+  const Status st = write_frame(fds_[0], "payload", FrameSide::kServer);
+  EXPECT_EQ(st.kind, StatusKind::kIoError);
+  EXPECT_EQ(st.site, "serve.write");
+  EXPECT_TRUE(write_frame(fds_[0], "payload", FrameSide::kServer).ok()) << "fires once";
+}
+
+TEST_F(FrameTest, ServerFrameFaultSiteCorruptsHeaderIntoProtocolError) {
+  ASSERT_TRUE(FaultInjector::global().configure("serve.frame:corrupt@1"));
+  ASSERT_TRUE(write_frame(fds_[0], "payload").ok());
+  ASSERT_TRUE(write_frame(fds_[0], "payload").ok());
+  std::string payload;
+  Status st;
+  EXPECT_EQ(read_frame(fds_[1], payload, kDefaultMaxFrameBytes, st, FrameSide::kServer),
+            FrameRead::kProtocolError);
+  EXPECT_EQ(st.kind, StatusKind::kProtocolError);
+  EXPECT_EQ(st.site, "serve.frame");
+}
+
+}  // namespace
+}  // namespace pp::api

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "base/strings.hpp"
 
 namespace pp {
 namespace {
@@ -124,7 +128,8 @@ TEST_F(FaultTest, RegisteredSitesAreConfigurable) {
 TEST_F(FaultTest, BuiltinRegistryCoversTheDocumentedSites) {
   for (const char* name : {"store.open", "store.read", "store.parse", "store.payload",
                            "store.write", "store.rename", "store.ro", "scenario.run",
-                           "spec.parse"}) {
+                           "spec.parse", "serve.accept", "serve.read", "serve.frame",
+                           "serve.write"}) {
     bool found = false;
     for (const FaultSiteInfo& s : known_fault_sites()) {
       if (std::string(s.name) == name) found = true;
@@ -132,6 +137,32 @@ TEST_F(FaultTest, BuiltinRegistryCoversTheDocumentedSites) {
     EXPECT_TRUE(found) << "missing built-in fault site " << name;
   }
 }
+
+#ifdef PP_SOURCE_DIR
+// The site table in docs/robustness.md claims to be generated from the
+// registry: every registry row must appear verbatim (name, action, effect),
+// in registry order. Sites registered at runtime by tests ("test.*") are
+// exempt.
+TEST_F(FaultTest, DocsSiteTableMatchesRegistry) {
+  std::ifstream in(std::string(PP_SOURCE_DIR) + "/docs/robustness.md");
+  ASSERT_TRUE(in.good()) << "docs/robustness.md missing";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  std::size_t pos = 0;
+  for (const FaultSiteInfo& s : known_fault_sites()) {
+    if (std::string(s.name).rfind("test.", 0) == 0) continue;
+    const std::string row =
+        strformat("| `%s` | `%s` | %s |", s.name, s.action, s.effect);
+    const std::size_t at = doc.find(row);
+    ASSERT_NE(at, std::string::npos)
+        << "docs/robustness.md is missing (or has drifted from) the registry row:\n  " << row;
+    EXPECT_GE(at, pos) << "site table rows are out of registry order at " << s.name;
+    pos = at;
+  }
+}
+#endif
 
 }  // namespace
 }  // namespace pp

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "core/profile_store.hpp"
 
@@ -101,6 +103,91 @@ TEST(ProfileStoreRo, MissSimulatesAndWritesOnlyThePrimary) {
   EXPECT_EQ(store.stats().ro_hits, 1U);
   EXPECT_EQ(store.stats().simulated, 1U);
   EXPECT_EQ(file_count(primary), 1U) << "RO hits are not copied forward";
+}
+
+TEST(ProfileStoreRo, CorruptRoEntryWarnsResimulatesAndNeverMutatesTheLayer) {
+  const std::string shared = fresh_dir("corrupt_shared");
+  const Scenario s = tiny_scenario();
+  ScenarioResult reference;
+  {
+    ProfileStore writer(shared);
+    reference = *writer.get_or_run(s);
+  }
+  // Trash the only RO entry in place.
+  std::string victim;
+  for (const auto& entry : std::filesystem::directory_iterator(shared)) {
+    victim = entry.path().string();
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::ofstream out(victim, std::ios::trunc);
+    out << "CORRUPT{";
+  }
+
+  ProfileStore reader({}, shared);
+  const ScenarioResult got = *reader.get_or_run(s);
+  const ProfileStore::Stats st = reader.stats();
+  EXPECT_EQ(st.ro_hits, 0U);
+  EXPECT_EQ(st.simulated, 1U) << "corruption degrades to re-simulation";
+  EXPECT_EQ(st.quarantined, 1U);
+  EXPECT_EQ(st.ro_quarantine_warnings, 1U)
+      << "RO corruption is counted separately (the ppd stat surface)";
+  // ...and the answer is still right.
+  ASSERT_EQ(got.size(), reference.size());
+  EXPECT_EQ(got[0].delta.cycles, reference[0].delta.cycles);
+  EXPECT_EQ(got[0].delta.packets, reference[0].delta.packets);
+
+  // The RO layer was not mutated: same single file, no .bad rename, the
+  // garbage bytes still in place.
+  EXPECT_EQ(file_count(shared), 1U);
+  EXPECT_TRUE(std::filesystem::exists(victim));
+  std::ifstream in(victim);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "CORRUPT{");
+}
+
+TEST(ProfileStoreRo, StatsLineAppendsRoQuarantineWarningsLast) {
+  ProfileStore::Stats st;
+  st.simulated = 2;
+  st.ro_quarantine_warnings = 5;
+  const std::string line = ProfileStore::stats_line(st);
+  // Tooling anchors on the original prefix; new counters append after it.
+  EXPECT_EQ(line.rfind("simulated=2 ", 0), 0U) << line;
+  const std::string tail = "ro_quarantine_warnings=5";
+  ASSERT_GE(line.size(), tail.size());
+  EXPECT_EQ(line.substr(line.size() - tail.size()), tail)
+      << "ro_quarantine_warnings must stay the last field: " << line;
+}
+
+TEST(ProfileStoreRo, StatsDeltaSubtractsCountersAndCarriesTheMode) {
+  ProfileStore::Stats base;
+  base.simulated = 3;
+  base.memory_hits = 1;
+  base.disk_hits = 2;
+  base.ro_hits = 1;
+  base.coalesced = 1;
+  base.quarantined = 1;
+  base.persist_errors = 1;
+  base.ro_quarantine_warnings = 1;
+  ProfileStore::Stats now = base;
+  now.simulated += 2;
+  now.memory_hits += 4;
+  now.ro_quarantine_warnings += 1;
+  now.memory_only = true;
+
+  const ProfileStore::Stats d = ProfileStore::Stats::delta(now, base);
+  EXPECT_EQ(d.simulated, 2U);
+  EXPECT_EQ(d.memory_hits, 4U);
+  EXPECT_EQ(d.disk_hits, 0U);
+  EXPECT_EQ(d.ro_hits, 0U);
+  EXPECT_EQ(d.coalesced, 0U);
+  EXPECT_EQ(d.quarantined, 0U);
+  EXPECT_EQ(d.persist_errors, 0U);
+  EXPECT_EQ(d.ro_quarantine_warnings, 1U);
+  EXPECT_TRUE(d.memory_only) << "memory_only is a mode, not a counter: current value carries";
+  EXPECT_EQ(ProfileStore::stats_line(d),
+            "simulated=2 memory_hits=4 disk_hits=0 ro_hits=0 coalesced=0 quarantined=0 "
+            "persist_errors=0 memory_only=1 ro_quarantine_warnings=1");
 }
 
 TEST(ProfileStoreRo, PrimaryWinsWhenBothLayersHold) {

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# The ppctl daemon-transport CLI surface when there is no daemon: retries
+# exhaust on the seeded backoff schedule and exit with the distinct
+# transport code (4), usage errors stay 2, and a locally-unparsable spec
+# never touches the transport at all.
+#
+# usage: ppctl_backoff_test.sh <ppd-binary> <ppctl-binary>
+set -u
+
+PPCTL=$2
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+export REPRO_SCALE=quick
+export PROFILE_CACHE="$TMP/cache"
+unset PROFILE_CACHE_RO PP_FAULTS 2>/dev/null || true
+SOCK="$TMP/nobody-home.sock"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+cat > "$TMP/spec.json" <<'EOF'
+{"version":1,"kind":"corun","name":"backoff","flows":[{"type":"IP"}]}
+EOF
+
+# Dead socket: all attempts fail, exit 4, stderr names the attempt count.
+"$PPCTL" run --connect "$SOCK" --retries 3 --retry-base-ms 1 --retry-seed 7 \
+  "$TMP/spec.json" > "$TMP/out" 2> "$TMP/err"
+rc=$?
+[ "$rc" -eq 4 ] || fail "dead-socket run exited $rc, want 4: $(cat "$TMP/err")"
+grep -q 'transport failure after 3 attempt(s)' "$TMP/err" \
+  || fail "missing attempt count in: $(cat "$TMP/err")"
+[ ! -s "$TMP/out" ] || fail "transport failure must not print a result body"
+
+# A single attempt reports itself as such.
+"$PPCTL" run --connect "$SOCK" --retries 1 "$TMP/spec.json" > /dev/null 2> "$TMP/err1"
+[ $? -eq 4 ] || fail "retries=1 dead socket should still exit 4"
+grep -q 'after 1 attempt(s)' "$TMP/err1" || fail "wrong attempt count: $(cat "$TMP/err1")"
+
+# stat against a dead socket is a transport failure too.
+"$PPCTL" stat --connect "$SOCK" > /dev/null 2>&1
+[ $? -eq 4 ] || fail "stat on a dead socket should exit 4"
+
+# stat without --connect is a usage error, not a transport one.
+"$PPCTL" stat > /dev/null 2>&1
+[ $? -eq 2 ] || fail "stat without --connect should exit 2"
+
+# An unparsable spec fails locally (exit 2) before any connection attempt.
+echo '{not json' > "$TMP/bad.json"
+"$PPCTL" run --connect "$SOCK" --retries 3 "$TMP/bad.json" > /dev/null 2> "$TMP/err2"
+[ $? -eq 2 ] || fail "bad spec with --connect should exit 2 (local parse first)"
+grep -q 'transport failure' "$TMP/err2" && fail "bad spec must not reach the transport"
+
+echo "ppctl backoff: OK"

@@ -12,6 +12,15 @@
 //   ppctl solo   --flows T,..     solo-profile each listed flow type
 //   ppctl corun  --flows T,..     run the listed mix and measure drops
 //   ppctl show <spec.json>...     parse, validate and reprint canonically
+//   ppctl stat --connect SOCK     print a running ppd daemon's statistics
+//
+// With --connect SOCK, run/sweep/predict/solo/corun execute on a running
+// ppd daemon (docs/ppd.md) instead of in-process: specs are parsed and
+// validated locally exactly as before, sent over the socket, and results
+// print byte-identically to a direct run. Transient failures — connection
+// refused, dropped mid-request, structured `overloaded` responses — retry
+// on a deterministic seeded backoff schedule (--retries/--retry-base-ms/
+// --retry-seed); exhaustion exits 4.
 //
 // Common flags:
 //   --scale quick|standard|full    workload scale        (default: REPRO_SCALE)
@@ -27,7 +36,8 @@
 //
 // Exit codes: 0 = all specs succeeded, 1 = some specs failed (their Results
 // carry structured errors; the rest are valid), 2 = usage or parse error,
-// 3 = every spec failed (or any failed under --strict).
+// 3 = every spec failed (or any failed under --strict), 4 = transport
+// failure talking to a ppd daemon (retries exhausted, or protocol error).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "api/client.hpp"
 #include "api/session.hpp"
 #include "api/spec.hpp"
 #include "base/fault.hpp"
@@ -58,6 +69,12 @@ struct CliOptions {
   std::optional<core::ContentionMode> mode;
   std::vector<core::FlowSpec> flows;
   bool strict = false;  // any failed spec exits 3 instead of 1
+  // Daemon mode (--connect): execute on a running ppd instead of in-process.
+  std::string connect;
+  int retries = 5;
+  int retry_base_ms = 25;
+  std::uint64_t retry_seed = 1;
+  double deadline_ms = 0;  // per-request wall-clock deadline (0 = spec budget)
 };
 
 int usage(FILE* to) {
@@ -72,15 +89,21 @@ int usage(FILE* to) {
       "  ppctl predict --flows T,..   predict per-flow drop in the listed mix\n"
       "  ppctl solo    --flows T,..   solo-profile each listed flow type\n"
       "  ppctl corun   --flows T,..   run the listed mix and measure drops\n"
+      "  ppctl stat --connect SOCK    print a running ppd daemon's statistics\n"
       "\n"
       "flags: --scale S --fidelity F --threads N --cache DIR --cache-ro DIR\n"
       "       --seeds N --seed N --mode cache|memctrl|both --format text|csv|json\n"
       "       --strict\n"
+      "daemon flags (docs/ppd.md):\n"
+      "       --connect SOCK   execute on the ppd listening at SOCK\n"
+      "       --deadline-ms N  per-request wall-clock deadline\n"
+      "       --retries N --retry-base-ms N --retry-seed N   backoff schedule\n"
       "\n"
       "flow types: IP MON FW RE VPN SYN SYN_MAX\n"
       "\n"
       "exit codes: 0 all specs ok; 1 some failed (errors are structured results);\n"
-      "            2 usage/parse error; 3 all failed, or any failed with --strict\n");
+      "            2 usage/parse error; 3 all failed, or any failed with --strict;\n"
+      "            4 daemon transport failure (retries exhausted / protocol error)\n");
   return to == stdout ? 0 : 2;
 }
 
@@ -188,6 +211,36 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       if (!parse_flow_list(v, cli.flows, err)) return fail(err);
     } else if (a == "--strict") {
       cli.strict = true;
+    } else if (a == "--connect") {
+      const char* v = value("--connect");
+      if (v == nullptr) return fail("--connect needs a socket path");
+      cli.connect = v;
+    } else if (a == "--retries") {
+      const char* v = value("--retries");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 100) {
+        return fail("--retries needs an integer in [1, 100]");
+      }
+      cli.retries = static_cast<int>(n);
+    } else if (a == "--retry-base-ms") {
+      const char* v = value("--retry-base-ms");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 60000) {
+        return fail("--retry-base-ms needs an integer in [1, 60000]");
+      }
+      cli.retry_base_ms = static_cast<int>(n);
+    } else if (a == "--retry-seed") {
+      const char* v = value("--retry-seed");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n)) return fail("--retry-seed needs an integer");
+      cli.retry_seed = n;
+    } else if (a == "--deadline-ms") {
+      const char* v = value("--deadline-ms");
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1) {
+        return fail("--deadline-ms needs an integer >= 1");
+      }
+      cli.deadline_ms = static_cast<double>(n);
     } else if (!a.empty() && a[0] == '-') {
       return fail("unknown flag \"" + a + "\" (see ppctl --help)");
     } else {
@@ -243,7 +296,80 @@ void print_result(const api::Result& r, Format format) {
   std::fflush(stdout);
 }
 
+[[nodiscard]] api::ClientOptions client_options(const CliOptions& cli) {
+  api::ClientOptions copts;
+  copts.socket_path = cli.connect;
+  copts.retries = cli.retries;
+  copts.retry_base_ms = cli.retry_base_ms;
+  copts.retry_seed = cli.retry_seed;
+  return copts;
+}
+
+int transport_failure(const api::Client& client, const Status& st) {
+  std::fprintf(stderr, "ppctl: daemon transport failure after %zu attempt(s): %s at %s: %s\n",
+               client.slept_ms().size() + 1, to_string(st.kind), st.site.c_str(),
+               st.detail.c_str());
+  return 4;
+}
+
+/// Daemon-mode run_specs: each spec becomes one framed request to the ppd
+/// at cli.connect; bodies print verbatim (byte-identical to a direct run)
+/// and each response's store delta prints in the familiar stderr format.
+/// Artifact specs go first, matching the direct path's ordering.
+int run_specs_connected(const CliOptions& cli, const std::vector<api::ExperimentSpec>& specs) {
+  api::Client client(client_options(cli));
+  const char* fmt = cli.format == Format::kText ? "text"
+                    : cli.format == Format::kCsv ? "csv"
+                                                 : "json";
+  std::vector<const api::ExperimentSpec*> ordered;
+  for (const api::ExperimentSpec& s : specs) {
+    if (!s.artifact.empty()) ordered.push_back(&s);
+  }
+  for (const api::ExperimentSpec& s : specs) {
+    if (s.artifact.empty()) ordered.push_back(&s);
+  }
+  std::size_t failed = 0;
+  for (const api::ExperimentSpec* spec : ordered) {
+    const bool artifact = !spec->artifact.empty();
+    if (artifact && cli.format != Format::kText) {
+      std::fprintf(stderr,
+                   "ppctl: note: artifact \"%s\" always prints the bench's text output; "
+                   "--format does not apply\n",
+                   spec->artifact.c_str());
+    }
+    api::Reply reply;
+    const Status st =
+        client.run(spec->to_json(), artifact ? "text" : fmt, cli.deadline_ms, reply);
+    if (!st.ok()) return transport_failure(client, st);
+    if (reply.error.has_value()) {
+      std::fprintf(stderr, "ppctl: daemon refused spec: %s at %s: %s\n",
+                   to_string(reply.error->kind), reply.error->site.c_str(),
+                   reply.error->detail.c_str());
+      ++failed;
+      continue;
+    }
+    std::fwrite(reply.body.data(), 1, reply.body.size(), stdout);
+    std::fflush(stdout);
+    if (reply.failed) ++failed;
+    std::fprintf(stderr, "[ppctl] profile store: %s\n", reply.store_line.c_str());
+  }
+  if (failed == 0) return 0;
+  std::fprintf(stderr, "[ppctl] %zu of %zu specs failed\n", failed, specs.size());
+  return failed == specs.size() || cli.strict ? 3 : 1;
+}
+
+int cmd_stat(const CliOptions& cli) {
+  if (cli.connect.empty()) return fail("stat: requires --connect SOCK (a running ppd)");
+  api::Client client(client_options(cli));
+  std::string text;
+  const Status st = client.stat(text);
+  if (!st.ok()) return transport_failure(client, st);
+  std::printf("%s", text.c_str());
+  return 0;
+}
+
 int run_specs(const CliOptions& cli, std::vector<api::ExperimentSpec> specs) {
+  if (!cli.connect.empty()) return run_specs_connected(cli, specs);
   // Artifact specs render canned bench stdout (byte-identical to the bench
   // binary, always text — so they print first, whatever the argument
   // order); generic specs execute through one Session as a deduped batch.
@@ -335,6 +461,7 @@ int main(int argc, char** argv) {
 
   if (cmd == "run") return cmd_run(cli, positional);
   if (cmd == "show") return cmd_show(cli, positional);
+  if (cmd == "stat") return cmd_stat(cli);
   if (cmd == "sweep") return cmd_inline(cli, api::ExperimentKind::kSweep);
   if (cmd == "predict") return cmd_inline(cli, api::ExperimentKind::kPredict);
   if (cmd == "solo") return cmd_inline(cli, api::ExperimentKind::kSolo);

@@ -1,0 +1,171 @@
+// ppd — the persistent prediction daemon (server half of the NSD-style
+// server/control split; ppctl --connect is the control half).
+//
+// Holds one warm ProfileStore for its whole lifetime and serves
+// ExperimentSpec requests over a Unix-domain socket (framing and failure
+// semantics: docs/ppd.md). The process is deliberately thin: flag parsing,
+// signal wiring and artifact stdout capture live here; every serving
+// decision — deadlines, admission, shedding, single-flight, drain — lives
+// in api::Server so the in-process tests exercise the real code.
+//
+//   ppd --socket PATH [--workers N] [--max-queue N] [--retry-after-ms N]
+//       [--max-frame-bytes N]
+//
+// Session configuration comes from the environment exactly like one-shot
+// ppctl (REPRO_SCALE, SIM_FIDELITY, PROFILE_CACHE, PROFILE_CACHE_RO,
+// PP_RUN_BUDGET, PP_FAULTS...), so a daemon restarted on the same
+// PROFILE_CACHE starts warm and a result served by ppd is byte-identical
+// to the same spec run directly.
+//
+// SIGTERM/SIGINT begin a graceful drain: stop accepting, finish or
+// deadline-out in-flight requests, flush final stats to stderr, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "api/serve.hpp"
+#include "base/fault.hpp"
+#include "base/strings.hpp"
+#include "figures.hpp"
+
+namespace {
+
+using namespace pp;
+
+api::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->begin_drain();
+}
+
+int usage(FILE* to) {
+  std::fprintf(to,
+               "ppd — persistent prediction daemon for the pp platform\n"
+               "\n"
+               "usage: ppd --socket PATH [flags]\n"
+               "\n"
+               "flags:\n"
+               "  --socket PATH          Unix-domain socket to listen on (required)\n"
+               "  --workers N            concurrently executing requests   (default 2)\n"
+               "  --max-queue N          waiting requests before shedding  (default 8)\n"
+               "  --retry-after-ms N     hint sent with overloaded errors  (default 50)\n"
+               "  --max-frame-bytes N    request frame ceiling             (default 4194304)\n"
+               "\n"
+               "Scale, fidelity, caches and budgets come from the environment, exactly\n"
+               "like ppctl (see docs/api.md); protocol and lifecycle: docs/ppd.md.\n"
+               "Drive it with: ppctl run --connect PATH spec.json | ppctl stat --connect PATH\n");
+  return to == stdout ? 0 : 2;
+}
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "ppd: %s\n", msg.c_str());
+  return 2;
+}
+
+/// Serve an artifact spec by running the bench artifact with stdout
+/// captured into a buffer (serialized — stdout redirection is per-process).
+/// The Engine inside run_artifact resolves to the same process-global store
+/// the server uses, so artifacts stay warm across requests too.
+int run_artifact_captured(const api::ExperimentSpec& spec,
+                          std::chrono::steady_clock::time_point deadline, std::string& out) {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  std::fflush(stdout);
+  FILE* tmp = std::tmpfile();
+  if (tmp == nullptr) return 1;
+  const int saved = ::dup(STDOUT_FILENO);
+  if (saved < 0 || ::dup2(fileno(tmp), STDOUT_FILENO) < 0) {
+    if (saved >= 0) ::close(saved);
+    std::fclose(tmp);
+    return 1;
+  }
+  api::SessionOptions base = api::SessionOptions::from_env();
+  base.wall_deadline = deadline;
+  const int rc = pp::bench::run_artifact(spec, base);
+  std::fflush(stdout);
+  ::dup2(saved, STDOUT_FILENO);
+  ::close(saved);
+  const long n = std::ftell(tmp);
+  std::rewind(tmp);
+  out.assign(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+  if (n > 0 && std::fread(out.data(), 1, out.size(), tmp) != out.size()) {
+    std::fclose(tmp);
+    return 1;
+  }
+  std::fclose(tmp);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  api::ServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--help" || a == "-h") return usage(stdout);
+    if (a == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return fail("--socket needs a path");
+      opts.socket_path = v;
+    } else if (a == "--workers") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 64) {
+        return fail("--workers needs an integer in [1, 64]");
+      }
+      opts.workers = static_cast<int>(n);
+    } else if (a == "--max-queue") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n > 4096) {
+        return fail("--max-queue needs an integer in [0, 4096]");
+      }
+      opts.max_queue = static_cast<int>(n);
+    } else if (a == "--retry-after-ms") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 60000) {
+        return fail("--retry-after-ms needs an integer in [1, 60000]");
+      }
+      opts.retry_after_ms = static_cast<int>(n);
+    } else if (a == "--max-frame-bytes") {
+      const char* v = value();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(v, n) || n < 64 || n > (64u << 20)) {
+        return fail("--max-frame-bytes needs an integer in [64, 67108864]");
+      }
+      opts.max_frame_bytes = static_cast<std::size_t>(n);
+    } else {
+      return fail("unknown flag \"" + a + "\" (see ppd --help)");
+    }
+  }
+  if (opts.socket_path.empty()) {
+    usage(stderr);
+    return fail("--socket is required");
+  }
+  opts.artifact_runner = run_artifact_captured;
+
+  api::Server server(opts);
+  std::string err;
+  if (!server.listen(&err)) return fail(err);
+  g_server = &server;
+
+  // A client vanishing mid-response must surface as a write error on that
+  // connection, never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  std::fprintf(stderr, "[ppd] listening on %s (workers=%d max_queue=%d)\n",
+               opts.socket_path.c_str(), opts.workers, opts.max_queue);
+  if (FaultInjector::global().enabled()) {
+    std::fprintf(stderr, "[ppd] fault injection enabled (PP_FAULTS)\n");
+  }
+  return server.serve();
+}
