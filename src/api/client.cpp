@@ -1,5 +1,8 @@
 #include "api/client.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -38,7 +41,7 @@ namespace {
   return false;
 }
 
-[[nodiscard]] int connect_socket(const std::string& path, Status& status) {
+[[nodiscard]] int connect_uds(const std::string& path, Status& status) {
   sockaddr_un addr{};
   if (path.empty() || path.size() >= sizeof addr.sun_path) {
     status = {StatusKind::kInvalidSpec, "client.connect",
@@ -62,14 +65,98 @@ namespace {
   return fd;
 }
 
+[[nodiscard]] int connect_tcp(const std::string& host, int port, Status& status) {
+  sockaddr_in addr{};
+  if (!resolve_ipv4(host, addr.sin_addr)) {
+    status = {StatusKind::kInvalidSpec, "client.connect",
+              strformat("\"%s\" is not an IPv4 address (or \"localhost\")", host.c_str())};
+    return -1;
+  }
+  if (port < 1 || port > 65535) {
+    status = {StatusKind::kInvalidSpec, "client.connect",
+              strformat("port %d is outside [1, 65535]", port)};
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    status = {StatusKind::kIoError, "client.connect",
+              strformat("socket: %s", std::strerror(errno))};
+    return -1;
+  }
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    status = {StatusKind::kIoError, "client.connect",
+              strformat("cannot connect to %s:%d: %s", host.c_str(), port, std::strerror(errno))};
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+[[nodiscard]] int connect_endpoint(const Endpoint& ep, Status& status) {
+  return ep.is_tcp() ? connect_tcp(ep.host, ep.port, status) : connect_uds(ep.uds_path, status);
+}
+
 }  // namespace
+
+bool resolve_ipv4(const std::string& host, in_addr& out) {
+  const std::string numeric = (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  return ::inet_pton(AF_INET, numeric.c_str(), &out) == 1;
+}
+
+std::string Endpoint::describe() const {
+  return is_tcp() ? strformat("%s:%d", host.c_str(), port) : uds_path;
+}
+
+bool parse_endpoint(const std::string& s, Endpoint& out, std::string& err,
+                    bool allow_ephemeral_port) {
+  out = {};
+  if (s.empty()) {
+    err = "endpoint must not be empty";
+    return false;
+  }
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    out.uds_path = s;
+    return true;
+  }
+  std::int64_t port = 0;
+  if (!parse_i64(s.substr(colon + 1), port)) {
+    err = strformat("\"%s\": the part after ':' must be a decimal port number "
+                    "(socket paths cannot contain ':')",
+                    s.c_str());
+    return false;
+  }
+  const int lo = allow_ephemeral_port ? 0 : 1;
+  if (port < lo || port > 65535) {
+    err = strformat("\"%s\": port must be in [%d, 65535]", s.c_str(), lo);
+    return false;
+  }
+  out.host = colon == 0 ? "127.0.0.1" : s.substr(0, colon);
+  if (out.host == "localhost") out.host = "127.0.0.1";
+  out.port = static_cast<int>(port);
+  in_addr scratch{};
+  if (!resolve_ipv4(out.host, scratch)) {
+    err = strformat("\"%s\": host \"%s\" is not an IPv4 address (or \"localhost\")", s.c_str(),
+                    out.host.c_str());
+    return false;
+  }
+  return true;
+}
 
 int backoff_delay_ms(int attempt, int base_ms, int cap_ms, std::uint64_t seed) {
   if (attempt < 1) attempt = 1;
   if (base_ms < 1) base_ms = 1;
   if (cap_ms < base_ms) cap_ms = base_ms;
-  std::uint64_t nominal = static_cast<std::uint64_t>(base_ms);
-  for (int i = 1; i < attempt && nominal < static_cast<std::uint64_t>(cap_ms); ++i) nominal *= 2;
+  // nominal = min(cap, base * 2^(attempt-1)), computed so no attempt value
+  // can wrap: the exponent saturates at 32 (base < 2^31, so base << 32 is
+  // at most 2^63 — exact in u64 and already above any int cap, making the
+  // saturated shift clamp to cap_ms just like the unclamped power would).
+  const int shift = attempt - 1 > 32 ? 32 : attempt - 1;
+  std::uint64_t nominal = static_cast<std::uint64_t>(base_ms) << shift;
   if (nominal > static_cast<std::uint64_t>(cap_ms)) nominal = static_cast<std::uint64_t>(cap_ms);
   // Jitter keeps synchronized retry storms apart but stays deterministic
   // per seed: draw from [ceil(nominal/2), nominal].
@@ -91,7 +178,7 @@ Status Client::attempt(const std::string& payload, Reply& reply, bool& retryable
   reply = {};
   retryable = false;
   Status status;
-  const int fd = connect_socket(opts_.socket_path, status);
+  const int fd = connect_endpoint(opts_.endpoint, status);
   if (fd < 0) {
     retryable = status.kind == StatusKind::kIoError;
     return status;
@@ -145,7 +232,13 @@ Status Client::attempt(const std::string& payload, Reply& reply, bool& retryable
       }
     }
     if (const Json* ra = envelope->find("retry_after_ms"); ra != nullptr && ra->is_number()) {
-      reply.retry_after_ms = static_cast<int>(ra->as_double());
+      // A non-positive hint is nonsense from a misconfigured server —
+      // treat it as absent; an absurdly large one is clamped so the cast
+      // cannot overflow and one bad hint cannot park the client for days.
+      const double hint = ra->as_double();
+      if (hint > 0) {
+        reply.retry_after_ms = hint > 3600000.0 ? 3600000 : static_cast<int>(hint);
+      }
     }
     reply.error = e;
     retryable = e.kind == StatusKind::kOverloaded;

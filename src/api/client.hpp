@@ -22,15 +22,47 @@
 #include "api/frame.hpp"
 #include "api/session.hpp"
 
+struct in_addr;  // <netinet/in.h>
+
 namespace pp::api {
+
+/// Resolve a host string to an IPv4 address without DNS: dotted-quad
+/// literals plus "" / "localhost" (both 127.0.0.1). Shared by the client
+/// dial and the server bind so both sides accept exactly the same hosts.
+[[nodiscard]] bool resolve_ipv4(const std::string& host, in_addr& out);
 
 /// Deterministic jittered exponential backoff: the delay (ms) before retry
 /// number `attempt` (1-based). Pure — the whole schedule is a function of
-/// (base_ms, cap_ms, seed).
+/// (base_ms, cap_ms, seed). The doubling clamps to cap_ms before any
+/// widening can wrap, so the schedule is well-defined for every attempt
+/// value up to INT_MAX (golden-tested at attempt >= 64).
 [[nodiscard]] int backoff_delay_ms(int attempt, int base_ms, int cap_ms, std::uint64_t seed);
 
+/// One daemon address: a Unix-domain socket path, or an IPv4 TCP endpoint.
+struct Endpoint {
+  std::string uds_path;  // UDS when non-empty; TCP (host, port) otherwise
+  std::string host;
+  int port = 0;
+
+  [[nodiscard]] bool is_tcp() const { return uds_path.empty(); }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse a `--connect`/`--listen` endpoint string. A string containing ':'
+/// is an IPv4 TCP endpoint "HOST:PORT" (empty or "localhost" host means
+/// 127.0.0.1; the port is a strict decimal in [1, 65535], or [0, 65535]
+/// with `allow_ephemeral_port` — 0 asks the kernel for a free port, listen
+/// side only). Anything else is a Unix-domain socket path, which therefore
+/// cannot contain ':'. Returns false with a named error on a malformed
+/// endpoint — a bad port is never silently defaulted or wrapped.
+[[nodiscard]] bool parse_endpoint(const std::string& s, Endpoint& out, std::string& err,
+                                  bool allow_ephemeral_port = false);
+
 struct ClientOptions {
-  std::string socket_path;
+  /// Where the daemon lives (UDS path, or TCP host:port). The TCP dial sets
+  /// TCP_NODELAY — requests are single small frames; Nagle only adds
+  /// latency here.
+  Endpoint endpoint;
 
   /// Total attempts per request (connect + send + receive). 1 = no retries.
   int retries = 5;

@@ -61,6 +61,12 @@ Status write_frame(int fd, std::string_view payload, FrameSide side) {
   if (side == FrameSide::kServer && pp::fault("serve.write")) {
     return {StatusKind::kIoError, "serve.write", "injected response-write failure (PP_FAULTS)"};
   }
+  // The length field is 32 bits; a larger payload would silently truncate
+  // the advertised length and desynchronize the stream for good.
+  if (payload.size() > 0xffffffffu) {
+    return {StatusKind::kProtocolError, write_site(side),
+            strformat("frame payload %zu bytes exceeds the u32 length field", payload.size())};
+  }
   char header[8];
   std::memcpy(header, kFrameMagic, 4);
   const auto len = static_cast<std::uint32_t>(payload.size());

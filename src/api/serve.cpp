@@ -1,6 +1,9 @@
 #include "api/serve.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -12,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "api/client.hpp"  // resolve_ipv4 — client dial and server bind must agree
 #include "api/json.hpp"
 #include "base/fault.hpp"
 #include "base/strings.hpp"
@@ -59,22 +63,34 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
+void ServerOptions::normalize() {
+  if (workers < 1) workers = 1;          // 0 workers would hang admission forever
+  if (max_queue < 0) max_queue = 0;
+  if (retry_after_ms < 0) retry_after_ms = 0;  // 0 = hint absent, never negative
+  if (tcp_backlog < 1) tcp_backlog = 1;
+  if (tcp_backlog > 4096) tcp_backlog = 4096;
+  if (max_frame_bytes < 64) max_frame_bytes = 64;
+}
+
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), session_(std::make_unique<Session>(opts_.session)) {}
+    : opts_(std::move(opts)), session_(std::make_unique<Session>(opts_.session)) {
+  opts_.normalize();
+}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     ::unlink(opts_.socket_path.c_str());
   }
+  if (tcp_listen_fd_ >= 0) ::close(tcp_listen_fd_);
   for (int i = 0; i < 2; ++i) {
     if (wake_pipe_[i] >= 0) ::close(wake_pipe_[i]);
   }
 }
 
-bool Server::listen(std::string* error) {
+bool Server::listen_uds(std::string* error) {
   sockaddr_un addr{};
-  if (opts_.socket_path.empty() || opts_.socket_path.size() >= sizeof addr.sun_path) {
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
     if (error != nullptr) {
       *error = strformat("socket path must be 1..%zu bytes", sizeof addr.sun_path - 1);
     }
@@ -99,7 +115,7 @@ bool Server::listen(std::string* error) {
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size());
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      ::listen(listen_fd_, opts_.tcp_backlog) != 0) {
     if (error != nullptr) {
       *error = strformat("cannot listen on %s: %s", opts_.socket_path.c_str(),
                          std::strerror(errno));
@@ -108,11 +124,85 @@ bool Server::listen(std::string* error) {
     listen_fd_ = -1;
     return false;
   }
+  return true;
+}
+
+bool Server::listen_tcp(std::string* error) {
+  sockaddr_in addr{};
+  if (!resolve_ipv4(opts_.listen_host, addr.sin_addr)) {
+    if (error != nullptr) {
+      *error = strformat("\"%s\" is not an IPv4 address (or \"localhost\")",
+                         opts_.listen_host.c_str());
+    }
+    return false;
+  }
+  if (opts_.listen_port > 65535) {
+    if (error != nullptr) *error = strformat("TCP port %d is outside [0, 65535]", opts_.listen_port);
+    return false;
+  }
+  tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (tcp_listen_fd_ < 0) {
+    if (error != nullptr) *error = strformat("socket: %s", std::strerror(errno));
+    return false;
+  }
+  const int one = 1;
+  (void)::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.listen_port));
+  if (::bind(tcp_listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(tcp_listen_fd_, opts_.tcp_backlog) != 0) {
+    if (error != nullptr) {
+      *error = strformat("cannot listen on %s:%d: %s",
+                         opts_.listen_host.empty() ? "127.0.0.1" : opts_.listen_host.c_str(),
+                         opts_.listen_port, std::strerror(errno));
+    }
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  // Loopback is the only safe default: the ppd1 protocol has no
+  // authentication, so a wider bind is an explicit operator decision.
+  if (ntohl(addr.sin_addr.s_addr) >> 24 != 127) {
+    std::fprintf(stderr,
+                 "[ppd] WARNING: TCP listener bound to %s:%d — the ppd1 protocol has no "
+                 "authentication; restrict this to trusted networks (docs/ppd.md)\n",
+                 opts_.listen_host.c_str(), tcp_port_);
+  }
+  return true;
+}
+
+bool Server::listen(std::string* error) {
+  const bool want_uds = !opts_.socket_path.empty();
+  const bool want_tcp = opts_.listen_port >= 0;
+  if (!want_uds && !want_tcp) {
+    if (error != nullptr) *error = "no listener configured (need a socket path and/or a TCP port)";
+    return false;
+  }
+  if (want_uds && !listen_uds(error)) return false;
+  if (want_tcp && !listen_tcp(error)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(opts_.socket_path.c_str());
+    }
+    return false;
+  }
   if (::pipe2(wake_pipe_, O_CLOEXEC) != 0) {
     if (error != nullptr) *error = strformat("pipe2: %s", std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    ::unlink(opts_.socket_path.c_str());
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ::unlink(opts_.socket_path.c_str());
+    }
+    if (tcp_listen_fd_ >= 0) {
+      ::close(tcp_listen_fd_);
+      tcp_listen_fd_ = -1;
+    }
     return false;
   }
   return true;
@@ -129,8 +219,11 @@ void Server::begin_drain() {
 
 int Server::serve() {
   for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    const int n = ::poll(fds, 2, -1);
+    // Poll order: UDS listener, TCP listener, wake pipe — absent listeners
+    // get fd -1, which poll(2) ignores.
+    pollfd fds[3] = {{listen_fd_, POLLIN, 0}, {tcp_listen_fd_, POLLIN, 0},
+                     {wake_pipe_[0], POLLIN, 0}};
+    const int n = ::poll(fds, 3, -1);
     if (n < 0) {
       if (errno == EINTR) {
         if (draining_.load(std::memory_order_acquire)) break;
@@ -139,34 +232,54 @@ int Server::serve() {
       std::fprintf(stderr, "[ppd] poll failed: %s\n", std::strerror(errno));
       break;
     }
-    if (draining_.load(std::memory_order_acquire) || (fds[1].revents & POLLIN) != 0) break;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    const int cfd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (cfd < 0) {
-      if (errno == EINTR) continue;
-      std::fprintf(stderr, "[ppd] accept failed: %s\n", std::strerror(errno));
-      continue;
+    if (draining_.load(std::memory_order_acquire) || (fds[2].revents & POLLIN) != 0) break;
+    for (int i = 0; i < 2; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const bool tcp = i == 1;
+      const int cfd = ::accept4(fds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (cfd < 0) {
+        if (errno != EINTR) {
+          std::fprintf(stderr, "[ppd] accept failed: %s\n", std::strerror(errno));
+        }
+        continue;
+      }
+      if (pp::fault("serve.accept")) {
+        std::fprintf(stderr, "[ppd] dropping accepted connection (injected serve.accept fault)\n");
+        ::close(cfd);
+        continue;
+      }
+      if (tcp) {
+        const int one = 1;
+        (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      {
+        std::lock_guard<std::mutex> lk(conns_mu_);
+        ++conn_threads_;
+      }
+      // Detached: drain waits on conn_threads_ instead of keeping one
+      // joinable std::thread alive per connection for the daemon's lifetime.
+      std::thread([this, cfd] { handle_connection(cfd); }).detach();
     }
-    if (pp::fault("serve.accept")) {
-      std::fprintf(stderr, "[ppd] dropping accepted connection (injected serve.accept fault)\n");
-      ::close(cfd);
-      continue;
-    }
-    threads_.emplace_back([this, cfd] { handle_connection(cfd); });
   }
 
-  // Drain: stop accepting (socket closed + unlinked so new connects fail
-  // fast), wake every blocked connection read, then let in-flight requests
-  // finish or deadline out. Responses still flow — only the read half shuts.
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::unlink(opts_.socket_path.c_str());
-  {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    for (const int fd : conns_) ::shutdown(fd, SHUT_RD);
+  // Drain: stop accepting (sockets closed, UDS path unlinked so new
+  // connects fail fast), wake every blocked connection read, then let
+  // in-flight requests finish or deadline out. Responses still flow — only
+  // the read half shuts.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
   }
-  for (std::thread& t : threads_) t.join();
-  threads_.clear();
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
+  {
+    std::unique_lock<std::mutex> lk(conns_mu_);
+    for (const int fd : conns_) ::shutdown(fd, SHUT_RD);
+    conns_cv_.wait(lk, [&] { return conn_threads_ == 0; });
+  }
   std::fprintf(stderr, "%s", stats_text().c_str());
   return 0;
 }
@@ -201,8 +314,12 @@ void Server::handle_connection(int fd) {
     if (resp.poison) break;
   }
   {
+    // notify under the lock: serve()'s drain wait may destroy this Server
+    // (and the cv) the moment conn_threads_ hits zero.
     std::lock_guard<std::mutex> lk(conns_mu_);
     conns_.erase(std::remove(conns_.begin(), conns_.end(), fd), conns_.end());
+    --conn_threads_;
+    conns_cv_.notify_all();
   }
   ::close(fd);
 }
@@ -319,7 +436,13 @@ Server::Admit Server::admit(Clock::time_point deadline) {
     got = admit_cv_.wait_until(lk, deadline, [&] { return active_ < opts_.workers; });
   }
   --queued_;
-  if (!got) return Admit::kDeadline;
+  if (!got) {
+    // The deadline may have raced a release_slot() notify meant for us; a
+    // slot could be free with other waiters still parked. Pass the wakeup
+    // on, or one waiter can stall until the next release (lost wakeup).
+    admit_cv_.notify_one();
+    return Admit::kDeadline;
+  }
   ++active_;
   return Admit::kAdmitted;
 }
@@ -337,12 +460,11 @@ Server::Response Server::execute_run(const ExperimentSpec& spec, const std::stri
   switch (admit(deadline)) {
     case Admit::kShed: {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      return {error_envelope(
-                  Error{StatusKind::kOverloaded, "serve.admit",
-                        strformat("admission queue full (%d executing, %d queued); retry in "
-                                  "%d ms",
-                                  opts_.workers, opts_.max_queue, opts_.retry_after_ms)},
-                  opts_.retry_after_ms),
+      std::string detail = strformat("admission queue full (%d executing, %d queued)",
+                                     opts_.workers, opts_.max_queue);
+      if (opts_.retry_after_ms > 0) detail += strformat("; retry in %d ms", opts_.retry_after_ms);
+      return {error_envelope(Error{StatusKind::kOverloaded, "serve.admit", std::move(detail)},
+                             opts_.retry_after_ms),
               "", false};
     }
     case Admit::kDeadline: {

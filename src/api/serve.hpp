@@ -47,7 +47,20 @@ namespace pp::api {
 class Json;
 
 struct ServerOptions {
+  /// Unix-domain listener ("" = no UDS listener).
   std::string socket_path;
+
+  /// IPv4 TCP listener: port < 0 disables it (the default), port 0 asks
+  /// the kernel for a free port (Server::tcp_port() reports the choice),
+  /// 1..65535 binds that port. The empty host means 127.0.0.1 — the ppd1
+  /// protocol has NO authentication, so anything but loopback earns a
+  /// stderr warning (docs/ppd.md, Transports). At least one of the two
+  /// listeners must be configured.
+  std::string listen_host;
+  int listen_port = -1;
+
+  /// TCP accept backlog (listen(2)); also used for the UDS listener.
+  int tcp_backlog = 64;
 
   /// Concurrently *executing* requests (the admission gate's slot count).
   int workers = 2;
@@ -58,11 +71,20 @@ struct ServerOptions {
   int max_queue = 8;
 
   /// Hint sent with every `overloaded` response; ppctl's backoff honors it
-  /// as a floor under its seeded exponential schedule.
+  /// as a floor under its seeded exponential schedule. Non-positive =
+  /// no hint is emitted (normalize() folds negatives to 0 so a bad config
+  /// can never put a nonsensical retry_after_ms on the wire).
   int retry_after_ms = 50;
 
   /// Frame payload ceiling (oversized frames poison their connection).
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Clamp every numeric knob to its sane range (workers >= 1 so admission
+  /// can always make progress, max_queue >= 0, retry_after_ms >= 0,
+  /// tcp_backlog in [1, 4096], max_frame_bytes >= 64). The Server
+  /// constructor applies this, so no caller-supplied value can hang
+  /// admission or leak a negative hint into the `overloaded` envelope.
+  void normalize();
 
   /// Session configuration (scale/fidelity/caches); the daemon's store is
   /// chosen exactly like api::Session's (the process-global store when the
@@ -99,9 +121,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on opts.socket_path (an existing *socket* file — e.g.
-  /// left by a kill -9 — is replaced; any other file type is an error).
+  /// Bind + listen on every configured transport: opts.socket_path (an
+  /// existing *socket* file — e.g. left by a kill -9 — is replaced; any
+  /// other file type is an error) and/or the TCP endpoint
+  /// opts.listen_host:opts.listen_port.
   [[nodiscard]] bool listen(std::string* error);
+
+  /// The bound TCP port after listen() (resolves port 0), or -1 when no
+  /// TCP listener is configured.
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
 
   /// Accept/serve until begin_drain(), then finish in-flight work, flush
   /// final store stats to stderr and return 0. Call listen() first.
@@ -137,6 +165,8 @@ class Server {
     Response response;
   };
 
+  [[nodiscard]] bool listen_uds(std::string* error);
+  [[nodiscard]] bool listen_tcp(std::string* error);
   void handle_connection(int fd);
   [[nodiscard]] Response dispatch(const std::string& payload);
   [[nodiscard]] Response handle_run(const Json& envelope, const std::string& body);
@@ -149,13 +179,20 @@ class Server {
   ServerOptions opts_;
   std::unique_ptr<Session> session_;  // store owner/selector; per-request
                                       // sessions borrow its store
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;      // UDS listener (-1 = none)
+  int tcp_listen_fd_ = -1;  // TCP listener (-1 = none)
+  int tcp_port_ = -1;       // bound TCP port after listen()
   int wake_pipe_[2] = {-1, -1};  // self-pipe: begin_drain() -> poll() wakeup
   std::atomic<bool> draining_{false};
 
+  // Connection threads are detached; conn_threads_ counts the live ones so
+  // drain can wait for the last handler without the server accumulating one
+  // joinable std::thread per connection for its whole lifetime (the load
+  // bench opens thousands).
   std::mutex conns_mu_;
+  std::condition_variable conns_cv_;
   std::vector<int> conns_;  // open connection fds (drain shuts down reads)
-  std::vector<std::thread> threads_;
+  int conn_threads_ = 0;
 
   mutable std::mutex admit_mu_;
   std::condition_variable admit_cv_;

@@ -68,6 +68,16 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
   return true;
 }
 
+bool parse_i64(std::string_view s, std::int64_t& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  out = v;
+  return true;
+}
+
 bool parse_double(std::string_view s, double& out) {
   s = trim(s);
   if (s.empty()) return false;

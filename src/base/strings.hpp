@@ -23,6 +23,12 @@ namespace pp {
 
 /// Parse helpers returning false on malformed input instead of throwing.
 [[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Strict signed decimal integer: optional leading '-', digits, nothing
+/// else — no k/M/G suffixes, no partial consumption, overflow rejected.
+/// The CLI flag parser (ppd/ppctl) uses this so "2k", "1.5" or "99…9"
+/// can never be silently accepted, defaulted, or wrapped.
+[[nodiscard]] bool parse_i64(std::string_view s, std::int64_t& out);
 [[nodiscard]] bool parse_double(std::string_view s, double& out);
 [[nodiscard]] bool parse_bool(std::string_view s, bool& out);
 

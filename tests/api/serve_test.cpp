@@ -81,7 +81,7 @@ class ServeTest : public ::testing::Test {
 
   [[nodiscard]] Client client(int retries = 3) {
     ClientOptions copts;
-    copts.socket_path = opts_.socket_path;
+    copts.endpoint.uds_path = opts_.socket_path;
     copts.retries = retries;
     copts.retry_base_ms = 1;
     copts.retry_cap_ms = 4;

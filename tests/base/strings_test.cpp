@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pp {
 namespace {
 
@@ -64,6 +66,42 @@ TEST(ParseU64, RejectsGarbage) {
   EXPECT_FALSE(parse_u64("abc", v));
   EXPECT_FALSE(parse_u64("12x4", v));
   EXPECT_FALSE(parse_u64("-5", v));
+}
+
+TEST(ParseI64, StrictDecimal) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(parse_i64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(parse_i64("0", v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_i64("  7 ", v));  // surrounding whitespace trims
+  EXPECT_EQ(v, 7);
+}
+
+TEST(ParseI64, RejectsSuffixesAndGarbage) {
+  // parse_u64 accepts "2k" = 2000; CLI flags must not — a typo'd port or
+  // worker count has to be a named usage error, never a silent scale-up.
+  std::int64_t v = 0;
+  EXPECT_FALSE(parse_i64("2k", v));
+  EXPECT_FALSE(parse_i64("1M", v));
+  EXPECT_FALSE(parse_i64("1.5", v));
+  EXPECT_FALSE(parse_i64("", v));
+  EXPECT_FALSE(parse_i64("abc", v));
+  EXPECT_FALSE(parse_i64("12x4", v));
+  EXPECT_FALSE(parse_i64("0x10", v));
+  EXPECT_FALSE(parse_i64("--5", v));
+}
+
+TEST(ParseI64, OverflowRejectedNotWrapped) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64("9223372036854775807", v));
+  EXPECT_EQ(v, std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(parse_i64("9223372036854775808", v));  // INT64_MAX + 1
+  EXPECT_TRUE(parse_i64("-9223372036854775808", v));
+  EXPECT_EQ(v, std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_i64("-9223372036854775809", v));
 }
 
 TEST(ParseDouble, Basics) {

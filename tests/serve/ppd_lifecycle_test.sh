@@ -132,7 +132,58 @@ kill -TERM "$DPID"
 wait "$DPID" || fail "post-restart daemon did not drain cleanly"
 DPID=""
 
-# ---- 4. injected daemon-side read fault, survived by client retries ----
+# ---- 4. TCP transport: --listen, port discovery, byte identity ----
+"$PPD" --socket "$SOCK" --listen 127.0.0.1:0 2> "$TMP/daemon_tcp.err" &
+DPID=$!
+wait_ready || fail "TCP daemon never became ready on its UDS"
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/daemon_tcp.err" | head -1)
+  [ -n "$PORT" ] && break
+  sleep 0.05
+done
+[ -n "$PORT" ] || fail "daemon never printed its bound TCP port: $(cat "$TMP/daemon_tcp.err")"
+
+"$PPCTL" run --connect "127.0.0.1:$PORT" "$TMP/spec.json" > "$TMP/tcp.out" 2> "$TMP/tcp.err" \
+  || fail "TCP served run failed"
+diff -u "$TMP/direct.out" "$TMP/tcp.out" || fail "TCP output differs from direct run"
+grep -q 'profile store: simulated=0 ' "$TMP/tcp.err" \
+  || fail "TCP request missed the warm store: $(cat "$TMP/tcp.err")"
+
+# The same daemon serves identical bytes over both transports.
+"$PPCTL" run --connect "$SOCK" "$TMP/spec.json" > "$TMP/uds.out" 2>/dev/null \
+  || fail "UDS run against the dual-transport daemon failed"
+diff -u "$TMP/tcp.out" "$TMP/uds.out" || fail "TCP and UDS outputs differ on one daemon"
+
+"$PPCTL" stat --connect "127.0.0.1:$PORT" > "$TMP/stat_tcp.out" 2>&1 \
+  || fail "ppctl stat over TCP failed"
+grep -q '\[ppd\] requests: served=' "$TMP/stat_tcp.out" || fail "TCP stat missing counters"
+kill -TERM "$DPID"
+wait "$DPID" || fail "dual-transport daemon did not drain cleanly"
+DPID=""
+
+# TCP-only daemon (no --socket) also works.
+"$PPD" --listen 127.0.0.1:0 2> "$TMP/daemon_tcponly.err" &
+DPID=$!
+PORT2=""
+for _ in $(seq 1 100); do
+  PORT2=$(sed -n 's/.*listening on tcp 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$TMP/daemon_tcponly.err" | head -1)
+  [ -n "$PORT2" ] && break
+  sleep 0.05
+done
+[ -n "$PORT2" ] || fail "TCP-only daemon never printed its port"
+for _ in $(seq 1 100); do
+  "$PPCTL" stat --connect "127.0.0.1:$PORT2" >/dev/null 2>&1 && break
+  sleep 0.05
+done
+"$PPCTL" run --connect "127.0.0.1:$PORT2" "$TMP/spec.json" > "$TMP/tcponly.out" 2>/dev/null \
+  || fail "TCP-only served run failed"
+diff -u "$TMP/direct.out" "$TMP/tcponly.out" || fail "TCP-only output differs"
+kill -TERM "$DPID"
+wait "$DPID" || fail "TCP-only daemon did not drain cleanly"
+DPID=""
+
+# ---- 5. injected daemon-side read fault, survived by client retries ----
 PP_FAULTS=serve.read:err@1 "$PPD" --socket "$SOCK" 2> "$TMP/daemon4.err" &
 DPID=$!
 for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done

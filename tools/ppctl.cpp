@@ -12,11 +12,12 @@
 //   ppctl solo   --flows T,..     solo-profile each listed flow type
 //   ppctl corun  --flows T,..     run the listed mix and measure drops
 //   ppctl show <spec.json>...     parse, validate and reprint canonically
-//   ppctl stat --connect SOCK     print a running ppd daemon's statistics
+//   ppctl stat --connect EP       print a running ppd daemon's statistics
 //
-// With --connect SOCK, run/sweep/predict/solo/corun execute on a running
-// ppd daemon (docs/ppd.md) instead of in-process: specs are parsed and
-// validated locally exactly as before, sent over the socket, and results
+// With --connect EP — a Unix socket path, or HOST:PORT for a daemon's TCP
+// listener — run/sweep/predict/solo/corun execute on a running ppd daemon
+// (docs/ppd.md) instead of in-process: specs are parsed and validated
+// locally exactly as before, sent over the connection, and results
 // print byte-identically to a direct run. Transient failures — connection
 // refused, dropped mid-request, structured `overloaded` responses — retry
 // on a deterministic seeded backoff schedule (--retries/--retry-base-ms/
@@ -41,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,7 +72,9 @@ struct CliOptions {
   std::vector<core::FlowSpec> flows;
   bool strict = false;  // any failed spec exits 3 instead of 1
   // Daemon mode (--connect): execute on a running ppd instead of in-process.
-  std::string connect;
+  // Either a Unix socket path or an IPv4 "HOST:PORT" TCP endpoint.
+  api::Endpoint connect;
+  bool connected = false;
   int retries = 5;
   int retry_base_ms = 25;
   std::uint64_t retry_seed = 1;
@@ -89,13 +93,14 @@ int usage(FILE* to) {
       "  ppctl predict --flows T,..   predict per-flow drop in the listed mix\n"
       "  ppctl solo    --flows T,..   solo-profile each listed flow type\n"
       "  ppctl corun   --flows T,..   run the listed mix and measure drops\n"
-      "  ppctl stat --connect SOCK    print a running ppd daemon's statistics\n"
+      "  ppctl stat --connect EP      print a running ppd daemon's statistics\n"
       "\n"
       "flags: --scale S --fidelity F --threads N --cache DIR --cache-ro DIR\n"
       "       --seeds N --seed N --mode cache|memctrl|both --format text|csv|json\n"
       "       --strict\n"
       "daemon flags (docs/ppd.md):\n"
-      "       --connect SOCK   execute on the ppd listening at SOCK\n"
+      "       --connect EP     execute on the ppd at EP: a Unix socket path,\n"
+      "                        or HOST:PORT for its TCP listener\n"
       "       --deadline-ms N  per-request wall-clock deadline\n"
       "       --retries N --retry-base-ms N --retry-seed N   backoff schedule\n"
       "\n"
@@ -141,6 +146,23 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       (void)flag;
       return argv[++i];
     };
+    // Numeric flags parse strictly (parse_i64): "abc", "2k", "1.5", "-3" or
+    // anything out of range is a named usage error (exit 2), never a silent
+    // default or a wrapped value.
+    const auto int_flag = [&](const char* name, std::int64_t lo, std::int64_t hi,
+                              std::int64_t& out) -> bool {
+      const char* v = value(name);
+      std::int64_t n = 0;
+      if (v == nullptr || !parse_i64(v, n) || n < lo || n > hi) {
+        std::fprintf(stderr, "ppctl: %s needs an integer in [%lld, %lld], got %s\n", name,
+                     static_cast<long long>(lo), static_cast<long long>(hi),
+                     v == nullptr ? "nothing" : strformat("\"%s\"", v).c_str());
+        return false;
+      }
+      out = n;
+      return true;
+    };
+    std::int64_t n = 0;
     if (a == "--help" || a == "-h") return usage(stdout);
     if (a == "--format") {
       const char* v = value("--format");
@@ -164,11 +186,7 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       else if (std::strcmp(v, "streamed") == 0) cli.fidelity = sim::SimFidelity::kStreamed;
       else return fail("unknown --fidelity (expected exact|sampled|streamed)");
     } else if (a == "--threads") {
-      const char* v = value("--threads");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 64) {
-        return fail("--threads needs an integer in [1, 64]");
-      }
+      if (!int_flag("--threads", 1, 64, n)) return 2;
       cli.session.threads = static_cast<int>(n);
     } else if (a == "--cache") {
       const char* v = value("--cache");
@@ -179,19 +197,11 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       if (v == nullptr) return fail("--cache-ro needs a directory");
       cli.session.cache_dir_ro = v;
     } else if (a == "--seeds") {
-      const char* v = value("--seeds");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 16) {
-        return fail("--seeds needs an integer in [1, 16]");
-      }
+      if (!int_flag("--seeds", 1, 16, n)) return 2;
       cli.seeds = static_cast<int>(n);
     } else if (a == "--seed") {
-      const char* v = value("--seed");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1) {
-        return fail("--seed needs an integer >= 1");
-      }
-      cli.seed = n;
+      if (!int_flag("--seed", 1, std::numeric_limits<std::int64_t>::max(), n)) return 2;
+      cli.seed = static_cast<std::uint64_t>(n);
     } else if (a == "--mode") {
       const char* v = value("--mode");
       if (v == nullptr) return fail("--mode needs a value");
@@ -213,33 +223,21 @@ int parse_flags(int argc, char** argv, int start, CliOptions& cli,
       cli.strict = true;
     } else if (a == "--connect") {
       const char* v = value("--connect");
-      if (v == nullptr) return fail("--connect needs a socket path");
-      cli.connect = v;
+      if (v == nullptr) return fail("--connect needs a socket path or HOST:PORT");
+      std::string err;
+      if (!api::parse_endpoint(v, cli.connect, err)) return fail("--connect: " + err);
+      cli.connected = true;
     } else if (a == "--retries") {
-      const char* v = value("--retries");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 100) {
-        return fail("--retries needs an integer in [1, 100]");
-      }
+      if (!int_flag("--retries", 1, 100, n)) return 2;
       cli.retries = static_cast<int>(n);
     } else if (a == "--retry-base-ms") {
-      const char* v = value("--retry-base-ms");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1 || n > 60000) {
-        return fail("--retry-base-ms needs an integer in [1, 60000]");
-      }
+      if (!int_flag("--retry-base-ms", 1, 60000, n)) return 2;
       cli.retry_base_ms = static_cast<int>(n);
     } else if (a == "--retry-seed") {
-      const char* v = value("--retry-seed");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n)) return fail("--retry-seed needs an integer");
-      cli.retry_seed = n;
+      if (!int_flag("--retry-seed", 0, std::numeric_limits<std::int64_t>::max(), n)) return 2;
+      cli.retry_seed = static_cast<std::uint64_t>(n);
     } else if (a == "--deadline-ms") {
-      const char* v = value("--deadline-ms");
-      std::uint64_t n = 0;
-      if (v == nullptr || !parse_u64(v, n) || n < 1) {
-        return fail("--deadline-ms needs an integer >= 1");
-      }
+      if (!int_flag("--deadline-ms", 1, 86400000, n)) return 2;
       cli.deadline_ms = static_cast<double>(n);
     } else if (!a.empty() && a[0] == '-') {
       return fail("unknown flag \"" + a + "\" (see ppctl --help)");
@@ -298,7 +296,7 @@ void print_result(const api::Result& r, Format format) {
 
 [[nodiscard]] api::ClientOptions client_options(const CliOptions& cli) {
   api::ClientOptions copts;
-  copts.socket_path = cli.connect;
+  copts.endpoint = cli.connect;
   copts.retries = cli.retries;
   copts.retry_base_ms = cli.retry_base_ms;
   copts.retry_seed = cli.retry_seed;
@@ -359,7 +357,7 @@ int run_specs_connected(const CliOptions& cli, const std::vector<api::Experiment
 }
 
 int cmd_stat(const CliOptions& cli) {
-  if (cli.connect.empty()) return fail("stat: requires --connect SOCK (a running ppd)");
+  if (!cli.connected) return fail("stat: requires --connect SOCK|HOST:PORT (a running ppd)");
   api::Client client(client_options(cli));
   std::string text;
   const Status st = client.stat(text);
@@ -369,7 +367,7 @@ int cmd_stat(const CliOptions& cli) {
 }
 
 int run_specs(const CliOptions& cli, std::vector<api::ExperimentSpec> specs) {
-  if (!cli.connect.empty()) return run_specs_connected(cli, specs);
+  if (cli.connected) return run_specs_connected(cli, specs);
   // Artifact specs render canned bench stdout (byte-identical to the bench
   // binary, always text — so they print first, whatever the argument
   // order); generic specs execute through one Session as a deduped batch.
