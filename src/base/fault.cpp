@@ -57,7 +57,8 @@ FaultInjector& FaultInjector::global() {
     // is listed in the audited set (api/options.cpp kKnownVars) so typos in
     // the *name* still warn, and malformed *values* warn right below.
     static FaultInjector f;
-    if (const char* v = std::getenv("PP_FAULTS"); v != nullptr && *v != '\0') {
+    if (const char* v = std::getenv("PP_FAULTS");  // pplint: allow(getenv) — layering: base/ cannot see api/options
+        v != nullptr && *v != '\0') {
       std::string err;
       if (!f.configure(v, &err)) {
         std::fprintf(stderr, "pp: warning: ignoring malformed PP_FAULTS: %s\n", err.c_str());

@@ -211,7 +211,7 @@ ScenarioResult run_scenario_with_windows(const Scenario& cfg, double window_ms,
   // is in the store, the client gets a structured budget_exceeded error,
   // and a draining daemon is never wedged behind a runaway plan.
   if (cfg.deadline != std::chrono::steady_clock::time_point{} &&
-      std::chrono::steady_clock::now() >= cfg.deadline) {
+      std::chrono::steady_clock::now() >= cfg.deadline) {  // pplint: allow(nondeterminism) — deadline guard, outside simulated results
     throw StatusError(StatusKind::kBudgetExceeded, "scenario.deadline",
                       "wall-clock request deadline expired before this scenario started");
   }

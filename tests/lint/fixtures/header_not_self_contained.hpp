@@ -1,0 +1,12 @@
+// Fixture: must trip [header] — uses std::string and std::vector while
+// including neither (compiles only when the includer already pulled them in).
+#pragma once
+
+namespace pp::lintfixture {
+
+struct Broken {
+  std::string name;
+  std::vector<int> values;
+};
+
+}  // namespace pp::lintfixture

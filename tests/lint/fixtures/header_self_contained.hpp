@@ -1,0 +1,15 @@
+// Fixture: must pass [header] — every name it uses comes from its own
+// includes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pp::lintfixture {
+
+struct Fine {
+  std::string name;
+  std::vector<int> values;
+};
+
+}  // namespace pp::lintfixture

@@ -1,0 +1,224 @@
+// The ppd admission/shed/drain machinery under a genuine thread storm: many
+// concurrent clients fire run requests (duplicate-heavy, so the in-flight
+// dedup path races too) at a server with tiny workers/max_queue, and one
+// storm ends with begin_drain() arriving mid-flight. The functional
+// assertions are coarse on purpose — every client gets a complete, coherent
+// answer or a clean connection error, the counters add up, drain returns 0 —
+// because the test's sharper job is as a ThreadSanitizer target: it is the
+// designated TSan regression surface for api::Server's detached-connection
+// accounting (conn_threads_/conns_cv_), the admit/release_slot handoff, and
+// the Flight dedup protocol (docs/static_analysis.md).
+#include "api/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/client.hpp"
+#include "base/status.hpp"
+#include "base/strings.hpp"
+
+namespace pp::api {
+namespace {
+
+using namespace std::chrono_literals;
+
+[[nodiscard]] std::string tiny_spec(int key) {
+  // Distinct `name` fields do NOT change the scenario key; distinct seeds
+  // do. Duplicates across threads exercise both dedup layers (server
+  // in-flight Flights and store single-flight).
+  return strformat(
+      R"({"version":1,"kind":"corun","name":"storm-%d","seed":%d,"warmup_ms":0.3,"measure_ms":0.7,"flows":[{"type":"IP"}]})",
+      key, 1000 + key);
+}
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pp_serve_stress_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    opts_.socket_path = dir_ + "/ppd.sock";
+    opts_.workers = 2;
+    opts_.max_queue = 3;
+    opts_.retry_after_ms = 1;
+    opts_.session = SessionOptions::from_env();
+    opts_.session.scale = Scale::kQuick;
+    opts_.session.cache_dir = dir_ + "/cache";
+    opts_.session.cache_dir_ro.clear();
+    opts_.session.run_budget_ms = 0;
+  }
+
+  void TearDown() override {
+    stop();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void start() {
+    server_ = std::make_unique<Server>(opts_);
+    std::string err;
+    ASSERT_TRUE(server_->listen(&err)) << err;
+    serve_thread_ = std::thread([this] { serve_rc_ = server_->serve(); });
+  }
+
+  void stop() {
+    if (server_ == nullptr) return;
+    server_->begin_drain();
+    if (serve_thread_.joinable()) serve_thread_.join();
+    EXPECT_EQ(serve_rc_, 0) << "drain must exit 0";
+    server_.reset();
+  }
+
+  [[nodiscard]] Client client() {
+    ClientOptions copts;
+    copts.endpoint.uds_path = opts_.socket_path;
+    copts.retries = 1;  // single attempt: raw shed/drain answers, no backoff
+    return Client(copts);
+  }
+
+  std::string dir_;
+  ServerOptions opts_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+  int serve_rc_ = -1;
+};
+
+TEST_F(ServeStressTest, AdmissionStormEveryRequestAnsweredCoherently) {
+  start();
+  constexpr int kThreads = 12;
+  constexpr int kRequestsPerThread = 4;
+  constexpr int kDistinctKeys = 3;  // heavy duplication across the storm
+
+  std::atomic<int> ok{0}, failed{0}, shed{0}, transport{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client c = client();
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        Reply reply;
+        const Status st = c.run(tiny_spec((t + i) % kDistinctKeys), "text", 0, reply);
+        if (st.kind == StatusKind::kOverloaded) {
+          // Structured shed: the daemon answered, with the retry hint.
+          EXPECT_TRUE(reply.error.has_value());
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (!st.ok()) {
+          // Connection-level failure: acceptable only as a transport error,
+          // never a hang (run() returned; nothing may wedge mid-storm).
+          transport.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply.failed || reply.error.has_value()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_FALSE(reply.body.empty()) << "ok replies carry a rendered result";
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(transport.load(), 0) << "no connection may die while serving";
+  EXPECT_EQ(failed.load(), 0) << "tiny specs never fail to execute";
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_EQ(ok.load() + shed.load(), kThreads * kRequestsPerThread);
+
+  // Quiesce before reading counters: served_ lands after the response write,
+  // so a client can see its reply before the server's tally does. Drain
+  // waits out every connection handler, making the counters final.
+  server_->begin_drain();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  EXPECT_EQ(serve_rc_, 0);
+
+  const Server::Stats st = server_->stats();
+  const auto total = static_cast<std::uint64_t>(kThreads * kRequestsPerThread);
+  // Every run request either led (ok/failed/shed) or followed an identical
+  // in-flight one; dedup followers inherit their leader's response, so the
+  // client-side ok/shed tallies bound the leader-side counters from above.
+  EXPECT_EQ(st.specs_ok + st.specs_failed + st.shed + st.deduped_inflight, total);
+  EXPECT_EQ(st.specs_failed, 0U);
+  EXPECT_LE(st.shed, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_LE(st.specs_ok, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_GE(st.specs_ok + st.deduped_inflight, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(st.served, total) << "one response per request, nothing dropped";
+  EXPECT_EQ(st.active, 0);
+  EXPECT_EQ(st.queued, 0);
+  server_.reset();
+}
+
+TEST_F(ServeStressTest, DrainMidStormFinishesInFlightAndExitsZero) {
+  start();
+  constexpr int kThreads = 8;
+
+  std::atomic<int> answered{0}, refused{0}, transport{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client c = client();
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (ready.load(std::memory_order_relaxed) < kThreads) std::this_thread::yield();
+      for (int i = 0; i < 3; ++i) {
+        Reply reply;
+        const Status st = c.run(tiny_spec(100 + ((t + i) % 4)), "text", 0, reply);
+        if (!st.ok()) {
+          // Draining: new connections are refused / reset, queued work may
+          // be shed. Clean error, not a hang or a torn response — exactly
+          // what the storm asserts.
+          transport.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply.failed || reply.error.has_value()) {
+          refused.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_FALSE(reply.body.empty());
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let the storm get airborne, then pull the plug from a foreign thread
+  // (the signal-handler shape: begin_drain races against everything).
+  while (ready.load(std::memory_order_relaxed) < kThreads) std::this_thread::yield();
+  std::this_thread::sleep_for(20ms);
+  server_->begin_drain();
+
+  for (std::thread& th : threads) th.join();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  EXPECT_EQ(serve_rc_, 0) << "mid-storm drain must still exit 0";
+
+  // No required split between answered/refused/transport — scheduling owns
+  // that — but everything must terminate and the server must end quiesced.
+  EXPECT_EQ(answered.load() + refused.load() + transport.load(), kThreads * 3);
+  const Server::Stats st = server_->stats();
+  EXPECT_TRUE(st.draining);
+  EXPECT_EQ(st.active, 0);
+  EXPECT_EQ(st.queued, 0);
+  server_.reset();
+}
+
+TEST_F(ServeStressTest, RepeatedDrainCallsAreIdempotentUnderRace) {
+  start();
+  // begin_drain is wired to SIGTERM and tests; a flurry of calls from
+  // several threads at once must behave like one.
+  std::vector<std::thread> drains;
+  drains.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    drains.emplace_back([this] { server_->begin_drain(); });
+  }
+  for (std::thread& th : drains) th.join();
+  if (serve_thread_.joinable()) serve_thread_.join();
+  EXPECT_EQ(serve_rc_, 0);
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace pp::api
